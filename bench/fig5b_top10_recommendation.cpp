@@ -1,0 +1,64 @@
+// Fig. 5b — the top-10 recommendations of Varuna, AMP, and Pipette on the
+// mid-range cluster, executed one by one. The paper finds 8 of 10 AMP and
+// Varuna recommendations OOM (including their top picks) while Pipette's are
+// runnable — the practicality argument for the memory estimator.
+#include "bench_common.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int nodes = cli.get_int("nodes", 16);
+  const int global_batch = cli.get_int("global-batch", 512);
+
+  const auto topo = bench::make_cluster("mid-range", nodes, env.seed);
+  const model::TrainingJob job{model::weak_scaled_model(topo.num_gpus(), false), global_batch};
+  sim::SimOptions sim_opt;
+
+  common::Table t({"rank", "Varuna", "VR time/iter", "AMP", "AMP time/iter", "Pipette",
+                   "PPT time/iter"});
+
+  core::VarunaConfigurator vr;
+  const auto r_vr = vr.configure(topo, job);
+  core::AmpConfigurator amp;
+  const auto r_amp = amp.configure(topo, job);
+  auto ppt_opt = bench::pipette_options(env, /*dedication=*/false);
+  core::PipetteConfigurator ppt(ppt_opt);
+  const auto r_ppt = ppt.configure(topo, job);
+
+  auto row_of = [&](const core::ConfiguratorResult& rec, std::size_t i, std::string* cfg,
+                    std::string* time, int* oom) {
+    if (i >= rec.ranking.size()) {
+      *cfg = "-";
+      *time = "-";
+      return;
+    }
+    const auto& cand = rec.ranking[i].cand;
+    const auto mapping = core::default_mapping(rec.placement, cand.pc);
+    const auto run = core::run_actual(topo, job, cand, mapping, sim_opt);
+    *cfg = cand.str();
+    if (run.oom) {
+      *time = "OOM";
+      ++*oom;
+    } else {
+      *time = common::fmt_fixed(run.time_s, 2) + " s";
+    }
+  };
+
+  int oom_vr = 0, oom_amp = 0, oom_ppt = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::string c1, t1, c2, t2, c3, t3;
+    row_of(r_vr, i, &c1, &t1, &oom_vr);
+    row_of(r_amp, i, &c2, &t2, &oom_amp);
+    row_of(r_ppt, i, &c3, &t3, &oom_ppt);
+    t.add_row({std::to_string(i + 1), c1, t1, c2, t2, c3, t3});
+  }
+
+  std::cout << "Fig. 5b — top-10 recommendations executed on the mid-range cluster ("
+            << job.model.name << ")\n\n";
+  bench::finish_table(t, env);
+  std::cout << "\nOOM in top 10:  Varuna " << oom_vr << "/10   AMP " << oom_amp
+            << "/10   Pipette " << oom_ppt << "/10   (paper: 8/10, 8/10, 0/10)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 6 — Training time and speedup of Pipette and the baselines.
+//
+// Paper setup: 128 GPUs (16 nodes); GPT-3.1B on the mid-range (V100) cluster,
+// GPT-11.1B on the high-end (A100) cluster. Methods: Megatron-LM (MLM,
+// manually tuned, tp = 8), Varuna (VR, pipeline-only), AMP, PPT-L (Pipette's
+// latency + memory estimators, default placement) and PPT-LF (+ fine-grained
+// worker dedication). Speedups are normalized to MLM, as in the paper.
+//
+// Paper reference points: PPT-L 1.36x/1.56x over VR, 1.06x/1.35x over AMP;
+// PPT-LF 1.12x/1.46x over AMP and 1.07x/1.26x over MLM (mid/high).
+#include "bench_common.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int nodes = cli.get_int("nodes", 16);
+  const int global_batch = cli.get_int("global-batch", 512);
+
+  common::Table table({"cluster", "model", "method", "config", "attempts", "time/iter (s)",
+                       "vs MLM", "vs AMP"});
+
+  for (const std::string tier : {"mid-range", "high-end"}) {
+    const bool high = tier == "high-end";
+    const auto topo = bench::make_cluster(tier, nodes, env.seed);
+    const model::TrainingJob job{model::weak_scaled_model(topo.num_gpus(), high), global_batch};
+    const auto memory = bench::train_memory_estimator(topo, env);
+    sim::SimOptions sim_opt;
+
+    std::vector<bench::MethodRun> runs;
+    {
+      core::MegatronOptions mo;
+      core::MegatronHeuristic mlm(mo);
+      runs.push_back(bench::run_method(mlm, topo, job, sim_opt));
+    }
+    {
+      core::VarunaConfigurator vr;
+      runs.push_back(bench::run_method(vr, topo, job, sim_opt));
+    }
+    {
+      core::AmpConfigurator amp;
+      runs.push_back(bench::run_method(amp, topo, job, sim_opt));
+    }
+    for (bool dedication : {false, true}) {
+      auto opt = bench::pipette_options(env, dedication);
+      opt.memory = memory;
+      core::PipetteConfigurator ppt(opt);
+      runs.push_back(bench::run_method(ppt, topo, job, sim_opt));
+    }
+
+    double t_mlm = 0.0, t_amp = 0.0;
+    for (const auto& r : runs) {
+      if (r.method == "Megatron-LM" && r.outcome.success) t_mlm = r.outcome.run.time_s;
+      if (r.method == "AMP" && r.outcome.success) t_amp = r.outcome.run.time_s;
+    }
+    for (const auto& r : runs) {
+      if (!r.outcome.success) {
+        table.add_row({tier, job.model.name, r.method, "-", std::to_string(r.outcome.attempts),
+                       "OOM", "-", "-"});
+        continue;
+      }
+      const double t = r.outcome.run.time_s;
+      table.add_row({tier, job.model.name, r.method, r.outcome.executed.str(),
+                     std::to_string(r.outcome.attempts), common::fmt_fixed(t, 2),
+                     t_mlm > 0 ? common::fmt_fixed(t_mlm / t, 2) + "x" : "-",
+                     t_amp > 0 ? common::fmt_fixed(t_amp / t, 2) + "x" : "-"});
+    }
+  }
+
+  std::cout << "Fig. 6 — training time and speedup (normalized to Megatron-LM)\n\n";
+  bench::finish_table(table, env);
+  return 0;
+}

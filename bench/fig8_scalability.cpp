@@ -1,0 +1,52 @@
+// Fig. 8 — cluster/model size scalability: AMP vs Pipette (PPT-LF) with
+// 32, 64, and 128 GPUs, weak-scaling the model with the cluster as in the
+// paper. Paper speedups: 1.02x - 1.17x, growing with cluster size as
+// heterogeneity becomes more visible.
+#include "bench_common.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int global_batch = cli.get_int("global-batch", 512);
+
+  common::Table t({"cluster", "#GPUs (model)", "AMP s/iter", "Pipette s/iter", "speedup"});
+
+  for (const std::string tier : {"mid-range", "high-end"}) {
+    const bool high = tier == "high-end";
+    const auto full = bench::make_cluster(tier, 16, env.seed);
+    const auto memory = bench::train_memory_estimator(full, env);
+    for (int nodes : {4, 8, 16}) {
+      const auto topo = full.sub_cluster(nodes);
+      const model::TrainingJob job{model::weak_scaled_model(topo.num_gpus(), high), global_batch};
+      sim::SimOptions sim_opt;
+
+      core::AmpConfigurator amp;
+      const auto amp_out =
+          core::execute_with_oom_fallback(topo, job, amp.configure(topo, job), sim_opt);
+
+      auto opt = bench::pipette_options(env, /*dedication=*/true);
+      opt.memory = memory;
+      core::PipetteConfigurator ppt(opt);
+      const auto ppt_out =
+          core::execute_with_oom_fallback(topo, job, ppt.configure(topo, job), sim_opt);
+
+      const std::string label =
+          std::to_string(topo.num_gpus()) + " (" + job.model.name + ")";
+      if (!amp_out.success || !ppt_out.success) {
+        t.add_row({tier, label, amp_out.success ? "ok" : "OOM", ppt_out.success ? "ok" : "OOM",
+                   "-"});
+        continue;
+      }
+      t.add_row({tier, label, common::fmt_fixed(amp_out.run.time_s, 2),
+                 common::fmt_fixed(ppt_out.run.time_s, 2),
+                 common::fmt_fixed(amp_out.run.time_s / ppt_out.run.time_s, 2) + "x"});
+    }
+  }
+
+  std::cout << "Fig. 8 — cluster and model size scalability (speedup of Pipette over AMP; "
+               "paper: 1.02x-1.17x)\n\n";
+  bench::finish_table(t, env);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 9 — micro/minibatch sensitivity on the mid-range cluster.
+// (a) microbatch size fixed to 1/2/4/8 with minibatch 256;
+// (b) minibatch (= global batch) 64..1024 with microbatch 8.
+// Paper: Pipette delivers a stable 1.14x-1.44x speedup over AMP; at least one
+// AMP point is entirely OOM.
+#include "bench_common.h"
+
+using namespace pipette;
+
+namespace {
+
+void run_point(const cluster::Topology& topo,
+               const std::shared_ptr<const pipette::estimators::MlpMemoryEstimator>& memory,
+               const bench::BenchEnv& env, int global_batch, int fixed_micro,
+               const std::string& label, common::Table* t) {
+  const model::TrainingJob job{model::weak_scaled_model(topo.num_gpus(), false), global_batch};
+  sim::SimOptions sim_opt;
+
+  parallel::ConfigConstraints cons;
+  cons.fixed_micro_batch = fixed_micro;
+  cons.max_micro_batch = std::max(8, fixed_micro);
+
+  core::AmpOptions amp_opt;
+  amp_opt.constraints = cons;
+  core::AmpConfigurator amp(amp_opt);
+  const auto amp_out =
+      core::execute_with_oom_fallback(topo, job, amp.configure(topo, job), sim_opt);
+
+  auto ppt_opt = bench::pipette_options(env, /*dedication=*/true);
+  ppt_opt.memory = memory;
+  ppt_opt.constraints = cons;
+  core::PipetteConfigurator ppt(ppt_opt);
+  const auto ppt_out =
+      core::execute_with_oom_fallback(topo, job, ppt.configure(topo, job), sim_opt);
+
+  const std::string amp_s = amp_out.success ? common::fmt_fixed(amp_out.run.time_s, 2) : "OOM";
+  const std::string ppt_s = ppt_out.success ? common::fmt_fixed(ppt_out.run.time_s, 2) : "OOM";
+  const std::string speedup =
+      amp_out.success && ppt_out.success
+          ? common::fmt_fixed(amp_out.run.time_s / ppt_out.run.time_s, 2) + "x"
+          : "-";
+  t->add_row({label, amp_s, ppt_s, speedup});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int nodes = cli.get_int("nodes", 16);
+
+  const auto topo = bench::make_cluster("mid-range", nodes, env.seed);
+  const auto memory = bench::train_memory_estimator(topo, env);
+
+  common::Table ta({"microbatch (mini=256)", "AMP s/iter", "Pipette s/iter", "speedup"});
+  for (int micro : {1, 2, 4, 8}) {
+    run_point(topo, memory, env, /*global_batch=*/256, micro, std::to_string(micro), &ta);
+  }
+  std::cout << "Fig. 9a — microbatch sensitivity (minibatch 256, mid-range)\n\n";
+  bench::finish_table(ta, env);
+
+  common::Table tb({"minibatch (micro=8)", "AMP s/iter", "Pipette s/iter", "speedup"});
+  for (int mini : {64, 128, 256, 512, 1024}) {
+    run_point(topo, memory, env, mini, /*fixed_micro=*/8, std::to_string(mini), &tb);
+  }
+  std::cout << "\nFig. 9b — minibatch sensitivity (microbatch 8, mid-range; paper speedup "
+               "1.14x-1.44x)\n\n";
+  bench::finish_table(tb, env);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Microbenchmark — latency-model evaluation throughput. PipetteLatencyModel
+// estimate() is the simulated-annealing hot path; the paper's 10 s SA budget
+// is only meaningful if a single evaluation costs microseconds.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace pipette;
+
+namespace {
+
+struct Setup {
+  cluster::Topology topo = bench::make_cluster("mid-range", 16, 2024);
+  model::TrainingJob job{model::gpt_3_1b(), 512};
+  parallel::ParallelConfig pc{8, 2, 8};
+  int micro = 2;
+  cluster::ProfileResult profiled = cluster::profile_network(topo, {});
+  estimators::LinkConstants links = estimators::LinkConstants::from_spec(topo.spec());
+  estimators::ComputeProfile prof = estimators::profile_compute(topo, job, pc, micro, {});
+  estimators::PipetteLatencyModel model{job, pc, micro, prof, &profiled.bw, links};
+  parallel::Mapping mapping = parallel::Mapping::megatron_default(pc);
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+}  // namespace
+
+static void BM_PipetteEstimate(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) benchmark::DoNotOptimize(s.model.estimate(s.mapping));
+}
+BENCHMARK(BM_PipetteEstimate);
+
+static void BM_PipettePpTerm(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) benchmark::DoNotOptimize(s.model.pp_comm_term(s.mapping));
+}
+BENCHMARK(BM_PipettePpTerm);
+
+static void BM_PipetteDpTerm(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) benchmark::DoNotOptimize(s.model.dp_comm_term(s.mapping));
+}
+BENCHMARK(BM_PipetteDpTerm);
+
+static void BM_AmpEstimate(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimators::amp_latency_estimate(s.job, s.pc, s.micro, s.prof, s.links));
+  }
+}
+BENCHMARK(BM_AmpEstimate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Microbenchmark — the memory-estimator MLP: single-row inference (the cost
+// Algorithm 1 pays per candidate, Table II's "Memory Estimation" row) and
+// training step throughput for the paper's 5-layer/200-hidden network.
+#include <benchmark/benchmark.h>
+
+#include "estimators/mlp_memory.h"
+#include "mlp/network.h"
+#include "model/gpt_zoo.h"
+
+using namespace pipette;
+
+static void BM_MlpTrainingStep(benchmark::State& state) {
+  const int hidden = static_cast<int>(state.range(0));
+  mlp::Network net({10, hidden, hidden, hidden, hidden, 1}, 1);
+  mlp::Matrix x(32, 10, 0.3);
+  mlp::Matrix y(32, 1, 1.0);
+  mlp::AdamOptions adam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.loss_and_grad(x, y));
+    net.adam_step(adam);
+  }
+}
+BENCHMARK(BM_MlpTrainingStep)->Arg(96)->Arg(200);
+
+static void BM_MlpInference(benchmark::State& state) {
+  const int hidden = static_cast<int>(state.range(0));
+  mlp::Network net({10, hidden, hidden, hidden, hidden, 1}, 1);
+  mlp::Matrix x(1, 10, 0.3);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x)(0, 0));
+}
+BENCHMARK(BM_MlpInference)->Arg(96)->Arg(200);
+
+static void BM_FeatureVector(benchmark::State& state) {
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::ParallelConfig pc{8, 2, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimators::MlpMemoryEstimator::features(job, pc, 2));
+  }
+}
+BENCHMARK(BM_FeatureVector);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Microbenchmark — discrete-event pipeline simulator throughput across
+// schedule kinds and configuration shapes (the "actual run" cost of the
+// evaluation harness).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace pipette;
+
+static void BM_Simulate1F1B(benchmark::State& state) {
+  const auto topo = bench::make_cluster("mid-range", 16, 2024);
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::ParallelConfig pc{static_cast<int>(state.range(0)), 2,
+                                    16 / static_cast<int>(state.range(0)) * 4};
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  sim::SimOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, 2, opt).total_s);
+  }
+}
+BENCHMARK(BM_Simulate1F1B)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_SimulateMemoryUnaware(benchmark::State& state) {
+  const auto topo = bench::make_cluster("mid-range", 16, 2024);
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::ParallelConfig pc{8, 2, 8};
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  sim::SimOptions opt;
+  opt.schedule = sim::ScheduleKind::kMemoryUnaware;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, 2, opt).total_s);
+  }
+}
+BENCHMARK(BM_SimulateMemoryUnaware);
+
+static void BM_PeakMemory(benchmark::State& state) {
+  const auto spec = cluster::high_end_cluster();
+  const model::TrainingJob job{model::gpt_11_1b(), 512};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_peak_memory(spec, job, {8, 8, 2}, 8,
+                                  sim::ScheduleKind::kMemoryEfficient1F1B, 1)
+            .total_bytes);
+  }
+}
+BENCHMARK(BM_PeakMemory);
+
+static void BM_ProfileNetwork(benchmark::State& state) {
+  const auto topo = bench::make_cluster("mid-range", static_cast<int>(state.range(0)), 2024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::profile_network(topo, {}).num_measurements);
+  }
+}
+BENCHMARK(BM_ProfileNetwork)->Arg(4)->Arg(16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Microbenchmark — simulated-annealing proposal throughput: how many
+// move+estimate iterations per second the worker-dedication search achieves
+// on a 128-worker problem (this bounds how much of the search space a 10 s
+// budget covers).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "search/mapping_search.h"
+
+using namespace pipette;
+
+static void BM_MappingMove(benchmark::State& state) {
+  common::Rng rng(1);
+  auto m = parallel::Mapping::megatron_default({8, 2, 8});
+  for (auto _ : state) {
+    search::random_mapping_move(m, rng, {}, 8);
+    benchmark::DoNotOptimize(m.gpu_at(0));
+  }
+}
+BENCHMARK(BM_MappingMove);
+
+static void BM_SaIterations(benchmark::State& state) {
+  const auto topo = bench::make_cluster("mid-range", 16, 2024);
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::ParallelConfig pc{8, 2, 8};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+
+  const long iters_per_run = state.range(0);
+  for (auto _ : state) {
+    auto m = parallel::Mapping::megatron_default(pc);
+    search::SaOptions opt;
+    opt.max_iters = iters_per_run;
+    opt.time_limit_s = 1e9;
+    const auto res = search::optimize_mapping(m, model, topo.gpus_per_node(), opt);
+    benchmark::DoNotOptimize(res.best_cost);
+  }
+  state.SetItemsProcessed(state.iterations() * iters_per_run);
+}
+BENCHMARK(BM_SaIterations)->Arg(1000)->Arg(4000);
+
+BENCHMARK_MAIN();

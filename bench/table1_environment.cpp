@@ -1,0 +1,24 @@
+// Table I — experimental environment. Prints the two cluster presets this
+// reproduction simulates, in the paper's layout.
+#include "bench_common.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+
+  common::Table t({"cluster", "GPU", "GPU mem", "peak fp16", "inter-node", "intra-node",
+                   "nodes x GPUs"});
+  for (const auto& spec : {cluster::mid_range_cluster(), cluster::high_end_cluster()}) {
+    t.add_row({spec.name, spec.gpu == cluster::GpuKind::V100 ? "8x NVIDIA V100" : "8x NVIDIA A100",
+               common::fmt_fixed(spec.gpu_memory_bytes / 1e9, 0) + " GB",
+               common::fmt_fixed(spec.gpu_peak_flops / 1e12, 0) + " TFLOPS",
+               common::fmt_fixed(spec.inter_node.bandwidth_Bps * 8.0 / 1e9, 0) + " Gbps IB",
+               common::fmt_fixed(spec.intra_node.bandwidth_Bps / 1e9, 0) + " GBps NVLink",
+               std::to_string(spec.num_nodes) + " x " + std::to_string(spec.gpus_per_node)});
+  }
+  std::cout << "Table I — experimental environment (simulated)\n\n";
+  bench::finish_table(t, env);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table II — configuration overhead of Pipette: bandwidth profiling time
+// (simulated measurement cost), simulated-annealing time (measured wall
+// clock), memory estimation time (measured), the overhead relative to a
+// 300 K-iteration training run, and the training days saved versus running
+// AMP's configuration instead.
+#include "bench_common.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const long long total_iters = cli.get_int("train-iters", 300000);
+
+  common::Table t({"cluster", "nodes (model)", "bw profiling", "sim. annealing", "mem. estimation",
+                   "total conf.", "overhead %", "AMP days", "Pipette days", "days saved"});
+
+  for (const std::string tier : {"mid-range", "high-end"}) {
+    const bool high = tier == "high-end";
+    const auto full = bench::make_cluster(tier, 16, env.seed);
+    const auto memory = bench::train_memory_estimator(full, env);
+    for (int nodes : {8, 16}) {
+      const auto topo = full.sub_cluster(nodes);
+      const model::TrainingJob job{
+          model::weak_scaled_model(topo.num_gpus(), high), 512};
+
+      auto opt = bench::pipette_options(env, /*dedication=*/true);
+      opt.memory = memory;
+      core::PipetteConfigurator ppt(opt);
+      const auto rec = ppt.configure(topo, job);
+      sim::SimOptions sim_opt;
+      const auto ppt_out = core::execute_with_oom_fallback(topo, job, rec, sim_opt);
+
+      core::AmpConfigurator amp;
+      const auto amp_out =
+          core::execute_with_oom_fallback(topo, job, amp.configure(topo, job), sim_opt);
+
+      const double conf_total = rec.profile_wall_s + rec.search_wall_s + rec.mem_est_wall_s;
+      const double ppt_days =
+          ppt_out.success ? ppt_out.run.time_s * total_iters / 86400.0 : 0.0;
+      const double amp_days =
+          amp_out.success ? amp_out.run.time_s * total_iters / 86400.0 : 0.0;
+      const double overhead_pct = ppt_days > 0 ? 100.0 * conf_total / (ppt_days * 86400.0) : 0.0;
+
+      t.add_row({tier, std::to_string(nodes) + " (" + job.model.name + ")",
+                 common::fmt_duration(rec.profile_wall_s), common::fmt_duration(rec.search_wall_s),
+                 common::fmt_duration(rec.mem_est_wall_s), common::fmt_duration(conf_total),
+                 common::fmt_fixed(overhead_pct, 3), common::fmt_fixed(amp_days, 2),
+                 common::fmt_fixed(ppt_days, 2), common::fmt_fixed(amp_days - ppt_days, 2)});
+    }
+  }
+
+  std::cout << "Table II — configuration overhead of Pipette (" << total_iters
+            << " training iterations";
+  if (!env.full) std::cout << "; fast SA budget — use --full for the paper's 10 s/candidate";
+  std::cout << ")\n\n";
+  bench::finish_table(t, env);
+  return 0;
+}

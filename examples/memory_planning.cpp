@@ -1,0 +1,71 @@
+// Memory planning with the two estimators — the paper's §VI scenario. For a
+// model and cluster, walk the (pp, tp, micro) space and compare what the
+// analytic baseline [20] claims fits against what actually fits (ground
+// truth) and what Pipette's trained MLP admits. Shows exactly why
+// memory-blind tools recommend OOM configurations.
+//
+// Run:  ./memory_planning [--model gpt-3.1b] [--global-batch 256]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "estimators/analytic_memory.h"
+#include "estimators/mlp_memory.h"
+#include "model/gpt_zoo.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto mcfg = model::gpt_by_name(cli.get_string("model", "gpt-3.1b"));
+  const model::TrainingJob job{mcfg, cli.get_int("global-batch", 256)};
+
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 3);
+  const double limit = topo.spec().gpu_memory_bytes;
+  std::cout << "Memory planning for " << mcfg.name << " (global batch " << job.global_batch
+            << ") on " << topo.num_gpus() << "x V100-"
+            << common::fmt_fixed(limit / 1e9, 0) << "GB\n\nTraining the MLP memory estimator "
+            << "from small-scale profiling runs...\n";
+
+  estimators::MlpMemoryOptions mopt;
+  mopt.max_profile_nodes = 2;
+  mopt.hidden = {96, 96};
+  mopt.train.iters = 6000;
+  const auto mlp = estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(), mopt);
+  std::cout << "  trained on " << mlp.dataset_size() << " profiled configurations, fit MAPE "
+            << common::fmt_fixed(mlp.train_mape_percent(), 1) << " %\n\n";
+
+  common::Table t({"config", "analytic GB", "MLP est GB", "actual GB", "analytic verdict",
+                   "MLP verdict", "truth"});
+  int analytic_wrong = 0, mlp_wrong = 0, rows = 0;
+  for (const auto& pc : parallel::enumerate_parallel_configs(topo.num_gpus(),
+                                                             topo.gpus_per_node(),
+                                                             mcfg.num_layers, {})) {
+    for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
+      const double analytic = estimators::analytic_memory_estimate(job, pc, micro);
+      const double learned = mlp.estimate_bytes(job, pc, micro);
+      const double actual = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
+                                                      sim::ScheduleKind::kMemoryEfficient1F1B,
+                                                      estimators::kMemoryUniverseSeed)
+                                .total_bytes;
+      const bool fits_truth = actual <= limit;
+      const bool fits_analytic = analytic <= limit;
+      const bool fits_mlp = mlp.fits(job, pc, micro, limit);
+      analytic_wrong += fits_analytic != fits_truth;
+      mlp_wrong += fits_mlp != fits_truth;
+      ++rows;
+      if (rows % 3 == 1) {  // sample for readability
+        t.add_row({pc.str() + "-mb" + std::to_string(micro),
+                   common::fmt_fixed(analytic / 1e9, 1), common::fmt_fixed(learned / 1e9, 1),
+                   common::fmt_fixed(actual / 1e9, 1), fits_analytic ? "fits" : "OOM",
+                   fits_mlp ? "fits" : "OOM", fits_truth ? "fits" : "OOM"});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nFeasibility verdicts wrong out of " << rows
+            << " configurations:  analytic baseline " << analytic_wrong << ", Pipette MLP "
+            << mlp_wrong << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Dense pairwise GPU-to-GPU bandwidth matrix. This is the only interface
+// through which Pipette's estimators see the cluster: the profiler produces a
+// (noisy) BandwidthMatrix, and the latency model's B(g1, g2) terms read it.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pipette::cluster {
+
+class BandwidthMatrix {
+ public:
+  BandwidthMatrix() = default;
+  /// Creates a G x G matrix filled with `fill` (self-pairs get +infinity).
+  explicit BandwidthMatrix(int num_gpus, double fill = 0.0);
+
+  int num_gpus() const { return n_; }
+
+  /// Attained bandwidth from g1 to g2, bytes/second. Self-pairs are +infinity
+  /// (a transfer to oneself is free).
+  double at(int g1, int g2) const { return b_[index(g1, g2)]; }
+  void set(int g1, int g2, double bw) { b_[index(g1, g2)] = bw; }
+
+  /// Minimum directional bandwidth over all ordered pairs within `gpus`.
+  /// Returns +infinity for groups of fewer than two members.
+  double min_within(std::span<const int> gpus) const;
+
+  /// Minimum bandwidth along the ring g[0]->g[1]->...->g[k-1]->g[0].
+  double min_along_ring(std::span<const int> gpus) const;
+
+ private:
+  std::size_t index(int g1, int g2) const {
+    return static_cast<std::size_t>(g1) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(g2);
+  }
+  int n_ = 0;
+  std::vector<double> b_;
+};
+
+}  // namespace pipette::cluster

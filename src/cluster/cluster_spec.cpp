@@ -1,0 +1,65 @@
+#include "cluster/cluster_spec.h"
+
+#include "common/units.h"
+
+namespace pipette::cluster {
+
+using common::GBps;
+using common::Gbps;
+using common::GiB;
+using common::TFLOPS;
+using common::usec;
+
+ClusterSpec mid_range_cluster(int num_nodes) {
+  ClusterSpec s;
+  s.name = "mid-range";
+  s.num_nodes = num_nodes;
+  s.gpus_per_node = 8;
+  s.gpu = GpuKind::V100;
+  // latency_s is the effective per-message cost: hardware latency plus the
+  // protocol ramp small messages pay before attaining peak bandwidth
+  // (~12 MB ramp over EDR ~= 1 ms).
+  s.intra_node = {GBps(300.0), usec(12.0)};
+  s.inter_node = {Gbps(100.0), usec(2200.0)};
+  s.gpu_peak_flops = TFLOPS(125.0);  // V100 fp16 tensor core
+  s.hbm_bandwidth_Bps = 900e9;
+  s.gpu_memory_bytes = 32e9;  // V100-32GB (decimal, as marketed)
+  s.cuda_context_bytes = GiB(0.75);
+  s.gemm_efficiency_max = 0.52;
+  s.gemm_efficiency_knee_flops = 5.0e10;
+  return s;
+}
+
+ClusterSpec high_end_cluster(int num_nodes) {
+  ClusterSpec s;
+  s.name = "high-end";
+  s.num_nodes = num_nodes;
+  s.gpus_per_node = 8;
+  s.gpu = GpuKind::A100;
+  s.intra_node = {GBps(600.0), usec(10.0)};
+  s.inter_node = {Gbps(200.0), usec(1600.0)};  // see mid-range note on ramp
+  s.gpu_peak_flops = TFLOPS(312.0);  // A100 fp16 tensor core
+  s.hbm_bandwidth_Bps = 2039e9;
+  s.gpu_memory_bytes = 80e9;  // A100-80GB (decimal, as marketed)
+  s.cuda_context_bytes = GiB(0.95);
+  s.gemm_efficiency_max = 0.50;
+  s.gemm_efficiency_knee_flops = 12.0e10;
+  return s;
+}
+
+HeterogeneityOptions HeterogeneityOptions::none() {
+  HeterogeneityOptions h;
+  h.inter_mean = 1.0;
+  h.inter_spread = 0.0;
+  h.inter_min = 1.0;
+  h.inter_max = 1.0;
+  h.slow_pair_prob = 0.0;
+  h.asym_sigma = 0.0;
+  h.intra_mean = 1.0;
+  h.intra_spread = 0.0;
+  h.daily_sigma = 0.0;
+  h.daily_rho = 0.0;
+  return h;
+}
+
+}  // namespace pipette::cluster

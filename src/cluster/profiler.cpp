@@ -1,0 +1,66 @@
+#include "cluster/profiler.h"
+
+#include "common/rng.h"
+
+namespace pipette::cluster {
+
+using common::Rng;
+
+ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt) {
+  ProfileResult out;
+  out.bw = BandwidthMatrix(topo.num_gpus());
+  Rng rng(opt.seed);
+
+  const int nn = topo.num_nodes();
+  const int gpn = topo.gpus_per_node();
+  out.wall_time_s += opt.per_node_init_s * nn;
+
+  // Inter-node: probe each ordered node pair through its lead GPUs, average
+  // `rounds` noisy measurements, and assign the result to every GPU pair that
+  // crosses those nodes (node-to-node resolution, like mpiGraph).
+  for (int n1 = 0; n1 < nn; ++n1) {
+    for (int n2 = 0; n2 < nn; ++n2) {
+      if (n1 == n2) continue;
+      const int g1 = n1 * gpn, g2 = n2 * gpn;
+      const double truth = topo.bandwidth(g1, g2);
+      double acc = 0.0;
+      for (int r = 0; r < opt.rounds; ++r) {
+        const double measured = truth * (1.0 + rng.normal(0.0, opt.noise_sigma));
+        acc += measured;
+        out.wall_time_s += opt.message_bytes / truth + opt.per_measurement_setup_s;
+        ++out.num_measurements;
+      }
+      const double avg = acc / opt.rounds;
+      for (int a = 0; a < gpn; ++a) {
+        for (int b = 0; b < gpn; ++b) {
+          out.bw.set(n1 * gpn + a, n2 * gpn + b, avg);
+        }
+      }
+    }
+  }
+
+  // Intra-node: probe each GPU pair in each node. NVLink probes are cheap and
+  // run concurrently across nodes, so only one node's worth of wall time is
+  // accounted.
+  double intra_wall = 0.0;
+  for (int n = 0; n < nn; ++n) {
+    for (int a = 0; a < gpn; ++a) {
+      for (int b = 0; b < gpn; ++b) {
+        if (a == b) continue;
+        const int g1 = n * gpn + a, g2 = n * gpn + b;
+        const double truth = topo.bandwidth(g1, g2);
+        double acc = 0.0;
+        for (int r = 0; r < opt.rounds; ++r) {
+          acc += truth * (1.0 + rng.normal(0.0, opt.noise_sigma));
+          if (n == 0) intra_wall += opt.message_bytes / truth + opt.per_measurement_setup_s;
+          ++out.num_measurements;
+        }
+        out.bw.set(g1, g2, acc / opt.rounds);
+      }
+    }
+  }
+  out.wall_time_s += intra_wall;
+  return out;
+}
+
+}  // namespace pipette::cluster

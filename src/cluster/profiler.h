@@ -1,0 +1,34 @@
+// Simulated network profiling — the substitute for the paper's mpiGraph /
+// NCCL-tests runs (Algorithm 1 line 1). Produces a noisy snapshot of the true
+// bandwidth matrix and accounts the wall-clock cost of taking it, which feeds
+// the "Bandwidth Profiling" row of Table II.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/bandwidth_matrix.h"
+#include "cluster/topology.h"
+
+namespace pipette::cluster {
+
+struct ProfileOptions {
+  double message_bytes = 1.0 * (1ull << 30);  ///< probe size per measurement
+  int rounds = 2;                             ///< repeated probes per ordered pair
+  double per_measurement_setup_s = 0.05;      ///< handshake / barrier cost
+  double per_node_init_s = 2.0;               ///< communicator bring-up per node
+  double noise_sigma = 0.02;                  ///< relative measurement error
+  std::uint64_t seed = 1;
+};
+
+struct ProfileResult {
+  BandwidthMatrix bw;      ///< measured pairwise bandwidths
+  double wall_time_s = 0;  ///< simulated cost of the profiling run (Table II)
+  int num_measurements = 0;
+};
+
+/// Measures every ordered node pair (applied to all GPU pairs across those
+/// nodes, as mpiGraph does) and every intra-node GPU pair. Measurement error
+/// is multiplicative with the given sigma; rounds are averaged.
+ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt);
+
+}  // namespace pipette::cluster

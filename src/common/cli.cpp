@@ -1,0 +1,61 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pipette::common {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    std::string key, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // A following token that is not itself a flag is this key's value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (kv_.emplace(key, value).second) order_.push_back(key);
+  }
+}
+
+bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+int Cli::get_int(const std::string& name, int def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::atof(it->second.c_str());
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::optional<std::string> Cli::first_unknown(const std::vector<std::string>& allowed) const {
+  for (const auto& k : order_) {
+    if (std::find(allowed.begin(), allowed.end(), k) == allowed.end()) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pipette::common

@@ -1,0 +1,37 @@
+// Minimal command-line parsing for benches and examples: --key=value or
+// --key value pairs plus boolean switches. Unknown keys are collected so a
+// bench can reject typos instead of silently running the default profile.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipette::common {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Typed lookups with defaults.
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Keys that were parsed from the command line (for validation).
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Returns the first provided key that is not in `allowed`, if any.
+  std::optional<std::string> first_unknown(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pipette::common

@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipette::common {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double mape_percent(std::span<const double> estimated, std::span<const double> actual) {
+  if (estimated.size() != actual.size()) {
+    throw std::invalid_argument("mape_percent: size mismatch");
+  }
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == 0.0) continue;
+    s += std::abs(estimated[i] - actual[i]) / std::abs(actual[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * s / static_cast<double>(n);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs) {
+  if (xs.empty()) throw std::invalid_argument("quantiles: empty input");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(v[lo] * (1.0 - frac) + v[hi] * frac);
+  }
+  return out;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("linear_fit: need >= 2 paired samples");
+  }
+  const double n = static_cast<double>(xs.size());
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  LinearFit f;
+  f.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = (sxx == 0.0 || syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  (void)n;
+  return f;
+}
+
+std::vector<int> divisors(int n) {
+  assert(n >= 1);
+  std::vector<int> lo, hi;
+  for (int d = 1; static_cast<long long>(d) * d <= n; ++d) {
+    if (n % d == 0) {
+      lo.push_back(d);
+      if (d != n / d) hi.push_back(n / d);
+    }
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+}  // namespace pipette::common

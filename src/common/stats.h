@@ -1,0 +1,38 @@
+// Small statistics toolkit used by the estimators and the benchmark harness:
+// MAPE (the paper's accuracy metric), quantiles (Fig. 3), and basic moments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pipette::common {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Mean absolute percentage error of `estimated` against `actual`, in percent —
+/// the metric the paper reports for both the latency (Fig. 5a) and memory
+/// (Fig. 7) estimators. Entries with actual == 0 are skipped.
+double mape_percent(std::span<const double> estimated, std::span<const double> actual);
+
+/// Linear-interpolation quantile, q in [0, 1]. The input need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantiles at multiple points in one sort.
+std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}. Requires xs.size() == ys.size() >= 2.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// All positive integer divisors of n, ascending. n must be >= 1.
+std::vector<int> divisors(int n);
+
+}  // namespace pipette::common

@@ -1,0 +1,84 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipette::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: expected " + std::to_string(header_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) f << (c == 0 ? "" : ",") << row[c];
+    f << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return true;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+std::string fmt_count(double v) {
+  const char* suffix = "";
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(std::abs(v) < 10 ? 1 : 0) << v << suffix;
+  return ss.str();
+}
+
+std::string fmt_duration(double seconds) {
+  if (seconds < 1e-3) return fmt_fixed(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return fmt_fixed(seconds * 1e3, 2) + " ms";
+  if (seconds < 120.0) return fmt_fixed(seconds, 2) + " s";
+  return fmt_fixed(seconds / 60.0, 2) + " min";
+}
+
+}  // namespace pipette::common

@@ -1,0 +1,42 @@
+// ASCII table and CSV emission for the benchmark harness. Every bench binary
+// prints the same rows/series the paper's table or figure reports, and can
+// optionally mirror them to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipette::common {
+
+/// Column-aligned ASCII table. Cells are strings; use fmt_* helpers to format
+/// numbers consistently across benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and per-column alignment padding.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting of embedded commas; our cells never
+  /// contain them) to `path`. Returns false if the file cannot be opened.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int digits);
+/// Compact engineering formatting for large counts, e.g. "3.1B", "774M".
+std::string fmt_count(double v);
+/// Formats seconds adaptively (us/ms/s) for overhead tables.
+std::string fmt_duration(double seconds);
+
+}  // namespace pipette::common

@@ -1,0 +1,32 @@
+// Unit helpers. All quantities in this codebase are plain doubles in SI base
+// units — seconds, bytes, bytes/second, FLOP/s — and these constexpr factors
+// are the only sanctioned way to construct them from human-friendly units.
+#pragma once
+
+namespace pipette::common {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+/// Gigabytes/second (decimal, as NVLink specs are quoted) -> bytes/second.
+inline constexpr double GBps(double v) { return v * 1e9; }
+/// Gigabits/second (as Infiniband specs are quoted) -> bytes/second.
+inline constexpr double Gbps(double v) { return v * 1e9 / 8.0; }
+/// TeraFLOP/s -> FLOP/s.
+inline constexpr double TFLOPS(double v) { return v * 1e12; }
+/// Mebibytes -> bytes.
+inline constexpr double MiB(double v) { return v * kMiB; }
+/// Gibibytes -> bytes.
+inline constexpr double GiB(double v) { return v * kGiB; }
+/// Microseconds -> seconds.
+inline constexpr double usec(double v) { return v * 1e-6; }
+/// Milliseconds -> seconds.
+inline constexpr double msec(double v) { return v * 1e-3; }
+
+/// Bytes -> gibibytes (for reporting).
+inline constexpr double to_GiB(double bytes) { return bytes / kGiB; }
+/// Seconds -> milliseconds (for reporting).
+inline constexpr double to_ms(double s) { return s * 1e3; }
+
+}  // namespace pipette::common

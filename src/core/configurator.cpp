@@ -1,0 +1,10 @@
+#include "core/configurator.h"
+
+namespace pipette::core {
+
+parallel::Mapping default_mapping(Placement placement, const parallel::ParallelConfig& pc) {
+  return placement == Placement::kVaruna ? parallel::Mapping::varuna_default(pc)
+                                         : parallel::Mapping::megatron_default(pc);
+}
+
+}  // namespace pipette::core

@@ -1,0 +1,70 @@
+// Common types for all configurators: what a recommendation looks like, and
+// the interface both Pipette and the baselines implement. A configurator sees
+// the cluster (it may profile it) and the training job; it returns a ranked
+// list of (pp, tp, dp, microbatch) candidates and, for Pipette, a fine-grained
+// worker mapping for the top choice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "model/transformer.h"
+#include "parallel/mapping.h"
+#include "parallel/parallel_config.h"
+
+namespace pipette::core {
+
+/// One point of the search space of Algorithm 1.
+struct Candidate {
+  parallel::ParallelConfig pc;
+  int micro_batch = 1;
+
+  std::string str() const { return pc.str() + "-mb" + std::to_string(micro_batch); }
+  bool operator==(const Candidate&) const = default;
+};
+
+struct RankedChoice {
+  Candidate cand;
+  double predicted_s = 0.0;  ///< by the configurator's own latency model
+};
+
+/// Which default worker placement a method's framework uses when no
+/// fine-grained mapping is attached (Megatron rank order for MLM/AMP/Pipette
+/// fallbacks, stage-contiguous for Varuna).
+enum class Placement { kMegatron, kVaruna };
+
+parallel::Mapping default_mapping(Placement placement, const parallel::ParallelConfig& pc);
+
+struct ConfiguratorResult {
+  std::string method;
+  bool found = false;
+  Candidate best;
+  std::optional<parallel::Mapping> mapping;  ///< fine-grained dedication, if any
+  Placement placement = Placement::kMegatron;
+  double predicted_s = 0.0;
+
+  /// Full preference order (best first) — what Fig. 5b walks through.
+  std::vector<RankedChoice> ranking;
+
+  // Overhead accounting for Table II.
+  double profile_wall_s = 0.0;   ///< simulated bandwidth-profiling cost
+  double search_wall_s = 0.0;    ///< real SA wall time
+  double mem_est_wall_s = 0.0;   ///< real memory-estimator inference time
+  double mem_train_wall_s = 0.0; ///< one-time MLP training (amortized per cluster)
+
+  int candidates_evaluated = 0;
+  int candidates_rejected_oom = 0;
+};
+
+class Configurator {
+ public:
+  virtual ~Configurator() = default;
+  virtual std::string name() const = 0;
+  virtual ConfiguratorResult configure(const cluster::Topology& topo,
+                                       const model::TrainingJob& job) = 0;
+};
+
+}  // namespace pipette::core

@@ -1,0 +1,125 @@
+#include "core/pipette_configurator.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "estimators/latency_models.h"
+#include "model/gpt_zoo.h"
+
+namespace pipette::core {
+
+namespace {
+using clock = std::chrono::steady_clock;
+double since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+}  // namespace
+
+PipetteConfigurator::PipetteConfigurator(PipetteOptions opt) : opt_(std::move(opt)) {}
+
+std::string PipetteConfigurator::name() const {
+  return opt_.use_worker_dedication ? "PPT-LF" : "PPT-L";
+}
+
+ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
+                                                  const model::TrainingJob& job) {
+  ConfiguratorResult res;
+  res.method = name();
+
+  // Line 1: profile the actual bandwidth matrix.
+  const auto profiled = cluster::profile_network(topo, opt_.profile);
+  res.profile_wall_s = profiled.wall_time_s;
+
+  // One-time memory estimator (trained from small-scale profiling runs).
+  if (!memory_) {
+    if (opt_.memory) {
+      memory_ = opt_.memory;
+    } else {
+      const auto t0 = clock::now();
+      memory_ = std::make_shared<const estimators::MlpMemoryEstimator>(
+          estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(),
+                                                            opt_.memory_training));
+      res.mem_train_wall_s = since(t0);
+    }
+  }
+
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const double mem_limit = topo.spec().gpu_memory_bytes;
+
+  // Lines 3-7: enumerate and memory-filter the candidate space; score every
+  // survivor with the refined latency model under the default placement.
+  struct Scored {
+    Candidate cand;
+    double default_cost;
+    estimators::ComputeProfile profile;
+  };
+  std::vector<Scored> scored;
+  for (const auto& pc : parallel::enumerate_parallel_configs(
+           topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, opt_.constraints)) {
+    for (int micro : parallel::micro_batch_options(job.global_batch, pc, opt_.constraints)) {
+      ++res.candidates_evaluated;
+      if (opt_.use_memory_filter) {
+        const auto t0 = clock::now();
+        const bool ok = memory_->fits(job, pc, micro, mem_limit);
+        res.mem_est_wall_s += since(t0);
+        if (!ok) {
+          ++res.candidates_rejected_oom;
+          continue;
+        }
+      }
+      auto profile = estimators::profile_compute(topo, job, pc, micro, opt_.compute_profile);
+      estimators::PipetteLatencyModel model(job, pc, micro, profile, &profiled.bw, links);
+      const auto mapping = parallel::Mapping::megatron_default(pc);
+      const double cost = model.estimate(mapping);
+      scored.push_back({Candidate{pc, micro}, cost, std::move(profile)});
+    }
+  }
+  if (scored.empty()) return res;
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.default_cost < b.default_cost; });
+
+  for (const auto& s : scored) {
+    if (static_cast<int>(res.ranking.size()) >= opt_.ranking_size) break;
+    res.ranking.push_back({s.cand, s.default_cost});
+  }
+
+  // Lines 9-15: fine-grained worker dedication on the most promising
+  // candidates (all of them when sa_top_k == 0, as in the paper).
+  res.found = true;
+  res.best = scored.front().cand;
+  res.predicted_s = scored.front().default_cost;
+  res.mapping = parallel::Mapping::megatron_default(scored.front().cand.pc);
+
+  if (opt_.use_worker_dedication) {
+    const std::size_t limit =
+        opt_.sa_top_k <= 0 ? scored.size()
+                           : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(opt_.sa_top_k));
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < limit; ++i) {
+      const auto& s = scored[i];
+      estimators::PipetteLatencyModel model(job, s.cand.pc, s.cand.micro_batch, s.profile,
+                                            &profiled.bw, links);
+      auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
+      search::SaOptions sa = opt_.sa;
+      sa.seed = opt_.sa.seed + static_cast<std::uint64_t>(i) * 7919;
+      const auto sa_res =
+          search::optimize_mapping(mapping, model, topo.gpus_per_node(), sa, opt_.moves);
+      res.search_wall_s += sa_res.wall_s;
+      if (sa_res.best_cost < best_cost) {
+        best_cost = sa_res.best_cost;
+        res.best = s.cand;
+        res.predicted_s = sa_res.best_cost;
+        res.mapping = std::move(mapping);
+      }
+    }
+    // Keep the ranking's head consistent with the dedicated choice.
+    auto it = std::find_if(res.ranking.begin(), res.ranking.end(),
+                           [&](const RankedChoice& r) { return r.cand == res.best; });
+    if (it != res.ranking.end()) std::rotate(res.ranking.begin(), it, it + 1);
+    if (!res.ranking.empty()) res.ranking.front().predicted_s = res.predicted_s;
+  }
+  return res;
+}
+
+}  // namespace pipette::core

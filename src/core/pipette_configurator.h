@@ -1,0 +1,56 @@
+// Pipette itself — Algorithm 1. Profile the fabric, enumerate every
+// (pp, tp, dp) factorization and microbatch size, reject configurations the
+// MLP memory estimator says will not fit (§VI), score the rest with the
+// refined latency model (§V), and run fine-grained worker dedication via
+// simulated annealing on the most promising ones (§IV).
+#pragma once
+
+#include "cluster/profiler.h"
+#include "core/configurator.h"
+#include "estimators/compute_profile.h"
+#include "estimators/mlp_memory.h"
+#include "search/mapping_search.h"
+
+namespace pipette::core {
+
+struct PipetteOptions {
+  /// PPT-LF when true; PPT-L (latency estimator + memory estimator only,
+  /// default placement) when false — the paper's Fig. 6 ablation.
+  bool use_worker_dedication = true;
+  /// Disable to reproduce the OOM-recommending behaviour of the baselines.
+  bool use_memory_filter = true;
+  /// SA is run on the `sa_top_k` best candidates by default-placement score;
+  /// 0 means "every surviving candidate" (the paper's Algorithm 1 loops SA
+  /// over all of them with a 10 s budget each).
+  int sa_top_k = 6;
+  search::SaOptions sa;
+  search::MoveSet moves;
+  cluster::ProfileOptions profile;
+  estimators::ComputeProfileOptions compute_profile;
+  parallel::ConfigConstraints constraints;
+  /// Pre-trained memory estimator to reuse across invocations on the same
+  /// cluster; trained on demand (and its wall time reported) when null.
+  std::shared_ptr<const estimators::MlpMemoryEstimator> memory;
+  estimators::MlpMemoryOptions memory_training;
+  int ranking_size = 1000;  // keep the full preference order for OOM fallback
+};
+
+class PipetteConfigurator final : public Configurator {
+ public:
+  explicit PipetteConfigurator(PipetteOptions opt);
+
+  std::string name() const override;
+  ConfiguratorResult configure(const cluster::Topology& topo,
+                               const model::TrainingJob& job) override;
+
+  /// The memory estimator in use after the first configure() call.
+  std::shared_ptr<const estimators::MlpMemoryEstimator> memory_estimator() const {
+    return memory_;
+  }
+
+ private:
+  PipetteOptions opt_;
+  std::shared_ptr<const estimators::MlpMemoryEstimator> memory_;
+};
+
+}  // namespace pipette::core

@@ -1,0 +1,22 @@
+#include "estimators/analytic_memory.h"
+
+#include <algorithm>
+
+#include "sim/stage_costs.h"
+
+namespace pipette::estimators {
+
+double analytic_memory_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                                int micro_batch) {
+  double worst = 0.0;
+  for (int stage = 0; stage < pc.pp; ++stage) {
+    const double params = static_cast<double>(sim::stage_parameters(job.model, pc.pp, stage)) / pc.tp;
+    const int layers = parallel::layers_of_stage(job.model.num_layers, pc.pp, stage);
+    // One microbatch of activations — no in-flight multiplier, no framework.
+    const double act = layers * model::layer_activation_bytes(job.model, micro_batch, pc.tp);
+    worst = std::max(worst, params * 16.0 + act);
+  }
+  return worst;
+}
+
+}  // namespace pipette::estimators

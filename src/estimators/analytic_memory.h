@@ -1,0 +1,17 @@
+// The analytic memory baseline the paper compares against in Fig. 7
+// (Bricken, "Transformer Memory Requirements" [20]): model states divided by
+// the parallel ways plus the activations of a single microbatch. It knows
+// nothing about the pipeline's in-flight window or the training framework's
+// own consumption, which is exactly why it underestimates (paper §VI).
+#pragma once
+
+#include "model/transformer.h"
+#include "parallel/parallel_config.h"
+
+namespace pipette::estimators {
+
+/// Estimated peak bytes per GPU for the worst stage.
+double analytic_memory_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                                int micro_batch);
+
+}  // namespace pipette::estimators

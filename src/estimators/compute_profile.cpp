@@ -1,0 +1,58 @@
+#include "estimators/compute_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "parallel/mapping.h"
+
+namespace pipette::estimators {
+
+using common::Rng;
+
+ComputeProfile profile_compute(const cluster::Topology& topo, const model::TrainingJob& job,
+                               const parallel::ParallelConfig& pc, int micro_batch,
+                               const ComputeProfileOptions& opt) {
+  ComputeProfile out;
+  out.stage_fwd_s.reserve(static_cast<std::size_t>(pc.pp));
+  out.stage_bwd_s.reserve(static_cast<std::size_t>(pc.pp));
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  Rng rng(opt.seed);
+  for (int x = 0; x < pc.pp; ++x) {
+    const sim::StageCosts c = sim::stage_costs(topo, job, mapping, micro_batch, x, 0, opt.costs);
+    double fwd = 0.0, bwd = 0.0;
+    for (int r = 0; r < opt.repeats; ++r) {
+      fwd += c.fwd_compute_s * (1.0 + rng.normal(0.0, opt.noise_sigma));
+      bwd += c.bwd_compute_s * (1.0 + rng.normal(0.0, opt.noise_sigma));
+    }
+    out.stage_fwd_s.push_back(fwd / opt.repeats);
+    out.stage_bwd_s.push_back(bwd / opt.repeats);
+    out.c_block_s = std::max(out.c_block_s, out.stage_fwd_s.back() + out.stage_bwd_s.back());
+  }
+  return out;
+}
+
+ComputeExtrapolator::ComputeExtrapolator(const std::vector<int>& micro_batches,
+                                         const std::vector<double>& seconds) {
+  if (micro_batches.size() != seconds.size() || micro_batches.size() < 2) {
+    throw std::invalid_argument("ComputeExtrapolator: need >= 2 profiled points");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(micro_batches.size());
+  ly.reserve(seconds.size());
+  for (std::size_t i = 0; i < micro_batches.size(); ++i) {
+    lx.push_back(std::log(static_cast<double>(micro_batches[i])));
+    ly.push_back(std::log(seconds[i]));
+  }
+  const auto fit = common::linear_fit(lx, ly);
+  a_ = std::exp(fit.intercept);
+  b_ = fit.slope;
+}
+
+double ComputeExtrapolator::predict(int micro_batch) const {
+  return a_ * std::pow(static_cast<double>(micro_batch), b_);
+}
+
+}  // namespace pipette::estimators

@@ -1,0 +1,55 @@
+// Profiled per-stage compute costs. Like the paper (and AMP/Varuna before
+// it), Pipette does not model GPU kernels from first principles — it measures
+// the per-microbatch forward/backward time of each pipeline stage with a few
+// short runs and plugs the measurements into the latency model. Here the
+// "measurement" samples the ground-truth cost model with realistic run-to-run
+// noise. Also provides the paper's optional extrapolation of profiled costs
+// to unprofiled microbatch sizes (power-law fit, §V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "model/transformer.h"
+#include "parallel/parallel_config.h"
+#include "sim/stage_costs.h"
+
+namespace pipette::estimators {
+
+struct ComputeProfile {
+  /// Compute-only fwd/bwd time per microbatch for each stage (TP collectives
+  /// are modelled separately from the profiled bandwidth matrix).
+  std::vector<double> stage_fwd_s;
+  std::vector<double> stage_bwd_s;
+  /// C of Eqs. (1)/(4): the heaviest stage's fwd+bwd compute per microbatch.
+  double c_block_s = 0.0;
+};
+
+struct ComputeProfileOptions {
+  double noise_sigma = 0.01;  ///< run-to-run measurement noise
+  int repeats = 3;            ///< measurements averaged per stage
+  std::uint64_t seed = 17;
+  sim::CostOptions costs;
+};
+
+/// Profiles all stages of (pc, micro_batch) for `job` on `topo`.
+ComputeProfile profile_compute(const cluster::Topology& topo, const model::TrainingJob& job,
+                               const parallel::ParallelConfig& pc, int micro_batch,
+                               const ComputeProfileOptions& opt);
+
+/// Power-law extrapolator C(micro) = a * micro^b fitted to profiled points in
+/// log space — the paper's "extrapolated latency estimation model" for
+/// cluster/microbatch sizes that were not profiled.
+class ComputeExtrapolator {
+ public:
+  /// Fits from (micro_batch, seconds) pairs; needs at least two points.
+  ComputeExtrapolator(const std::vector<int>& micro_batches, const std::vector<double>& seconds);
+  double predict(int micro_batch) const;
+  double exponent() const { return b_; }
+
+ private:
+  double a_ = 0.0, b_ = 0.0;
+};
+
+}  // namespace pipette::estimators

@@ -1,0 +1,74 @@
+// The latency estimators under comparison in the paper's Fig. 5a:
+//
+//  * PipetteLatencyModel — Eqs. (3)-(6): the memory-efficient-schedule model
+//    with the hidden critical path (the bubble term is paid n_mb/pp times),
+//    mapping-aware pipeline/TP/DP communication terms, and *profiled*
+//    pairwise bandwidths.
+//  * amp_latency_estimate — Eq. (1): the prior-art model (AMP [8], also the
+//    structure Varuna [12] uses) built for the memory-unaware schedule, with
+//    document-specified bandwidths and no mapping awareness.
+//
+// Both consume the same profiled compute costs (C); they differ exactly where
+// the paper says the prior art goes wrong.
+#pragma once
+
+#include "cluster/bandwidth_matrix.h"
+#include "cluster/cluster_spec.h"
+#include "estimators/compute_profile.h"
+#include "model/transformer.h"
+#include "parallel/mapping.h"
+
+namespace pipette::estimators {
+
+/// Cluster geometry and spec constants the models need besides the matrix.
+struct LinkConstants {
+  double spec_inter_bw = 0.0;
+  double spec_intra_bw = 0.0;
+  double inter_latency_s = 0.0;
+  double intra_latency_s = 0.0;
+  int gpus_per_node = 8;
+
+  static LinkConstants from_spec(const cluster::ClusterSpec& spec);
+};
+
+/// Pipette's latency estimator (Algorithm 1 line 11). Constructed once per
+/// candidate (pp, tp, dp, micro); estimate(mapping) is the simulated-annealing
+/// hot path and allocates nothing.
+class PipetteLatencyModel {
+ public:
+  PipetteLatencyModel(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                      int micro_batch, ComputeProfile profile,
+                      const cluster::BandwidthMatrix* profiled_bw, const LinkConstants& links);
+
+  /// Total iteration latency of Eq. (3) for a worker dedication `m`.
+  double estimate(const parallel::Mapping& m) const;
+
+  /// Individual terms (for tests and diagnostics), all under mapping `m`.
+  double bubble_term(const parallel::Mapping& m) const;     // T_bubble of Eq. (4)
+  double straggler_term(const parallel::Mapping& m) const;  // T_straggler of Eq. (4)
+  double pp_comm_term(const parallel::Mapping& m) const;    // T_PP_com of Eq. (5)
+  double dp_comm_term(const parallel::Mapping& m) const;    // T_DP_com of Eq. (6)
+
+ private:
+  /// Heaviest per-microbatch stage block C + T_TP under mapping `m`.
+  double max_stage_block(const parallel::Mapping& m) const;
+  double tp_time(const parallel::Mapping& m, int stage, int dpr) const;
+
+  const model::TrainingJob* job_;
+  parallel::ParallelConfig pc_;
+  int micro_ = 1;
+  int nmb_ = 1;
+  ComputeProfile profile_;
+  const cluster::BandwidthMatrix* bw_;
+  LinkConstants links_;
+  double pp_msg_bytes_ = 0.0;
+  double tp_msg_bytes_ = 0.0;
+};
+
+/// Eq. (1) with spec bandwidths and the default (mapping-unaware) placement.
+/// Used for both the AMP baseline and (with tp == 1) the Varuna baseline.
+double amp_latency_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                            int micro_batch, const ComputeProfile& profile,
+                            const LinkConstants& links);
+
+}  // namespace pipette::estimators

@@ -1,0 +1,98 @@
+#include "estimators/mlp_memory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace pipette::estimators {
+
+namespace {
+double lg(double v) { return std::log2(std::max(v, 1e-9)); }
+}  // namespace
+
+std::vector<double> MlpMemoryEstimator::features(const model::TrainingJob& job,
+                                                 const parallel::ParallelConfig& pc,
+                                                 int micro_batch) {
+  const auto& m = job.model;
+  const double mini = static_cast<double>(job.global_batch) / pc.dp;
+  // Eq. (7): n_gpus, n_layers, n_hiddens, n_heads, tp, pp, dp, bs_micro,
+  // bs_mini, bs_global — log2-transformed.
+  return {lg(pc.ways()), lg(m.num_layers), lg(m.hidden_size), lg(m.num_heads),
+          lg(pc.tp),     lg(pc.pp),        lg(pc.dp),         lg(micro_batch),
+          lg(mini),      lg(job.global_batch)};
+}
+
+MlpMemoryEstimator::MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape)
+    : reg_(std::move(reg)), margin_(margin), dataset_size_(n), train_mape_(mape) {}
+
+MlpMemoryEstimator MlpMemoryEstimator::train_for_cluster(
+    const cluster::Topology& full, const std::vector<model::TransformerConfig>& models,
+    const MlpMemoryOptions& opt) {
+  const auto& spec = full.spec();
+  const int max_nodes = std::min(opt.max_profile_nodes, spec.num_nodes);
+
+  // Profile "runs": every runnable configuration on 1..max_nodes nodes. Only
+  // configurations that actually fit can be profiled on a real cluster, so
+  // only those enter the dataset.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+    const int gpus = nodes * spec.gpus_per_node;
+    for (const auto& mcfg : models) {
+      for (int gb : opt.profile_global_batches) {
+        model::TrainingJob job{mcfg, gb};
+        for (const auto& pc : parallel::enumerate_parallel_configs(
+                 gpus, spec.gpus_per_node, mcfg.num_layers, opt.constraints)) {
+          for (int micro : parallel::micro_batch_options(gb, pc, opt.constraints)) {
+            const auto mem = sim::simulate_peak_memory(spec, job, pc, micro,
+                                                       sim::ScheduleKind::kMemoryEfficient1F1B,
+                                                       kMemoryUniverseSeed);
+            if (mem.total_bytes > spec.gpu_memory_bytes) continue;  // cannot be profiled
+            rows.push_back(features(job, pc, micro));
+            targets.push_back(lg(mem.total_bytes));
+          }
+        }
+      }
+    }
+  }
+  if (rows.size() < 32) {
+    throw std::runtime_error("MlpMemoryEstimator: profiling produced too few runnable configs");
+  }
+
+  mlp::Matrix x(static_cast<int>(rows.size()), static_cast<int>(rows.front().size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      x(static_cast<int>(i), static_cast<int>(j)) = rows[i][j];
+    }
+  }
+
+  mlp::Regressor reg(x.cols(), opt.hidden, opt.seed);
+  mlp::TrainOptions train = opt.train;
+  const auto report = reg.fit(x, targets, train);
+
+  // Report MAPE in bytes space, which is what Fig. 7 plots.
+  std::vector<double> est_bytes, act_bytes;
+  est_bytes.reserve(rows.size());
+  act_bytes.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    est_bytes.push_back(std::exp2(reg.predict(rows[i])));
+    act_bytes.push_back(std::exp2(targets[i]));
+  }
+  const double mape = common::mape_percent(est_bytes, act_bytes);
+  (void)report;
+  return MlpMemoryEstimator(std::move(reg), opt.soft_margin, static_cast<int>(rows.size()), mape);
+}
+
+double MlpMemoryEstimator::estimate_bytes(const model::TrainingJob& job,
+                                          const parallel::ParallelConfig& pc,
+                                          int micro_batch) const {
+  return std::exp2(reg_.predict(features(job, pc, micro_batch)));
+}
+
+bool MlpMemoryEstimator::fits(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                              int micro_batch, double limit_bytes) const {
+  return estimate_bytes(job, pc, micro_batch) * (1.0 + margin_) <= limit_bytes;
+}
+
+}  // namespace pipette::estimators

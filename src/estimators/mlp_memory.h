@@ -1,0 +1,71 @@
+// Pipette's MLP memory estimator (Eq. 7, §VI): a small neural network that
+// learns the cluster's actual peak-memory behaviour — including the framework
+// overheads no analytic model captures — from configurations profiled on a
+// few nodes, then extrapolates to full-cluster configurations. Features are
+// log-transformed so the multiplicative structure of memory consumption
+// becomes additive and extrapolation beyond the profiled GPU counts works.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "mlp/regressor.h"
+#include "model/transformer.h"
+#include "parallel/parallel_config.h"
+#include "sim/memory_sim.h"
+
+namespace pipette::estimators {
+
+/// The seed of the "physical" memory universe: ground-truth profiling runs
+/// and actual execution must agree on it, like a real cluster agrees with
+/// itself.
+inline constexpr std::uint64_t kMemoryUniverseSeed = 0x3e3a11ull;
+
+struct MlpMemoryOptions {
+  /// Paper: "five layers with 200 hidden sizes". Benches default to a faster
+  /// profile (see bench --full); accuracy targets still hold.
+  std::vector<int> hidden = {200, 200, 200, 200};
+  mlp::TrainOptions train;          ///< paper: 50,000 iterations
+  double soft_margin = 0.07;        ///< §VI: margin for stable recommendations
+  int max_profile_nodes = 4;        ///< paper: profile up to 4 nodes (32 GPUs)
+  std::vector<int> profile_global_batches = {128, 256, 512};
+  parallel::ConfigConstraints constraints;
+  std::uint64_t seed = 99;
+};
+
+class MlpMemoryEstimator {
+ public:
+  /// Generates the profiling dataset on sub-clusters of `full` (all runnable
+  /// configurations of the given models, up to max_profile_nodes nodes) and
+  /// trains the regressor. One-time per cluster, reusable afterwards (§VI).
+  static MlpMemoryEstimator train_for_cluster(const cluster::Topology& full,
+                                              const std::vector<model::TransformerConfig>& models,
+                                              const MlpMemoryOptions& opt);
+
+  /// Predicted peak bytes per GPU.
+  double estimate_bytes(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
+                        int micro_batch) const;
+
+  /// Memory-constraint check with the soft margin (Algorithm 1 line 7).
+  bool fits(const model::TrainingJob& job, const parallel::ParallelConfig& pc, int micro_batch,
+            double limit_bytes) const;
+
+  int dataset_size() const { return dataset_size_; }
+  double train_mape_percent() const { return train_mape_; }
+  double soft_margin() const { return margin_; }
+
+  /// The Eq. (7) feature vector (log2-transformed), exposed for tests.
+  static std::vector<double> features(const model::TrainingJob& job,
+                                      const parallel::ParallelConfig& pc, int micro_batch);
+
+ private:
+  explicit MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape);
+
+  mlp::Regressor reg_;
+  double margin_ = 0.07;
+  int dataset_size_ = 0;
+  double train_mape_ = 0.0;
+};
+
+}  // namespace pipette::estimators

@@ -1,0 +1,43 @@
+// Row-major dense matrix, just big enough for the paper's 5-layer/200-hidden
+// memory-estimator MLP (Eq. 7). No BLAS dependency; the ikj loop below is
+// cache-friendly enough for matrices of this size.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace pipette::mlp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), d_(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) { return d_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double operator()(int r, int c) const { return d_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+  std::span<double> row(int r) { return {&d_[static_cast<std::size_t>(r) * cols_], static_cast<std::size_t>(cols_)}; }
+  std::span<const double> row(int r) const {
+    return {&d_[static_cast<std::size_t>(r) * cols_], static_cast<std::size_t>(cols_)};
+  }
+  std::span<double> data() { return d_; }
+  std::span<const double> data() const { return d_; }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> d_;
+};
+
+/// C = A * B. Dimensions must agree.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * B^T (the common shape in the backward pass).
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+}  // namespace pipette::mlp

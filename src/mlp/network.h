@@ -1,0 +1,63 @@
+// Fully-connected ReLU network with an explicit loss-and-gradient interface
+// (so tests can finite-difference check the backward pass) and an Adam
+// optimizer. This is the function approximator behind the paper's memory
+// estimator: "five layers with 200 hidden sizes, trained for 50,000
+// iterations" (Eq. 7, §VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mlp/matrix.h"
+
+namespace pipette::mlp {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Network {
+ public:
+  /// `layer_sizes` is {input, hidden..., output}; hidden layers use ReLU, the
+  /// output layer is linear. Weights are He-initialized from `seed`.
+  Network(std::vector<int> layer_sizes, std::uint64_t seed);
+
+  int input_dim() const { return sizes_.front(); }
+  int output_dim() const { return sizes_.back(); }
+
+  /// Batched forward: X is (n x input_dim), returns (n x output_dim).
+  Matrix forward(const Matrix& x) const;
+
+  /// Mean-squared-error loss over the batch and its gradient w.r.t. all
+  /// parameters (stored internally for the next `adam_step`). Returns loss.
+  double loss_and_grad(const Matrix& x, const Matrix& y_target);
+
+  /// Applies one Adam update using the gradients from the last
+  /// `loss_and_grad` call.
+  void adam_step(const AdamOptions& opt);
+
+  /// Flat read/write access to all parameters (for the gradient-check test).
+  std::vector<double> parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+  /// Flat view of the last computed gradients, same order as parameters().
+  std::vector<double> gradients() const;
+
+ private:
+  struct Layer {
+    Matrix w;        // (out x in)
+    std::vector<double> b;
+    Matrix gw;       // gradient accumulators
+    std::vector<double> gb;
+    Matrix mw, vw;   // Adam moments
+    std::vector<double> mb, vb;
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+  std::int64_t adam_t_ = 0;
+};
+
+}  // namespace pipette::mlp

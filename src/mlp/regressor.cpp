@@ -1,0 +1,108 @@
+#include "mlp/regressor.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pipette::mlp {
+
+using common::Rng;
+
+void Standardizer::fit(const Matrix& x) {
+  mean_.assign(static_cast<std::size_t>(x.cols()), 0.0);
+  std_.assign(static_cast<std::size_t>(x.cols()), 0.0);
+  for (int j = 0; j < x.cols(); ++j) {
+    double m = 0.0;
+    for (int i = 0; i < x.rows(); ++i) m += x(i, j);
+    m /= x.rows();
+    double v = 0.0;
+    for (int i = 0; i < x.rows(); ++i) v += (x(i, j) - m) * (x(i, j) - m);
+    v /= x.rows();
+    mean_[static_cast<std::size_t>(j)] = m;
+    std_[static_cast<std::size_t>(j)] = std::max(std::sqrt(v), 1e-12);
+  }
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+  assert(x.cols() == dim());
+  Matrix out(x.rows(), x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - mean_[static_cast<std::size_t>(j)]) / std_[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::transform_row(std::span<const double> x) const {
+  assert(static_cast<int>(x.size()) == dim());
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = (x[j] - mean_[j]) / std_[j];
+  return out;
+}
+
+Regressor::Regressor(int input_dim, std::vector<int> hidden, std::uint64_t seed)
+    : net_([&] {
+        std::vector<int> sizes;
+        sizes.push_back(input_dim);
+        sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+        sizes.push_back(1);
+        return sizes;
+      }(),
+           seed) {}
+
+TrainReport Regressor::fit(const Matrix& x, const std::vector<double>& y, const TrainOptions& opt) {
+  if (x.rows() != static_cast<int>(y.size()) || x.rows() == 0) {
+    throw std::invalid_argument("Regressor::fit: bad dataset shape");
+  }
+  feat_std_.fit(x);
+  const Matrix xs = feat_std_.transform(x);
+
+  y_mean_ = common::mean(y);
+  double v = 0.0;
+  for (double yi : y) v += (yi - y_mean_) * (yi - y_mean_);
+  y_std_ = std::max(std::sqrt(v / static_cast<double>(y.size())), 1e-12);
+
+  const int n = x.rows();
+  const int bs = std::min(opt.batch_size, n);
+  Rng rng(opt.seed);
+  AdamOptions adam;
+  adam.lr = opt.lr;
+
+  Matrix xb(bs, x.cols());
+  Matrix yb(bs, 1);
+  double last_loss = 0.0;
+  for (int it = 0; it < opt.iters; ++it) {
+    for (int i = 0; i < bs; ++i) {
+      const int r = rng.uniform_int(0, n - 1);
+      for (int j = 0; j < x.cols(); ++j) xb(i, j) = xs(r, j);
+      yb(i, 0) = (y[static_cast<std::size_t>(r)] - y_mean_) / y_std_;
+    }
+    last_loss = net_.loss_and_grad(xb, yb);
+    net_.adam_step(adam);
+    if ((it + 1) % 100 == 0) adam.lr *= opt.lr_decay;
+  }
+  fitted_ = true;
+
+  TrainReport rep;
+  rep.final_mse = last_loss;
+  rep.iters_run = opt.iters;
+  std::vector<double> pred(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pred[static_cast<std::size_t>(i)] = predict(x.row(i));
+  rep.train_mape = common::mape_percent(pred, y);
+  return rep;
+}
+
+double Regressor::predict(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("Regressor::predict before fit");
+  const std::vector<double> xs = feat_std_.transform_row(x);
+  Matrix in(1, static_cast<int>(xs.size()));
+  for (std::size_t j = 0; j < xs.size(); ++j) in(0, static_cast<int>(j)) = xs[j];
+  const Matrix out = net_.forward(in);
+  return out(0, 0) * y_std_ + y_mean_;
+}
+
+}  // namespace pipette::mlp

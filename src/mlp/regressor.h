@@ -1,0 +1,64 @@
+// Regression convenience wrapper around Network: feature/target
+// standardization, minibatch Adam training, and MAPE reporting. The memory
+// estimator feeds it log-transformed features so that the multiplicative
+// structure of memory consumption becomes additive and extrapolates to
+// cluster sizes outside the training range (paper: train on <= 32 GPUs,
+// validate up to 128).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mlp/network.h"
+
+namespace pipette::mlp {
+
+struct TrainOptions {
+  int iters = 50000;      ///< paper default
+  int batch_size = 32;
+  double lr = 1e-3;
+  double lr_decay = 0.9997;  ///< multiplicative per-100-iteration decay
+  std::uint64_t seed = 5;
+};
+
+struct TrainReport {
+  double final_mse = 0.0;     ///< on standardized targets
+  double train_mape = 0.0;    ///< percent, on de-standardized predictions
+  int iters_run = 0;
+};
+
+/// Per-column affine standardizer (x - mean) / std with std floored at 1e-12.
+class Standardizer {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> x) const;
+  int dim() const { return static_cast<int>(mean_.size()); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& std() const { return std_; }
+
+ private:
+  std::vector<double> mean_, std_;
+};
+
+class Regressor {
+ public:
+  /// `hidden` lists hidden layer widths, e.g. {200,200,200,200} for the
+  /// paper's five-layer net (4 hidden + 1 output).
+  Regressor(int input_dim, std::vector<int> hidden, std::uint64_t seed);
+
+  /// Trains on rows of `x` against `y`; standardization is fit here.
+  TrainReport fit(const Matrix& x, const std::vector<double>& y, const TrainOptions& opt);
+
+  /// Predicts the (de-standardized) target for one feature row.
+  double predict(std::span<const double> x) const;
+
+ private:
+  Network net_;
+  Standardizer feat_std_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace pipette::mlp

@@ -1,0 +1,48 @@
+#include "model/gpt_zoo.h"
+
+#include <stdexcept>
+
+namespace pipette::model {
+
+namespace {
+TransformerConfig make(std::string name, int layers, int hidden, int heads, int seq) {
+  TransformerConfig m;
+  m.name = std::move(name);
+  m.num_layers = layers;
+  m.hidden_size = hidden;
+  m.num_heads = heads;
+  m.seq_len = seq;
+  return m;
+}
+}  // namespace
+
+TransformerConfig gpt_774m() { return make("gpt-774m", 36, 1280, 20, 1024); }
+TransformerConfig gpt_1_1b() { return make("gpt-1.1b", 36, 1536, 16, 1024); }
+TransformerConfig gpt_2_2b() { return make("gpt-2.2b", 48, 1920, 24, 1024); }
+TransformerConfig gpt_3_1b() { return make("gpt-3.1b", 48, 2304, 24, 1024); }
+TransformerConfig gpt_8_1b() { return make("gpt-8.1b", 64, 3200, 32, 1024); }
+TransformerConfig gpt_11_1b() { return make("gpt-11.1b", 72, 3584, 28, 1024); }
+
+std::vector<TransformerConfig> gpt_zoo() {
+  return {gpt_774m(), gpt_1_1b(), gpt_2_2b(), gpt_3_1b(), gpt_8_1b(), gpt_11_1b()};
+}
+
+TransformerConfig gpt_by_name(const std::string& name) {
+  for (const auto& m : gpt_zoo()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("gpt_by_name: unknown model '" + name + "'");
+}
+
+TransformerConfig weak_scaled_model(int num_gpus, bool high_end) {
+  if (high_end) {
+    if (num_gpus <= 32) return gpt_2_2b();
+    if (num_gpus <= 64) return gpt_8_1b();
+    return gpt_11_1b();
+  }
+  if (num_gpus <= 32) return gpt_774m();
+  if (num_gpus <= 64) return gpt_1_1b();
+  return gpt_3_1b();
+}
+
+}  // namespace pipette::model

@@ -1,0 +1,32 @@
+// The GPT model family used in the paper's evaluation (§VII). Sizes are the
+// nominal parameter counts the paper quotes; architectures are chosen so the
+// exact parameter count (total_parameters) lands on the nominal size, in the
+// style of the Megatron-LM model table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace pipette::model {
+
+TransformerConfig gpt_774m();   ///< 36 layers, hidden 1280  (mid-range,  32 GPUs)
+TransformerConfig gpt_1_1b();   ///< 36 layers, hidden 1536  (mid-range,  64 GPUs)
+TransformerConfig gpt_2_2b();   ///< 48 layers, hidden 1920  (high-end,   32 GPUs)
+TransformerConfig gpt_3_1b();   ///< 48 layers, hidden 2304  (mid-range, 128 GPUs)
+TransformerConfig gpt_8_1b();   ///< 64 layers, hidden 3200  (high-end,   64 GPUs)
+TransformerConfig gpt_11_1b();  ///< 72 layers, hidden 3584  (high-end,  128 GPUs)
+
+/// All zoo models, smallest first.
+std::vector<TransformerConfig> gpt_zoo();
+
+/// Look up a zoo model by name (e.g. "gpt-3.1b"); throws std::out_of_range
+/// for unknown names.
+TransformerConfig gpt_by_name(const std::string& name);
+
+/// The paper's weak-scaling rule (Fig. 8): which model a cluster of
+/// `num_gpus` GPUs trains. `high_end` selects the A100 column.
+TransformerConfig weak_scaled_model(int num_gpus, bool high_end);
+
+}  // namespace pipette::model

@@ -1,0 +1,49 @@
+#include "model/transformer.h"
+
+namespace pipette::model {
+
+std::int64_t layer_parameters(const TransformerConfig& m) {
+  const std::int64_t h = m.hidden_size;
+  // Attention: QKV (3h^2 + 3h) + output projection (h^2 + h).
+  // MLP: h->4h (4h^2 + 4h) + 4h->h (4h^2 + h).
+  // Two layernorms: 2 * 2h.
+  return 12 * h * h + 13 * h;
+}
+
+std::int64_t embedding_parameters(const TransformerConfig& m) {
+  const std::int64_t h = m.hidden_size;
+  return (static_cast<std::int64_t>(m.vocab_size) + m.seq_len) * h;
+}
+
+std::int64_t total_parameters(const TransformerConfig& m) {
+  const std::int64_t h = m.hidden_size;
+  return static_cast<std::int64_t>(m.num_layers) * layer_parameters(m) +
+         embedding_parameters(m) + 2 * h;  // final layernorm
+}
+
+double layer_fwd_flops(const TransformerConfig& m, int micro_batch) {
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return 24.0 * b * s * h * h + 4.0 * b * s * s * h;
+}
+
+double logits_fwd_flops(const TransformerConfig& m, int micro_batch) {
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return 2.0 * b * s * h * static_cast<double>(m.vocab_size);
+}
+
+double layer_activation_bytes(const TransformerConfig& m, int micro_batch, int tp) {
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  const double a = m.num_heads;
+  return s * b * h * (34.0 + 5.0 * a * s / h) / static_cast<double>(tp);
+}
+
+double pp_message_bytes(const TransformerConfig& m, int micro_batch) {
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return 2.0 * b * s * h;  // fp16
+}
+
+double tp_message_bytes(const TransformerConfig& m, int micro_batch) {
+  return pp_message_bytes(m, micro_batch);  // same tensor shape, fp16
+}
+
+}  // namespace pipette::model

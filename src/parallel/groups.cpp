@@ -1,0 +1,37 @@
+#include "parallel/groups.h"
+
+#include <map>
+
+namespace pipette::parallel {
+
+std::vector<int> tp_group_gpus(const Mapping& m, int stage, int dpr) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(m.config().tp));
+  for (int y = 0; y < m.config().tp; ++y) out.push_back(m.gpu_of(stage, y, dpr));
+  return out;
+}
+
+std::vector<int> dp_group_gpus(const Mapping& m, int stage, int tpr) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(m.config().dp));
+  for (int z = 0; z < m.config().dp; ++z) out.push_back(m.gpu_of(stage, tpr, z));
+  return out;
+}
+
+std::vector<int> pipeline_path_gpus(const Mapping& m, int tpr, int dpr) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(m.config().pp));
+  for (int x = 0; x < m.config().pp; ++x) out.push_back(m.gpu_of(x, tpr, dpr));
+  return out;
+}
+
+std::vector<std::vector<int>> split_by_node(const std::vector<int>& gpus, int gpus_per_node) {
+  std::map<int, std::vector<int>> by_node;
+  for (int g : gpus) by_node[g / gpus_per_node].push_back(g);
+  std::vector<std::vector<int>> out;
+  out.reserve(by_node.size());
+  for (auto& [node, members] : by_node) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace pipette::parallel

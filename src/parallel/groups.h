@@ -1,0 +1,25 @@
+// Process-group extraction from a mapping: which physical GPUs form each
+// tensor-parallel group, data-parallel group, and pipeline path. These feed
+// both the latency model's Eq. (5)/(6) terms and the ground-truth simulator.
+#pragma once
+
+#include <vector>
+
+#include "parallel/mapping.h"
+
+namespace pipette::parallel {
+
+/// GPUs of the TP group at (stage, dpr), ordered by TP rank.
+std::vector<int> tp_group_gpus(const Mapping& m, int stage, int dpr);
+
+/// GPUs of the DP group at (stage, tpr), ordered by DP replica.
+std::vector<int> dp_group_gpus(const Mapping& m, int stage, int tpr);
+
+/// GPUs along the pipeline path for fixed (tpr, dpr), ordered by stage.
+std::vector<int> pipeline_path_gpus(const Mapping& m, int tpr, int dpr);
+
+/// Splits `gpus` into per-node sub-groups (preserving order), given
+/// gpus_per_node — the structure of the hierarchical all-reduce.
+std::vector<std::vector<int>> split_by_node(const std::vector<int>& gpus, int gpus_per_node);
+
+}  // namespace pipette::parallel

@@ -1,0 +1,71 @@
+// The worker->GPU assignment of Eq. (2): a bijection f from logical workers
+// W = [pp] x [tp] x [dp] onto the physical GPUs. The flat permutation string
+// is exactly what Pipette's simulated annealing mutates with its three moves
+// (migrate, swap, reverse).
+#pragma once
+
+#include <vector>
+
+#include "parallel/parallel_config.h"
+
+namespace pipette::parallel {
+
+class Mapping {
+ public:
+  /// Identity mapping: worker index w -> GPU w ("alphabetical" baseline of
+  /// the paper's Fig. 4a).
+  explicit Mapping(ParallelConfig cfg);
+
+  /// Megatron-LM's default rank order: GPU = stage*(tp*dp) + dpr*tp + tpr.
+  /// TP groups land on consecutive GPUs (one node), pipeline stages on
+  /// different nodes — the placement expert-tuned frameworks use.
+  static Mapping megatron_default(ParallelConfig cfg);
+
+  /// Varuna's placement: consecutive pipeline stages packed onto consecutive
+  /// GPUs (GPU = (dpr*pp + stage)*tp + tpr), so pipeline transfers stay
+  /// mostly intra-node while data-parallel rings stretch across nodes — the
+  /// layout Varuna uses for commodity/spot VMs.
+  static Mapping varuna_default(ParallelConfig cfg);
+
+  const ParallelConfig& config() const { return cfg_; }
+  int num_workers() const { return static_cast<int>(perm_.size()); }
+
+  /// Flat worker index. TP rank varies fastest, then stage, then DP replica,
+  /// so that `reverse` on a substring tends to reverse pipeline order within
+  /// one replica — the structure the paper's reverse move exploits.
+  int worker_index(int stage, int tpr, int dpr) const {
+    return (dpr * cfg_.pp + stage) * cfg_.tp + tpr;
+  }
+
+  /// Physical GPU of logical worker (stage, tpr, dpr).
+  int gpu_of(int stage, int tpr, int dpr) const { return perm_[worker_index(stage, tpr, dpr)]; }
+  int gpu_at(int widx) const { return perm_[widx]; }
+
+  /// SA moves (paper §IV). All preserve the bijection.
+  void swap(int i, int j);             ///< exchange two elements
+  void migrate(int from, int to);      ///< remove element, reinsert at position
+  void reverse(int i, int j);          ///< reverse the substring [min,max]
+
+  /// Node-granular moves realizing the paper's Fig. 4 "reordering/regrouping
+  /// the nodes": relabel the physical GPUs by a node permutation, preserving
+  /// each node's internal structure. `gpus_per_node` defines the blocks.
+  void swap_nodes(int n1, int n2, int gpus_per_node);
+  /// Reverses the node order on the label range [min(n1,n2), max(n1,n2)] —
+  /// the node-level analogue of the reverse move (exploits the nearly
+  /// symmetric bidirectional bandwidths).
+  void reverse_nodes(int n1, int n2, int gpus_per_node);
+
+  /// True iff the permutation is a bijection onto [0, num_workers).
+  bool is_valid_permutation() const;
+
+  const std::vector<int>& raw() const { return perm_; }
+  void set_raw(std::vector<int> perm);
+
+  bool operator==(const Mapping&) const = default;
+
+ private:
+  ParallelConfig cfg_;
+  std::vector<int> perm_;  // worker index -> gpu
+};
+
+}  // namespace pipette::parallel

@@ -1,0 +1,51 @@
+#include "search/mapping_search.h"
+
+namespace pipette::search {
+
+MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
+                                int gpus_per_node) {
+  const int n = m.num_workers();
+  const int nodes = (n + gpus_per_node - 1) / gpus_per_node;
+  if (!moves.migrate && !moves.swap && !moves.reverse && !moves.node_swap && !moves.node_reverse) {
+    // Degenerate move set: fall back to swap so the annealer still explores.
+    m.swap(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+    return MappingMove::kSwap;
+  }
+  for (;;) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        if (!moves.migrate) break;
+        m.migrate(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+        return MappingMove::kMigrate;
+      case 1:
+        if (!moves.swap) break;
+        m.swap(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+        return MappingMove::kSwap;
+      case 2:
+        if (!moves.reverse) break;
+        m.reverse(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+        return MappingMove::kReverse;
+      case 3:
+        if (!moves.node_swap || nodes < 2) break;
+        m.swap_nodes(rng.uniform_int(0, nodes - 1), rng.uniform_int(0, nodes - 1), gpus_per_node);
+        return MappingMove::kNodeSwap;
+      default:
+        if (!moves.node_reverse || nodes < 2) break;
+        m.reverse_nodes(rng.uniform_int(0, nodes - 1), rng.uniform_int(0, nodes - 1),
+                        gpus_per_node);
+        return MappingMove::kNodeReverse;
+    }
+  }
+}
+
+SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
+                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves) {
+  return simulated_annealing(
+      m, [&model](const parallel::Mapping& s) { return model.estimate(s); },
+      [&moves, gpus_per_node](parallel::Mapping& s, common::Rng& rng) {
+        random_mapping_move(s, rng, moves, gpus_per_node);
+      },
+      opt);
+}
+
+}  // namespace pipette::search

@@ -1,0 +1,36 @@
+// Fine-grained worker dedication (paper §IV): simulated annealing over the
+// worker->GPU permutation. The move set combines the paper's three string
+// moves — migration, swap, and reverse (exploiting the near-symmetric
+// bidirectional bandwidths) — with the node-granular reorder/regroup moves
+// its Fig. 4 illustrates, with the Pipette latency estimate as objective.
+#pragma once
+
+#include "estimators/latency_models.h"
+#include "parallel/mapping.h"
+#include "search/sa.h"
+
+namespace pipette::search {
+
+enum class MappingMove { kMigrate, kSwap, kReverse, kNodeSwap, kNodeReverse };
+
+/// Which moves the annealer may draw (all enabled by default; ablations can
+/// disable some — see bench/ablation_sa_moves).
+struct MoveSet {
+  bool migrate = true;
+  bool swap = true;
+  bool reverse = true;
+  bool node_swap = true;
+  bool node_reverse = true;
+};
+
+/// Applies one uniformly-drawn enabled move to `m`. `gpus_per_node` defines
+/// the node blocks for the node-granular moves.
+MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
+                                int gpus_per_node);
+
+/// Runs SA from `m` (typically the Megatron default order) to minimize
+/// `model.estimate(m)`. On return `m` is the best mapping found.
+SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
+                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves = {});
+
+}  // namespace pipette::search

@@ -1,0 +1,4 @@
+// simulated_annealing is header-only (template); this translation unit exists
+// so the library has an archive member and a home for future non-template
+// helpers.
+#include "search/sa.h"

@@ -1,0 +1,82 @@
+// Generic simulated annealing, the optimizer behind fine-grained worker
+// dedication (paper §IV): time-limited, geometric cooling with the paper's
+// alpha = 0.999, seeded and fully deterministic under an iteration cap.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace pipette::search {
+
+struct SaOptions {
+  double time_limit_s = 10.0;  ///< paper: "10 seconds for the SA time limit"
+  long max_iters = std::numeric_limits<long>::max();
+  double init_temp_frac = 0.05;  ///< T0 = frac * initial cost (scale-free)
+  double alpha = 0.999;          ///< paper's temperature reduction coefficient
+  int iters_per_temp = 16;       ///< proposals evaluated per temperature step
+  std::uint64_t seed = 13;
+};
+
+struct SaResult {
+  double initial_cost = 0.0;
+  double best_cost = 0.0;
+  long iters = 0;
+  long accepted = 0;
+  double wall_s = 0.0;
+};
+
+/// Minimizes `cost(state)` by repeatedly applying `mutate(state, rng)` to a
+/// copy and accepting by the Metropolis rule. On return `state` holds the
+/// best solution found. State must be copyable.
+template <typename State, typename CostFn, typename MutateFn>
+SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, const SaOptions& opt) {
+  using clock = std::chrono::steady_clock;
+  const auto t_start = clock::now();
+
+  common::Rng rng(opt.seed);
+  State current = state;
+  double cur_cost = cost(current);
+  State best = current;
+  double best_cost = cur_cost;
+
+  SaResult res;
+  res.initial_cost = cur_cost;
+
+  double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
+  int since_temp_step = 0;
+  while (res.iters < opt.max_iters) {
+    if ((res.iters & 63) == 0) {
+      const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
+      if (elapsed >= opt.time_limit_s) break;
+    }
+    State cand = current;
+    mutate(cand, rng);
+    const double c = cost(cand);
+    const double delta = c - cur_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = std::move(cand);
+      cur_cost = c;
+      ++res.accepted;
+      if (cur_cost < best_cost) {
+        best = current;
+        best_cost = cur_cost;
+      }
+    }
+    if (++since_temp_step >= opt.iters_per_temp) {
+      temp *= opt.alpha;
+      since_temp_step = 0;
+    }
+    ++res.iters;
+  }
+
+  state = std::move(best);
+  res.best_cost = best_cost;
+  res.wall_s = std::chrono::duration<double>(clock::now() - t_start).count();
+  return res;
+}
+
+}  // namespace pipette::search

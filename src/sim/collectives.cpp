@@ -1,0 +1,72 @@
+#include "sim/collectives.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "parallel/groups.h"
+
+namespace pipette::sim {
+
+double ring_allreduce_time(double bytes, int n, double min_bw, double latency) {
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return 2.0 * (nn - 1.0) / nn * bytes / min_bw + 2.0 * (nn - 1.0) * latency;
+}
+
+double ring_reduce_scatter_time(double bytes, int n, double min_bw, double latency) {
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return (nn - 1.0) / nn * bytes / min_bw + (nn - 1.0) * latency;
+}
+
+namespace {
+
+/// Minimum true bandwidth over all ordered pairs in `gpus`.
+double min_bw(const cluster::Topology& topo, const std::vector<int>& gpus) {
+  double m = std::numeric_limits<double>::infinity();
+  for (int g1 : gpus) {
+    for (int g2 : gpus) {
+      if (g1 != g2) m = std::min(m, topo.bandwidth(g1, g2));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+double hierarchical_allreduce_time(const cluster::Topology& topo, const std::vector<int>& group,
+                                   double bytes, int concurrent_inter_flows) {
+  if (group.size() < 2) return 0.0;
+  const auto subgroups = parallel::split_by_node(group, topo.gpus_per_node());
+
+  // Intra-node phase: the slowest node bounds the barrier.
+  double intra = 0.0;
+  for (const auto& sg : subgroups) {
+    if (sg.size() < 2) continue;
+    const double t = ring_reduce_scatter_time(bytes, static_cast<int>(sg.size()), min_bw(topo, sg),
+                                              topo.spec().intra_node.latency_s);
+    intra = std::max(intra, t);
+  }
+
+  // Inter-node phase: one representative per node, single ring all-reduce of
+  // the full message (the paper's "single inter-node all-reduce").
+  double inter = 0.0;
+  if (subgroups.size() > 1) {
+    std::vector<int> reps;
+    reps.reserve(subgroups.size());
+    for (const auto& sg : subgroups) reps.push_back(sg.front());
+    const double flow_bw = min_bw(topo, reps) / std::max(concurrent_inter_flows, 1);
+    inter = ring_allreduce_time(bytes, static_cast<int>(reps.size()), flow_bw,
+                                topo.spec().inter_node.latency_s);
+  }
+
+  // Intra all-gather mirrors the reduce-scatter.
+  return 2.0 * intra + inter;
+}
+
+double p2p_time(const cluster::Topology& topo, int g1, int g2, double bytes) {
+  if (g1 == g2) return 0.0;
+  return bytes / topo.bandwidth(g1, g2) + topo.latency(g1, g2);
+}
+
+}  // namespace pipette::sim

@@ -1,0 +1,37 @@
+// Collective-communication cost models, after Thakur, Rabenseifner & Gropp
+// [19] — the same source the paper's Eq. (6) builds on. The ground-truth
+// simulator uses the standard hierarchical decomposition (intra-node
+// reduce-scatter, single inter-node all-reduce, intra-node all-gather);
+// Pipette's *estimator* uses the paper's Eq. (6) form, so the two differ
+// slightly by design, like a model and a real cluster do.
+#pragma once
+
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace pipette::sim {
+
+/// Ring all-reduce of `bytes` over `n` participants whose slowest link is
+/// `min_bw`: 2(n-1)/n * bytes/min_bw + 2(n-1) * latency. Zero for n < 2.
+double ring_allreduce_time(double bytes, int n, double min_bw, double latency);
+
+/// Reduce-scatter (or all-gather) leg only: (n-1)/n * bytes/min_bw + (n-1)*lat.
+double ring_reduce_scatter_time(double bytes, int n, double min_bw, double latency);
+
+/// Ground-truth hierarchical all-reduce of `bytes` across the GPUs in
+/// `group`, reading true link state from `topo`:
+///   intra reduce-scatter  ->  inter-node ring all-reduce  ->  intra all-gather.
+/// Degenerates gracefully: one node -> pure intra ring; one GPU per node ->
+/// pure inter ring; single member -> 0.
+///
+/// `concurrent_inter_flows` models per-node NIC sharing: when several groups
+/// (e.g. the tp parallel DP rings of one pipeline stage) run their inter-node
+/// phase simultaneously, each flow attains only 1/flows of the NIC bandwidth.
+double hierarchical_allreduce_time(const cluster::Topology& topo, const std::vector<int>& group,
+                                   double bytes, int concurrent_inter_flows = 1);
+
+/// Point-to-point transfer time of `bytes` from g1 to g2 over true links.
+double p2p_time(const cluster::Topology& topo, int g1, int g2, double bytes);
+
+}  // namespace pipette::sim

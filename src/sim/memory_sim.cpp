@@ -1,0 +1,107 @@
+#include "sim/memory_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "parallel/parallel_config.h"
+#include "sim/stage_costs.h"
+
+namespace pipette::sim {
+
+using common::Rng;
+
+namespace {
+
+/// Mixed-precision Adam state, Megatron layout: fp16 weights + fp16 grads +
+/// fp32 main grads + fp32 master copy + fp32 momentum + fp32 variance.
+constexpr double kBytesPerParam = 20.0;
+
+std::uint64_t config_hash(const parallel::ParallelConfig& pc, int micro,
+                          const model::TransformerConfig& m) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(pc.pp));
+  mix(static_cast<std::uint64_t>(pc.tp) << 8);
+  mix(static_cast<std::uint64_t>(pc.dp) << 16);
+  mix(static_cast<std::uint64_t>(micro) << 24);
+  mix(static_cast<std::uint64_t>(m.num_layers) << 32);
+  mix(static_cast<std::uint64_t>(m.hidden_size));
+  return h;
+}
+
+}  // namespace
+
+MemoryBreakdown simulate_peak_memory(const cluster::ClusterSpec& spec,
+                                     const model::TrainingJob& job,
+                                     const parallel::ParallelConfig& pc, int micro_batch,
+                                     ScheduleKind schedule, std::uint64_t seed) {
+  const auto& m = job.model;
+  const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+
+  MemoryBreakdown worst;
+  for (int stage = 0; stage < pc.pp; ++stage) {
+    MemoryBreakdown b;
+    const int layers = parallel::layers_of_stage(m.num_layers, pc.pp, stage);
+
+    // Parameters + optimizer state, sharded over TP.
+    const double params = static_cast<double>(stage_parameters(m, pc.pp, stage)) / pc.tp;
+    b.weights_optimizer_bytes = params * kBytesPerParam;
+
+    // Activations: in-flight microbatches * per-microbatch residency. 1F1B
+    // caps the window at (pp - stage); the memory-unaware schedule keeps all.
+    const int inflight = schedule == ScheduleKind::kMemoryEfficient1F1B
+                             ? std::min(pc.pp - stage, nmb)
+                             : nmb;
+    double per_mb = layers * model::layer_activation_bytes(m, micro_batch, pc.tp);
+    // Stage boundary receive/send buffers plus (first stage) embedding output.
+    per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+    if (stage == 0) per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+    b.activation_bytes = inflight * per_mb;
+
+    // Framework overhead — the part the analytic baseline [20] misses.
+    double fw = spec.cuda_context_bytes;
+    int communicators = 0;
+    if (pc.tp > 1) ++communicators;
+    if (pc.dp > 1) ++communicators;
+    if (pc.pp > 1) communicators += 3;  // send, recv, tied-embedding group
+    fw += communicators * common::MiB(80.0);
+    // GEMM workspace scales with the largest activation tile (the 4h MLP).
+    fw += 2.0 * (static_cast<double>(micro_batch) * m.seq_len * 4.0 * m.hidden_size / pc.tp * 2.0);
+    // Allocator reserve + gradient-bucket padding.
+    fw += common::GiB(0.45) + 0.06 * b.weights_optimizer_bytes;
+    // Caching-allocator fragmentation and transient tensors grow with the
+    // number of live microbatch arenas and the microbatch size — the
+    // "auxiliary structures" of [21] that analytic models miss entirely.
+    const double frag_frac = 0.12 + 0.05 * std::log2(static_cast<double>(inflight) + 1.0) +
+                             0.03 * std::log2(static_cast<double>(micro_batch) + 1.0);
+    fw += frag_frac * b.activation_bytes;
+    b.framework_bytes = fw;
+
+    b.total_bytes = b.weights_optimizer_bytes + b.activation_bytes + b.framework_bytes;
+    b.limiting_stage = stage;
+    if (b.total_bytes > worst.total_bytes) worst = b;
+  }
+
+  // Run-to-run allocator variance: +-2 % deterministic in (seed, config).
+  Rng rng(seed ^ config_hash(pc, micro_batch, m));
+  const double jitter = std::max(0.9, 1.0 + rng.normal(0.0, 0.02));
+  worst.weights_optimizer_bytes *= jitter;
+  worst.activation_bytes *= jitter;
+  worst.framework_bytes *= jitter;
+  worst.total_bytes *= jitter;
+  return worst;
+}
+
+bool fits_in_memory(const cluster::ClusterSpec& spec, const model::TrainingJob& job,
+                    const parallel::ParallelConfig& pc, int micro_batch, ScheduleKind schedule,
+                    std::uint64_t seed) {
+  return simulate_peak_memory(spec, job, pc, micro_batch, schedule, seed).total_bytes <=
+         spec.gpu_memory_bytes;
+}
+
+}  // namespace pipette::sim

@@ -1,0 +1,268 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "parallel/groups.h"
+#include "parallel/parallel_config.h"
+#include "sim/collectives.h"
+
+namespace pipette::sim {
+
+using common::Rng;
+
+std::vector<PipeOp> stage_schedule(ScheduleKind kind, int pp, int stage, int num_microbatches) {
+  std::vector<PipeOp> ops;
+  ops.reserve(2 * static_cast<std::size_t>(num_microbatches));
+  if (kind == ScheduleKind::kMemoryUnaware) {
+    for (int j = 0; j < num_microbatches; ++j) ops.push_back({true, j});
+    for (int j = num_microbatches - 1; j >= 0; --j) ops.push_back({false, j});
+    return ops;
+  }
+  // 1F1B (PipeDream-flush): stage p runs min(pp-1-p, n) warmup forwards, then
+  // steady one-forward-one-backward, then drains the remaining backwards.
+  const int warmup = std::min(pp - 1 - stage, num_microbatches);
+  for (int j = 0; j < warmup; ++j) ops.push_back({true, j});
+  for (int j = warmup; j < num_microbatches; ++j) {
+    ops.push_back({true, j});
+    ops.push_back({false, j - warmup});
+  }
+  for (int j = std::max(num_microbatches - warmup, 0); j < num_microbatches; ++j) {
+    ops.push_back({false, j});
+  }
+  return ops;
+}
+
+namespace {
+
+/// Scheduling state of one (stage, dp-replica) entity.
+struct Entity {
+  std::vector<PipeOp> ops;
+  std::vector<double> durations;       // per op, jitter applied
+  std::size_t next = 0;
+  double avail = 0.0;                  // time the executor frees up
+  std::vector<double> fwd_end;         // per microbatch
+  std::vector<double> bwd_end;
+  double busy = 0.0;
+};
+
+}  // namespace
+
+IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model::TrainingJob& job,
+                                      const parallel::Mapping& mapping, int micro_batch,
+                                      const SimOptions& opt) {
+  const auto& pc = mapping.config();
+  if (job.global_batch % pc.dp != 0 || (job.global_batch / pc.dp) % micro_batch != 0) {
+    throw std::invalid_argument("simulate_iteration: batch geometry does not divide");
+  }
+  if (mapping.num_workers() > topo.num_gpus()) {
+    throw std::invalid_argument("simulate_iteration: mapping addresses " +
+                                std::to_string(mapping.num_workers()) + " workers but cluster has " +
+                                std::to_string(topo.num_gpus()) + " GPUs");
+  }
+  const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+  const int pp = pc.pp, dp = pc.dp;
+
+  Rng root(opt.seed);
+  auto jitter = [&](Rng& r) {
+    return opt.jitter_sigma <= 0.0 ? 1.0 : std::max(0.5, 1.0 + r.normal(0.0, opt.jitter_sigma));
+  };
+
+  // Build entities with deterministic per-op durations (jitter drawn in op
+  // order so results do not depend on scheduling visit order).
+  std::vector<Entity> ent(static_cast<std::size_t>(pp) * dp);
+  auto eidx = [pp](int stage, int z) { return static_cast<std::size_t>(z) * pp + stage; };
+  for (int z = 0; z < dp; ++z) {
+    for (int x = 0; x < pp; ++x) {
+      Entity& e = ent[eidx(x, z)];
+      e.ops = stage_schedule(opt.schedule, pp, x, nmb);
+      const StageCosts costs = stage_costs(topo, job, mapping, micro_batch, x, z, opt.costs);
+      Rng r = root.fork(0x5eed0000ull + static_cast<std::uint64_t>(z) * 1024 + x);
+      e.durations.reserve(e.ops.size());
+      for (const PipeOp& op : e.ops) {
+        e.durations.push_back((op.fwd ? costs.fwd_s : costs.bwd_s) * jitter(r));
+      }
+      e.fwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
+      e.bwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
+    }
+  }
+
+  // Deterministic per-(hop, replica, microbatch, direction) comm times.
+  //
+  // Boundary tensors are scatter-gathered across TP ranks (Megatron's
+  // scatter/gather optimization), so each (y, z) flow carries msg/tp bytes.
+  // Flows whose endpoints straddle the same ordered node pair share that
+  // node's NIC: the completion time of every sharing flow is the pair's total
+  // bytes over the pair's bandwidth. The receiving TP group needs all of its
+  // ranks' shards, so a hop costs the max over the stage's flows.
+  const double msg = model::pp_message_bytes(job.model, micro_batch);
+  const double flow_bytes = msg / pc.tp;
+  // base_hop[dir][x][z]: noiseless transfer time for hop x (toward x+1 for
+  // dir 0, toward x for dir 1) of replica z.
+  std::vector<std::vector<double>> base_hop[2];
+  for (int dir = 0; dir < 2; ++dir) {
+    base_hop[dir].assign(static_cast<std::size_t>(std::max(pp - 1, 0)),
+                         std::vector<double>(static_cast<std::size_t>(dp), 0.0));
+  }
+  for (int x = 0; x + 1 < pp; ++x) {
+    for (int dir = 0; dir < 2; ++dir) {
+      // Total bytes per ordered node pair for this hop and direction.
+      struct PairLoad {
+        int n1, n2;
+        double bytes;
+        double min_bw;
+      };
+      std::vector<PairLoad> pairs;
+      for (int z = 0; z < dp; ++z) {
+        for (int y = 0; y < pc.tp; ++y) {
+          const int g1 = dir == 0 ? mapping.gpu_of(x, y, z) : mapping.gpu_of(x + 1, y, z);
+          const int g2 = dir == 0 ? mapping.gpu_of(x + 1, y, z) : mapping.gpu_of(x, y, z);
+          if (topo.same_node(g1, g2)) continue;
+          const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
+          auto it = std::find_if(pairs.begin(), pairs.end(),
+                                 [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
+          if (it == pairs.end()) {
+            pairs.push_back({n1, n2, flow_bytes, topo.bandwidth(g1, g2)});
+          } else {
+            it->bytes += flow_bytes;
+            it->min_bw = std::min(it->min_bw, topo.bandwidth(g1, g2));
+          }
+        }
+      }
+      for (int z = 0; z < dp; ++z) {
+        double t = 0.0;
+        for (int y = 0; y < pc.tp; ++y) {
+          const int g1 = dir == 0 ? mapping.gpu_of(x, y, z) : mapping.gpu_of(x + 1, y, z);
+          const int g2 = dir == 0 ? mapping.gpu_of(x + 1, y, z) : mapping.gpu_of(x, y, z);
+          if (topo.same_node(g1, g2)) {
+            t = std::max(t, flow_bytes / topo.bandwidth(g1, g2) + topo.latency(g1, g2));
+          } else {
+            const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
+            const auto it = std::find_if(pairs.begin(), pairs.end(),
+                                         [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
+            t = std::max(t, it->bytes / it->min_bw + topo.latency(g1, g2));
+          }
+        }
+        base_hop[dir][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)] = t;
+      }
+    }
+  }
+  // fwd_comm[z][x][j]: transfer after F_j of stage x toward stage x+1.
+  std::vector<std::vector<std::vector<double>>> fwd_comm, bwd_comm;
+  fwd_comm.assign(static_cast<std::size_t>(dp), {});
+  bwd_comm.assign(static_cast<std::size_t>(dp), {});
+  for (int z = 0; z < dp; ++z) {
+    fwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
+    bwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
+    Rng r = root.fork(0xc033ull + static_cast<std::uint64_t>(z));
+    for (int x = 0; x + 1 < pp; ++x) {
+      auto& f = fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
+      auto& b = bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
+      f.resize(static_cast<std::size_t>(nmb));
+      b.resize(static_cast<std::size_t>(nmb));
+      const double base_f = base_hop[0][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
+      const double base_b = base_hop[1][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
+      for (int j = 0; j < nmb; ++j) {
+        f[static_cast<std::size_t>(j)] = base_f * jitter(r);
+        b[static_cast<std::size_t>(j)] = base_b * jitter(r);
+      }
+    }
+  }
+
+  // Greedy list scheduling. Each entity executes its ops strictly in schedule
+  // order; an op starts when the executor is free and its producer (same
+  // microbatch, neighbour stage) has finished plus the transfer time. The
+  // 1F1B order is a valid topological order, so the sweep always progresses.
+  std::size_t remaining = 0;
+  for (const auto& e : ent) remaining += e.ops.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int z = 0; z < dp; ++z) {
+      for (int x = 0; x < pp; ++x) {
+        Entity& e = ent[eidx(x, z)];
+        while (e.next < e.ops.size()) {
+          const PipeOp op = e.ops[e.next];
+          double ready = 0.0;
+          if (op.fwd) {
+            if (x > 0) {
+              const double dep = ent[eidx(x - 1, z)].fwd_end[static_cast<std::size_t>(op.microbatch)];
+              if (dep < 0.0) break;
+              ready = dep + fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x - 1)]
+                                    [static_cast<std::size_t>(op.microbatch)];
+            }
+          } else {
+            if (x + 1 < pp) {
+              const double dep = ent[eidx(x + 1, z)].bwd_end[static_cast<std::size_t>(op.microbatch)];
+              if (dep < 0.0) break;
+              ready = dep + bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)]
+                                    [static_cast<std::size_t>(op.microbatch)];
+            }
+          }
+          const double start = std::max(e.avail, ready);
+          const double dur = e.durations[e.next];
+          const double end = start + dur;
+          (op.fwd ? e.fwd_end : e.bwd_end)[static_cast<std::size_t>(op.microbatch)] = end;
+          e.avail = end;
+          e.busy += dur;
+          ++e.next;
+          --remaining;
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) throw std::logic_error("simulate_iteration: schedule deadlock");
+  }
+
+  // Data-parallel gradient sync: per (stage, tp-rank) group, all replicas
+  // must finish their last backward, then the hierarchical all-reduce runs.
+  // All groups sync near-simultaneously, so every node's NIC is shared by
+  // all node-crossing rings that have a member on it.
+  IterationBreakdown out;
+  std::vector<int> node_flows(static_cast<std::size_t>(topo.num_nodes()), 0);
+  if (dp > 1) {
+    for (int x = 0; x < pp; ++x) {
+      for (int y = 0; y < pc.tp; ++y) {
+        const auto group = parallel::dp_group_gpus(mapping, x, y);
+        const auto subgroups = parallel::split_by_node(group, topo.gpus_per_node());
+        if (subgroups.size() < 2) continue;
+        for (const auto& sg : subgroups) {
+          ++node_flows[static_cast<std::size_t>(topo.node_of(sg.front()))];
+        }
+      }
+    }
+  }
+  double iteration_end = 0.0;
+  for (int x = 0; x < pp; ++x) {
+    double stage_ready = 0.0;
+    for (int z = 0; z < dp; ++z) {
+      stage_ready = std::max(stage_ready, ent[eidx(x, z)].avail);
+    }
+    out.last_backward_s = std::max(out.last_backward_s, stage_ready);
+    double stage_end = stage_ready;
+    if (dp > 1) {
+      const double grad_bytes = dp_gradient_bytes(job.model, pc, x);
+      for (int y = 0; y < pc.tp; ++y) {
+        const auto group = parallel::dp_group_gpus(mapping, x, y);
+        int flows = 1;
+        for (int g : group) flows = std::max(flows, node_flows[static_cast<std::size_t>(topo.node_of(g))]);
+        const double ar = hierarchical_allreduce_time(topo, group, grad_bytes, flows);
+        stage_end = std::max(stage_end, stage_ready + ar);
+      }
+    }
+    if (stage_end > iteration_end) {
+      iteration_end = stage_end;
+      out.critical_stage = x;
+    }
+  }
+  out.total_s = iteration_end;
+  out.dp_sync_s = iteration_end - out.last_backward_s;
+
+  for (const auto& e : ent) out.max_stage_busy_s = std::max(out.max_stage_busy_s, e.busy);
+  out.bubble_fraction =
+      out.total_s <= 0.0 ? 0.0 : std::max(0.0, 1.0 - out.max_stage_busy_s / out.total_s);
+  return out;
+}
+
+}  // namespace pipette::sim

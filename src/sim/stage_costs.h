@@ -1,0 +1,54 @@
+// Per-microbatch execution cost of one pipeline stage: GEMM compute at a
+// saturating fraction of peak, kernel-launch overhead, and the tensor-parallel
+// all-reduces each transformer layer performs (2 forward + 2 backward). These
+// are the C and T_TP quantities of the paper's latency models, computed from
+// ground-truth link state (the estimators recompute them from *profiled*
+// state, independently).
+#pragma once
+
+#include "cluster/topology.h"
+#include "model/transformer.h"
+#include "parallel/mapping.h"
+
+namespace pipette::sim {
+
+struct CostOptions {
+  double kernel_launch_s = 30e-6;     ///< per layer-block launch overhead
+  /// Per-microbatch scheduling overhead (framework dispatch, P2P handshake,
+  /// optimizer bookkeeping) — the fixed cost that makes microbatch size 1
+  /// pipelines slow in practice.
+  double per_op_overhead_s = 3.0e-3;
+};
+
+struct StageCosts {
+  double fwd_s = 0.0;          ///< forward per microbatch, incl. TP comm
+  double bwd_s = 0.0;          ///< backward per microbatch, incl. TP comm
+  double fwd_compute_s = 0.0;  ///< compute-only share of fwd_s
+  double bwd_compute_s = 0.0;  ///< compute-only share of bwd_s
+  double tp_fwd_s = 0.0;       ///< TP all-reduce share of fwd_s
+  double tp_bwd_s = 0.0;       ///< TP all-reduce share of bwd_s
+  double tp_comm_s = 0.0;      ///< tp_fwd_s + tp_bwd_s
+  double compute_s = 0.0;      ///< fwd_compute_s + bwd_compute_s
+};
+
+/// Attained fraction of GPU peak for one layer's GEMMs: small microbatches
+/// underutilize the device, big ones saturate at spec.gemm_efficiency_max.
+double gemm_efficiency(const cluster::ClusterSpec& spec, double per_gpu_layer_flops);
+
+/// Cost of stage `stage` for DP replica `dpr` under mapping `m`. The TP
+/// all-reduce time uses the true minimum bandwidth within the stage's TP
+/// group, so a mapping that scatters a TP group across nodes pays for it.
+StageCosts stage_costs(const cluster::Topology& topo, const model::TrainingJob& job,
+                       const parallel::Mapping& m, int micro_batch, int stage, int dpr,
+                       const CostOptions& opt);
+
+/// Bytes all-reduced per data-parallel gradient sync for one GPU of `stage`
+/// (fp32 master gradients of the stage's parameter shard) — msg_DP of Eq. (6).
+double dp_gradient_bytes(const model::TransformerConfig& mcfg, const parallel::ParallelConfig& pc,
+                         int stage);
+
+/// Stage parameter count (layers + embeddings on first/last stage, Megatron
+/// layout: the last stage holds a tied embedding copy when pp > 1).
+std::int64_t stage_parameters(const model::TransformerConfig& mcfg, int pp, int stage);
+
+}  // namespace pipette::sim

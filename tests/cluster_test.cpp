@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_spec.h"
+#include "cluster/profiler.h"
+#include "cluster/topology.h"
+#include "common/units.h"
+
+namespace pcl = pipette::cluster;
+namespace pco = pipette::common;
+
+TEST(ClusterSpec, TableOnePresets) {
+  const auto mid = pcl::mid_range_cluster();
+  EXPECT_EQ(mid.num_nodes, 16);
+  EXPECT_EQ(mid.gpus_per_node, 8);
+  EXPECT_EQ(mid.num_gpus(), 128);
+  EXPECT_DOUBLE_EQ(mid.inter_node.bandwidth_Bps, pco::Gbps(100.0));  // Infiniband EDR
+  EXPECT_DOUBLE_EQ(mid.intra_node.bandwidth_Bps, pco::GBps(300.0));  // NVLink
+  EXPECT_EQ(mid.gpu, pcl::GpuKind::V100);
+
+  const auto high = pcl::high_end_cluster(8);
+  EXPECT_EQ(high.num_gpus(), 64);
+  EXPECT_DOUBLE_EQ(high.inter_node.bandwidth_Bps, pco::Gbps(200.0));  // Infiniband HDR
+  EXPECT_DOUBLE_EQ(high.intra_node.bandwidth_Bps, pco::GBps(600.0));  // NVSwitch
+  EXPECT_EQ(high.gpu, pcl::GpuKind::A100);
+  EXPECT_GT(high.gpu_memory_bytes, mid.gpu_memory_bytes);
+}
+
+TEST(Topology, NodeOfAndSameNode) {
+  pcl::Topology t(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 1);
+  EXPECT_EQ(t.num_gpus(), 16);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+}
+
+TEST(Topology, HomogeneousAttainsSpec) {
+  auto t = pcl::Topology::homogeneous(pcl::mid_range_cluster(2));
+  EXPECT_DOUBLE_EQ(t.bandwidth(0, 1), t.spec().intra_node.bandwidth_Bps);
+  EXPECT_DOUBLE_EQ(t.bandwidth(0, 8), t.spec().inter_node.bandwidth_Bps);
+}
+
+TEST(Topology, SelfBandwidthInfinite) {
+  auto t = pcl::Topology::homogeneous(pcl::mid_range_cluster(1));
+  EXPECT_TRUE(std::isinf(t.bandwidth(3, 3)));
+  EXPECT_DOUBLE_EQ(t.latency(3, 3), 0.0);
+}
+
+class TopologyHeterogeneity : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyHeterogeneity, AttainedFractionWithinConfiguredBounds) {
+  pcl::HeterogeneityOptions het;
+  pcl::Topology t(pcl::mid_range_cluster(4), het, GetParam());
+  const double spec_inter = t.spec().inter_node.bandwidth_Bps;
+  for (int g1 = 0; g1 < t.num_gpus(); g1 += 3) {
+    for (int g2 = 0; g2 < t.num_gpus(); g2 += 5) {
+      if (g1 == g2) continue;
+      const double frac = t.bandwidth(g1, g2) / t.spec_bandwidth(g1, g2);
+      if (t.same_node(g1, g2)) {
+        EXPECT_GT(frac, 0.6);
+        EXPECT_LE(frac, 1.0);
+      } else {
+        // Slow-pair factor can push below inter_min by design; daily drift
+        // never applies at day 0.
+        EXPECT_GE(frac, het.inter_min * het.slow_pair_factor - 1e-9);
+        EXPECT_LE(frac, het.inter_max + 1e-9);
+      }
+      EXPECT_GT(t.bandwidth(g1, g2), 0.0);
+      EXPECT_LT(t.bandwidth(g1, g2), spec_inter * 1e6);
+    }
+  }
+}
+
+TEST_P(TopologyHeterogeneity, InterNodeLinksActuallyVary) {
+  pcl::Topology t(pcl::mid_range_cluster(8), pcl::HeterogeneityOptions{}, GetParam());
+  double lo = 1e300, hi = 0.0;
+  for (int n1 = 0; n1 < 8; ++n1) {
+    for (int n2 = 0; n2 < 8; ++n2) {
+      if (n1 == n2) continue;
+      const double b = t.bandwidth(n1 * 8, n2 * 8);
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+  }
+  EXPECT_GT(hi / lo, 1.2) << "heterogeneity model produced a nearly flat fabric";
+}
+
+TEST_P(TopologyHeterogeneity, NearlySymmetricBidirectionalBandwidth) {
+  // The paper's reverse move is motivated by near-symmetric links.
+  pcl::Topology t(pcl::mid_range_cluster(8), pcl::HeterogeneityOptions{}, GetParam());
+  for (int n1 = 0; n1 < 8; ++n1) {
+    for (int n2 = n1 + 1; n2 < 8; ++n2) {
+      const double f = t.bandwidth(n1 * 8, n2 * 8);
+      const double b = t.bandwidth(n2 * 8, n1 * 8);
+      EXPECT_NEAR(f / b, 1.0, 0.15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyHeterogeneity, testing::Values(1, 2, 3, 17, 2024));
+
+TEST(Topology, DeterministicInSeed) {
+  pcl::Topology a(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 99);
+  pcl::Topology b(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 99);
+  for (int g1 = 0; g1 < 32; g1 += 7) {
+    for (int g2 = 0; g2 < 32; g2 += 5) {
+      if (g1 != g2) {
+        EXPECT_DOUBLE_EQ(a.bandwidth(g1, g2), b.bandwidth(g1, g2));
+      }
+    }
+  }
+}
+
+TEST(Topology, DayDriftBoundedAndMeanReverting) {
+  pcl::HeterogeneityOptions het;
+  pcl::Topology t(pcl::high_end_cluster(8), het, 7);
+  const double base = t.bandwidth(0, 8);
+  for (int day = 1; day <= 40; ++day) {
+    t.advance_day();
+    const double b = t.bandwidth(0, 8);
+    EXPECT_GE(b, base * (1.0 - het.daily_clamp) / (1.0 + 1e-9));
+    EXPECT_LE(b, base * (1.0 + het.daily_clamp) * (1.0 + 1e-9));
+  }
+  EXPECT_EQ(t.day(), 40);
+}
+
+TEST(Topology, SubClusterSharesLinkState) {
+  pcl::Topology full(pcl::mid_range_cluster(16), pcl::HeterogeneityOptions{}, 31);
+  const auto sub = full.sub_cluster(4);
+  EXPECT_EQ(sub.num_gpus(), 32);
+  for (int g1 = 0; g1 < 32; g1 += 3) {
+    for (int g2 = 0; g2 < 32; g2 += 7) {
+      if (g1 != g2) {
+        EXPECT_DOUBLE_EQ(sub.bandwidth(g1, g2), full.bandwidth(g1, g2));
+      }
+    }
+  }
+}
+
+TEST(BandwidthMatrix, MinWithinAndRing) {
+  pcl::BandwidthMatrix m(4, 10.0);
+  m.set(1, 2, 3.0);
+  std::vector<int> group{0, 1, 2};
+  EXPECT_DOUBLE_EQ(m.min_within(group), 3.0);
+  std::vector<int> ring{0, 1, 2};  // edges 0->1, 1->2, 2->0
+  EXPECT_DOUBLE_EQ(m.min_along_ring(ring), 3.0);
+  std::vector<int> single{2};
+  EXPECT_TRUE(std::isinf(m.min_within(single)));
+}
+
+TEST(Profiler, MeasurementAccuracyAndAccounting) {
+  pcl::Topology t(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 11);
+  pcl::ProfileOptions opt;
+  const auto res = pcl::profile_network(t, opt);
+  EXPECT_GT(res.wall_time_s, 0.0);
+  EXPECT_GT(res.num_measurements, 0);
+  // Averaged noisy measurements must sit close to the truth.
+  for (int n1 = 0; n1 < 4; ++n1) {
+    for (int n2 = 0; n2 < 4; ++n2) {
+      if (n1 == n2) continue;
+      const double truth = t.bandwidth(n1 * 8, n2 * 8);
+      const double meas = res.bw.at(n1 * 8, n2 * 8);
+      EXPECT_NEAR(meas / truth, 1.0, 0.08);
+    }
+  }
+}
+
+TEST(Profiler, NodeLevelResolutionAppliesAcrossGpuPairs) {
+  pcl::Topology t(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 12);
+  const auto res = pcl::profile_network(t, {});
+  // All GPU pairs across the same node pair share one measured value.
+  EXPECT_DOUBLE_EQ(res.bw.at(0, 8), res.bw.at(3, 12));
+  EXPECT_DOUBLE_EQ(res.bw.at(0, 8), res.bw.at(7, 15));
+}
+
+TEST(Profiler, WallTimeScalesWithNodeCount) {
+  pcl::Topology t4(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 13);
+  pcl::Topology t8(pcl::mid_range_cluster(8), pcl::HeterogeneityOptions{}, 13);
+  const double w4 = pcl::profile_network(t4, {}).wall_time_s;
+  const double w8 = pcl::profile_network(t8, {}).wall_time_s;
+  EXPECT_GT(w8, 2.0 * w4);  // ordered pairs grow ~quadratically
+}
+
+TEST(Profiler, DeterministicInSeed) {
+  pcl::Topology t(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 14);
+  const auto a = pcl::profile_network(t, {});
+  const auto b = pcl::profile_network(t, {});
+  EXPECT_DOUBLE_EQ(a.bw.at(0, 8), b.bw.at(0, 8));
+}

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace pc = pipette::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  pc::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  pc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfParentAdvance) {
+  pc::Rng a(7);
+  pc::Rng child1 = a.fork(3);
+  a.next_u64();  // advancing the parent must not change fork results
+  pc::Rng a2(7);
+  pc::Rng child2 = a2.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDecorrelated) {
+  pc::Rng a(7);
+  pc::Rng c1 = a.fork(1), c2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1.next_u64() == c2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  pc::Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  pc::Rng r(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  pc::Rng r(8);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.normal(2.0, 3.0);
+  EXPECT_NEAR(pc::mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(pc::stddev(xs), 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  pc::Rng r(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  pc::Rng r(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pc::mean(xs), 2.5);
+  EXPECT_NEAR(pc::stddev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(pc::mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MapeBasic) {
+  std::vector<double> est{110, 90};
+  std::vector<double> act{100, 100};
+  EXPECT_NEAR(pc::mape_percent(est, act), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroActual) {
+  std::vector<double> est{110, 5};
+  std::vector<double> act{100, 0};
+  EXPECT_NEAR(pc::mape_percent(est, act), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSizeMismatchThrows) {
+  std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(pc::mape_percent(a, b), std::invalid_argument);
+}
+
+TEST(Stats, QuantileKnownValues) {
+  std::vector<double> xs{4, 1, 3, 2};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(pc::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pc::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(pc::quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantilesBatchMatchesSingle) {
+  std::vector<double> xs{5, 9, 1, 7, 3};
+  std::vector<double> qs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto batch = pc::quantiles(xs, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], pc::quantile(xs, qs[i]));
+  }
+}
+
+TEST(Stats, QuantileEmptyThrows) {
+  std::vector<double> xs;
+  EXPECT_THROW(pc::quantile(xs, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs{1, 2, 3, 4}, ys;
+  for (double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const auto f = pc::linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, DivisorsOfTwelve) {
+  EXPECT_EQ(pc::divisors(12), (std::vector<int>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(pc::divisors(1), (std::vector<int>{1}));
+  EXPECT_EQ(pc::divisors(128).size(), 8u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(pc::Gbps(100.0), 12.5e9);
+  EXPECT_DOUBLE_EQ(pc::GBps(300.0), 300e9);
+  EXPECT_DOUBLE_EQ(pc::TFLOPS(1.0), 1e12);
+  EXPECT_DOUBLE_EQ(pc::to_GiB(pc::GiB(4.0)), 4.0);
+  EXPECT_DOUBLE_EQ(pc::msec(2.0), 0.002);
+}
+
+TEST(Table, AlignsAndCounts) {
+  pc::Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  pc::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  pc::Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "/pipette_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(pc::fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(pc::fmt_count(3.1e9), "3.1B");
+  EXPECT_EQ(pc::fmt_count(774e6), "774M");
+  EXPECT_EQ(pc::fmt_duration(0.5), "500.00 ms");
+  EXPECT_EQ(pc::fmt_duration(90.0), "90.00 s");
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--gamma", "--name", "mid"};
+  pc::Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 4.5);
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  EXPECT_EQ(cli.get_string("name", ""), "mid");
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+}
+
+TEST(Cli, FirstUnknownDetectsTypos) {
+  const char* argv[] = {"prog", "--good", "--oops"};
+  pc::Cli cli(3, argv);
+  const auto unknown = cli.first_unknown({"good"});
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(*unknown, "oops");
+  EXPECT_FALSE(cli.first_unknown({"good", "oops"}).has_value());
+}

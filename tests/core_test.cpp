@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipette_configurator.h"
+#include "model/gpt_zoo.h"
+
+using namespace pipette;
+
+namespace {
+
+cluster::Topology small_cluster(std::uint64_t seed = 2024) {
+  return cluster::Topology(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, seed);
+}
+
+core::PipetteOptions fast_pipette(bool dedication) {
+  core::PipetteOptions opt;
+  opt.use_worker_dedication = dedication;
+  opt.sa.time_limit_s = 0.15;
+  opt.sa_top_k = 3;
+  opt.memory_training.hidden = {64, 64};
+  opt.memory_training.train.iters = 4000;
+  opt.memory_training.max_profile_nodes = 3;
+  opt.memory_training.profile_global_batches = {128};
+  opt.memory_training.soft_margin = 0.12;  // small test-profile net: widen margin
+  return opt;
+}
+
+}  // namespace
+
+TEST(DefaultMapping, PlacementSelector) {
+  const parallel::ParallelConfig pc{4, 1, 2};
+  EXPECT_EQ(core::default_mapping(core::Placement::kMegatron, pc),
+            parallel::Mapping::megatron_default(pc));
+  EXPECT_EQ(core::default_mapping(core::Placement::kVaruna, pc),
+            parallel::Mapping::varuna_default(pc));
+}
+
+TEST(AmpConfigurator, RankingSortedByItsOwnModel) {
+  auto topo = small_cluster();
+  core::AmpConfigurator amp;
+  const auto res = amp.configure(topo, {model::gpt_1_1b(), 128});
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.method, "AMP");
+  for (std::size_t i = 1; i < res.ranking.size(); ++i) {
+    EXPECT_LE(res.ranking[i - 1].predicted_s, res.ranking[i].predicted_s);
+  }
+  EXPECT_EQ(res.best, res.ranking.front().cand);
+  EXPECT_EQ(res.candidates_rejected_oom, 0) << "AMP performs no memory check";
+}
+
+TEST(VarunaConfigurator, PipelineOnly) {
+  auto topo = small_cluster();
+  core::VarunaConfigurator vr;
+  const auto res = vr.configure(topo, {model::gpt_1_1b(), 128});
+  ASSERT_TRUE(res.found);
+  for (const auto& r : res.ranking) EXPECT_EQ(r.cand.pc.tp, 1) << r.cand.str();
+}
+
+TEST(MegatronHeuristic, FixesTpToNodeWidthAndIsRunnable) {
+  auto topo = small_cluster();
+  core::MegatronHeuristic mlm;
+  const auto res = mlm.configure(topo, {model::gpt_1_1b(), 128});
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.best.pc.tp, 8);
+  // The expert only reports configurations that survived an actual trial.
+  const auto run = core::run_actual(topo, {model::gpt_1_1b(), 128}, res.best,
+                                    *res.mapping, {});
+  EXPECT_FALSE(run.oom);
+  EXPECT_NEAR(run.time_s, res.predicted_s, run.time_s * 0.05)
+      << "MLM 'prediction' is a measured trial";
+}
+
+TEST(PipetteConfigurator, MemoryFilterRejectsAndResultRunnable) {
+  auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_3_1b(), 128};  // memory-tight on V100
+  core::PipetteConfigurator ppt(fast_pipette(false));
+  const auto res = ppt.configure(topo, job);
+  ASSERT_TRUE(res.found);
+  EXPECT_GT(res.candidates_rejected_oom, 0);
+  EXPECT_GT(res.candidates_evaluated, res.candidates_rejected_oom);
+  const auto run = core::run_actual(topo, job, res.best, *res.mapping, {});
+  EXPECT_FALSE(run.oom) << "memory estimator admitted an OOM configuration";
+  EXPECT_LE(run.mem.total_bytes, topo.spec().gpu_memory_bytes);
+}
+
+TEST(PipetteConfigurator, DedicationNeverWorsensItsOwnObjective) {
+  auto topo = small_cluster(77);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  auto opt_l = fast_pipette(false);
+  auto opt_lf = fast_pipette(true);
+  core::PipetteConfigurator ppt_l(opt_l);
+  core::PipetteConfigurator ppt_lf(opt_lf);
+  const auto rl = ppt_l.configure(topo, job);
+  const auto rlf = ppt_lf.configure(topo, job);
+  ASSERT_TRUE(rl.found);
+  ASSERT_TRUE(rlf.found);
+  EXPECT_EQ(rl.method, "PPT-L");
+  EXPECT_EQ(rlf.method, "PPT-LF");
+  EXPECT_LE(rlf.predicted_s, rl.predicted_s * 1.0001);
+  EXPECT_GT(rlf.search_wall_s, 0.0);
+}
+
+TEST(PipetteConfigurator, SharedMemoryEstimatorSkipsRetraining) {
+  auto topo = small_cluster();
+  auto opt = fast_pipette(false);
+  core::PipetteConfigurator first(opt);
+  const auto r1 = first.configure(topo, {model::gpt_774m(), 128});
+  EXPECT_GT(r1.mem_train_wall_s, 0.0);
+
+  auto opt2 = fast_pipette(false);
+  opt2.memory = first.memory_estimator();
+  core::PipetteConfigurator second(opt2);
+  const auto r2 = second.configure(topo, {model::gpt_774m(), 128});
+  EXPECT_DOUBLE_EQ(r2.mem_train_wall_s, 0.0);
+  EXPECT_EQ(r1.best, r2.best);
+}
+
+TEST(RunActual, DetectsOom) {
+  auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  // tp=1, pp=1 cannot hold 3.1B on a 32 GB V100.
+  const core::Candidate bad{{1, 1, 32}, 8};
+  const auto run = core::run_actual(topo, job, bad,
+                                    parallel::Mapping::megatron_default(bad.pc), {});
+  EXPECT_TRUE(run.oom);
+}
+
+TEST(ExecuteWithOomFallback, WalksRankingLikeThePaper) {
+  auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  core::ConfiguratorResult rec;
+  rec.method = "synthetic";
+  rec.found = true;
+  rec.best = core::Candidate{{1, 1, 32}, 8};  // OOM
+  rec.mapping = parallel::Mapping::megatron_default(rec.best.pc);
+  rec.ranking = {
+      {core::Candidate{{1, 1, 32}, 8}, 1.0},   // OOM
+      {core::Candidate{{2, 1, 16}, 8}, 2.0},   // OOM (3.1B / 2 stages, tp=1)
+      {core::Candidate{{4, 8, 1}, 4}, 3.0},    // runnable
+  };
+  const auto out = core::execute_with_oom_fallback(topo, job, rec, {});
+  ASSERT_TRUE(out.success);
+  EXPECT_EQ(out.executed, rec.ranking[2].cand);
+  EXPECT_EQ(out.attempts, 3);
+}
+
+TEST(ExecuteWithOomFallback, RespectsMaxAttempts) {
+  auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  core::ConfiguratorResult rec;
+  rec.found = true;
+  rec.best = core::Candidate{{1, 1, 32}, 8};
+  rec.mapping = parallel::Mapping::megatron_default(rec.best.pc);
+  rec.ranking = {{core::Candidate{{1, 1, 32}, 8}, 1.0},
+                 {core::Candidate{{1, 2, 16}, 8}, 2.0},
+                 {core::Candidate{{4, 8, 1}, 4}, 3.0}};
+  const auto out = core::execute_with_oom_fallback(topo, job, rec, {}, /*max_attempts=*/2);
+  EXPECT_FALSE(out.success);
+  EXPECT_EQ(out.attempts, 2);
+}
+
+TEST(ExecuteWithOomFallback, NotFoundPropagates) {
+  auto topo = small_cluster();
+  core::ConfiguratorResult rec;  // found == false
+  const auto out = core::execute_with_oom_fallback(topo, {model::gpt_774m(), 64}, rec, {});
+  EXPECT_FALSE(out.success);
+  EXPECT_EQ(out.attempts, 0);
+}

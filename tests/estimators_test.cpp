@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/profiler.h"
+#include "common/stats.h"
+#include "estimators/analytic_memory.h"
+#include "estimators/compute_profile.h"
+#include "estimators/latency_models.h"
+#include "estimators/mlp_memory.h"
+#include "model/gpt_zoo.h"
+#include "sim/memory_sim.h"
+#include "sim/pipeline_sim.h"
+
+using namespace pipette;
+
+namespace {
+
+cluster::Topology mid_cluster(int nodes = 4, std::uint64_t seed = 2024) {
+  return cluster::Topology(cluster::mid_range_cluster(nodes), cluster::HeterogeneityOptions{},
+                           seed);
+}
+
+}  // namespace
+
+TEST(ComputeProfile, TracksGroundTruthCosts) {
+  const auto topo = mid_cluster();
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  estimators::ComputeProfileOptions opt;
+  const auto prof = estimators::profile_compute(topo, job, pc, 4, opt);
+  ASSERT_EQ(prof.stage_fwd_s.size(), 4u);
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  for (int x = 0; x < pc.pp; ++x) {
+    const auto truth = sim::stage_costs(topo, job, mapping, 4, x, 0, opt.costs);
+    EXPECT_NEAR(prof.stage_fwd_s[static_cast<std::size_t>(x)] / truth.fwd_compute_s, 1.0, 0.05);
+    EXPECT_NEAR(prof.stage_bwd_s[static_cast<std::size_t>(x)] / truth.bwd_compute_s, 1.0, 0.05);
+  }
+  EXPECT_GT(prof.c_block_s, 0.0);
+}
+
+TEST(ComputeExtrapolator, RecoversPowerLaw) {
+  // C(micro) = 0.01 * micro^0.9
+  std::vector<int> mbs{1, 2, 4, 8};
+  std::vector<double> secs;
+  for (int m : mbs) secs.push_back(0.01 * std::pow(m, 0.9));
+  estimators::ComputeExtrapolator ex(mbs, secs);
+  EXPECT_NEAR(ex.exponent(), 0.9, 1e-6);
+  EXPECT_NEAR(ex.predict(16), 0.01 * std::pow(16, 0.9), 1e-6);
+}
+
+TEST(ComputeExtrapolator, NeedsTwoPoints) {
+  EXPECT_THROW(estimators::ComputeExtrapolator({1}, {0.1}), std::invalid_argument);
+}
+
+class PipetteModelAccuracy
+    : public testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PipetteModelAccuracy, EstimateWithinTolerance) {
+  const auto [pp, tp, dp, micro] = GetParam();
+  const auto topo = mid_cluster(4);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::ParallelConfig pc{pp, tp, dp};
+  ASSERT_EQ(pc.ways(), 32);
+
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
+  estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+
+  const double est = model.estimate(mapping);
+  const double actual = sim::simulate_iteration(topo, job, mapping, micro, {}).total_s;
+  EXPECT_NEAR(est / actual, 1.0, 0.15) << "est " << est << " actual " << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PipetteModelAccuracy,
+                         testing::Values(std::tuple{4, 2, 4, 2}, std::tuple{8, 2, 2, 2},
+                                         std::tuple{4, 8, 1, 4}, std::tuple{2, 2, 8, 4},
+                                         std::tuple{4, 1, 8, 1}, std::tuple{8, 4, 1, 8},
+                                         std::tuple{16, 2, 1, 2}, std::tuple{2, 8, 2, 8}));
+
+TEST(PipetteModel, MoreAccurateThanAmpOnHeterogeneousCluster) {
+  // The Fig. 5a claim, at test scale: Pipette's MAPE beats Eq. (1)+spec-bw.
+  const auto topo = mid_cluster(4, 99);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+
+  std::vector<double> est_ppt, est_amp, actual;
+  for (const auto& pc : parallel::enumerate_parallel_configs(32, 8, 36, {})) {
+    for (int micro : parallel::micro_batch_options(128, pc, {})) {
+      if (!sim::fits_in_memory(topo.spec(), job, pc, micro,
+                               sim::ScheduleKind::kMemoryEfficient1F1B,
+                               estimators::kMemoryUniverseSeed)) {
+        continue;
+      }
+      const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
+      estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+      const auto mapping = parallel::Mapping::megatron_default(pc);
+      est_ppt.push_back(model.estimate(mapping));
+      est_amp.push_back(estimators::amp_latency_estimate(job, pc, micro, prof, links));
+      actual.push_back(sim::simulate_iteration(topo, job, mapping, micro, {}).total_s);
+      break;  // one microbatch size per config keeps the test fast
+    }
+  }
+  ASSERT_GT(actual.size(), 5u);
+  const double mape_ppt = common::mape_percent(est_ppt, actual);
+  const double mape_amp = common::mape_percent(est_amp, actual);
+  EXPECT_LT(mape_ppt, 12.0);
+  EXPECT_GT(mape_amp, mape_ppt * 1.5)
+      << "AMP's Eq.(1)+spec-bw model should be clearly less accurate";
+}
+
+TEST(PipetteModel, TermsRespondToMapping) {
+  const auto topo = mid_cluster(4);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+
+  const auto good = parallel::Mapping::megatron_default(pc);
+  // Scatter a TP group across nodes: the mapping-aware TP term must punish it.
+  auto bad = good;
+  bad.swap(bad.worker_index(0, 0, 0), bad.worker_index(3, 0, 0));
+  EXPECT_GT(model.estimate(bad), model.estimate(good));
+}
+
+TEST(PipetteModel, BubbleAndStragglerScales) {
+  const auto topo = cluster::Topology::homogeneous(cluster::mid_range_cluster(4));
+  const model::TrainingJob job{model::gpt_1_1b(), 256};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const parallel::ParallelConfig pc{8, 2, 2};
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  const auto m = parallel::Mapping::megatron_default(pc);
+  // T_straggler = (pp-1) * max block; T_bubble >= pp * max block.
+  EXPECT_GT(model.bubble_term(m), model.straggler_term(m));
+  EXPECT_GT(model.dp_comm_term(m), 0.0);
+  EXPECT_GT(model.pp_comm_term(m), 0.0);
+}
+
+TEST(AmpModel, UnderestimatesOnHeterogeneousCluster) {
+  // AMP prices communication at document bandwidth, so on a degraded fabric
+  // it must underestimate the true latency of comm-heavy configurations.
+  const auto topo = mid_cluster(4, 5);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const parallel::ParallelConfig pc{2, 1, 16};  // gradient rings span nodes
+  const auto prof = estimators::profile_compute(topo, job, pc, 1, {});
+  const double est = estimators::amp_latency_estimate(job, pc, 1, prof, links);
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const double actual = sim::simulate_iteration(topo, job, mapping, 1, {}).total_s;
+  EXPECT_LT(est, actual);
+}
+
+TEST(AnalyticMemory, UnderestimatesGroundTruth) {
+  // The Fig. 7 claim: params + one microbatch of activations misses both the
+  // in-flight window and the framework overhead.
+  const model::TrainingJob job{model::gpt_3_1b(), 256};
+  const auto spec = cluster::mid_range_cluster();
+  for (const auto& pc : {parallel::ParallelConfig{4, 4, 4}, parallel::ParallelConfig{8, 8, 1}}) {
+    for (int micro : {1, 4}) {
+      const double analytic = estimators::analytic_memory_estimate(job, pc, micro);
+      const double actual =
+          sim::simulate_peak_memory(spec, job, pc, micro,
+                                    sim::ScheduleKind::kMemoryEfficient1F1B,
+                                    estimators::kMemoryUniverseSeed)
+              .total_bytes;
+      EXPECT_LT(analytic, actual) << pc.str() << " mb" << micro;
+    }
+  }
+}
+
+TEST(MlpMemory, FeatureVectorMatchesEq7) {
+  const model::TrainingJob job{model::gpt_1_1b(), 256};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const auto f = estimators::MlpMemoryEstimator::features(job, pc, 8);
+  ASSERT_EQ(f.size(), 10u);  // Eq. (7) has exactly ten inputs
+  EXPECT_DOUBLE_EQ(f[0], std::log2(32.0));       // n_gpus
+  EXPECT_DOUBLE_EQ(f[1], std::log2(36.0));       // n_layers
+  EXPECT_DOUBLE_EQ(f[4], 1.0);                   // log2 tp
+  EXPECT_DOUBLE_EQ(f[7], 3.0);                   // log2 micro
+  EXPECT_DOUBLE_EQ(f[8], std::log2(64.0));       // minibatch = 256/4
+  EXPECT_DOUBLE_EQ(f[9], 8.0);                   // log2 global batch
+}
+
+TEST(MlpMemory, TrainsAndExtrapolates) {
+  const auto topo = mid_cluster(8);
+  estimators::MlpMemoryOptions opt;
+  opt.max_profile_nodes = 2;  // train on <= 16 GPUs
+  opt.hidden = {96, 96};
+  opt.train.iters = 9000;
+  opt.profile_global_batches = {128, 256};
+  const auto est = estimators::MlpMemoryEstimator::train_for_cluster(
+      topo, {model::gpt_774m(), model::gpt_1_1b(), model::gpt_3_1b()}, opt);
+  EXPECT_GT(est.dataset_size(), 50);
+  EXPECT_LT(est.train_mape_percent(), 20.0);
+
+  // Extrapolate to 32 GPUs (2x the profiled range) and stay in the ballpark;
+  // the paper-scale 4x extrapolation runs in bench/fig7 with the full MLP.
+  const model::TrainingJob job{model::gpt_1_1b(), 256};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const double pred = est.estimate_bytes(job, pc, 4);
+  const double actual = sim::simulate_peak_memory(topo.spec(), job, pc, 4,
+                                                  sim::ScheduleKind::kMemoryEfficient1F1B,
+                                                  estimators::kMemoryUniverseSeed)
+                            .total_bytes;
+  EXPECT_NEAR(pred / actual, 1.0, 0.40);
+
+  // The soft margin makes fits() stricter than a raw comparison.
+  EXPECT_FALSE(est.fits(job, pc, 4, pred));
+  EXPECT_TRUE(est.fits(job, pc, 4, pred * (1.0 + est.soft_margin()) * 1.01));
+}

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mlp/matrix.h"
+#include "mlp/network.h"
+#include "mlp/regressor.h"
+
+using namespace pipette::mlp;
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a(2, 3), b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  int v = 1;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = v++;
+  v = 7;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) b(i, j) = v++;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, TransposedVariantsAgreeWithMatmul) {
+  pipette::common::Rng rng(3);
+  Matrix a(4, 5), b(6, 5), c(4, 6);
+  for (auto& x : a.data()) x = rng.normal();
+  for (auto& x : b.data()) x = rng.normal();
+  for (auto& x : c.data()) x = rng.normal();
+
+  // a * b^T via explicit transpose.
+  Matrix bt(5, 6);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 5; ++j) bt(j, i) = b(i, j);
+  const Matrix r1 = matmul(a, bt);
+  const Matrix r2 = matmul_bt(a, b);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_NEAR(r1(i, j), r2(i, j), 1e-12);
+
+  // a^T * c via explicit transpose.
+  Matrix at(5, 4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) at(j, i) = a(i, j);
+  const Matrix r3 = matmul(at, c);
+  const Matrix r4 = matmul_at(a, c);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_NEAR(r3(i, j), r4(i, j), 1e-12);
+}
+
+TEST(Network, ForwardShapes) {
+  Network net({3, 8, 2}, 1);
+  Matrix x(5, 3, 0.5);
+  const Matrix y = net.forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(Network, GradientMatchesFiniteDifference) {
+  Network net({2, 5, 1}, 7);
+  pipette::common::Rng rng(11);
+  Matrix x(4, 2), y(4, 1);
+  for (auto& v : x.data()) v = rng.normal();
+  for (auto& v : y.data()) v = rng.normal();
+
+  net.loss_and_grad(x, y);
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+
+  const double eps = 1e-6;
+  int checked = 0;
+  for (std::size_t i = 0; i < params.size(); i += 3) {
+    auto p = params;
+    p[i] += eps;
+    net.set_parameters(p);
+    const double lp = net.loss_and_grad(x, y);
+    p[i] -= 2 * eps;
+    net.set_parameters(p);
+    const double lm = net.loss_and_grad(x, y);
+    net.set_parameters(params);
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grads[i], numeric, 1e-4 * std::max(1.0, std::abs(numeric)))
+        << "param index " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(Network, AdamReducesLossOnQuadratic) {
+  Network net({2, 16, 1}, 3);
+  pipette::common::Rng rng(5);
+  Matrix x(64, 2), y(64, 1);
+  for (int i = 0; i < 64; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y(i, 0) = x(i, 0) * x(i, 0) + 0.5 * x(i, 1);
+  }
+  AdamOptions adam;
+  const double first = net.loss_and_grad(x, y);
+  net.adam_step(adam);
+  double last = first;
+  for (int it = 0; it < 800; ++it) {
+    last = net.loss_and_grad(x, y);
+    net.adam_step(adam);
+  }
+  EXPECT_LT(last, first * 0.1);
+}
+
+TEST(Standardizer, NormalizesColumns) {
+  Matrix x(4, 2);
+  const double vals[4] = {1, 2, 3, 4};
+  for (int i = 0; i < 4; ++i) {
+    x(i, 0) = vals[i];
+    x(i, 1) = 10 * vals[i];
+  }
+  Standardizer s;
+  s.fit(x);
+  const Matrix t = s.transform(x);
+  double m0 = 0, m1 = 0;
+  for (int i = 0; i < 4; ++i) {
+    m0 += t(i, 0);
+    m1 += t(i, 1);
+  }
+  EXPECT_NEAR(m0, 0.0, 1e-12);
+  EXPECT_NEAR(m1, 0.0, 1e-12);
+  const auto row = s.transform_row(std::vector<double>{2.5, 25.0});
+  EXPECT_NEAR(row[0], 0.0, 1e-12);
+  EXPECT_NEAR(row[1], 0.0, 1e-12);
+}
+
+TEST(Regressor, FitsLinearFunction) {
+  pipette::common::Rng rng(9);
+  const int n = 200;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) x(i, j) = rng.uniform(-2, 2);
+    y[static_cast<std::size_t>(i)] = 5.0 + 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.5 * x(i, 2);
+  }
+  Regressor reg(3, {32, 32}, 4);
+  TrainOptions opt;
+  opt.iters = 3000;
+  opt.batch_size = 32;
+  const auto rep = reg.fit(x, y, opt);
+  EXPECT_LT(rep.train_mape, 5.0) << "final mse " << rep.final_mse;
+  EXPECT_NEAR(reg.predict(std::vector<double>{1.0, 1.0, 1.0}), 6.5, 0.5);
+}
+
+TEST(Regressor, PredictBeforeFitThrows) {
+  Regressor reg(2, {4}, 1);
+  EXPECT_THROW(reg.predict(std::vector<double>{0.0, 0.0}), std::logic_error);
+}
+
+TEST(Regressor, RejectsBadDataset) {
+  Regressor reg(2, {4}, 1);
+  Matrix x(3, 2);
+  std::vector<double> y(2);
+  EXPECT_THROW(reg.fit(x, y, {}), std::invalid_argument);
+}

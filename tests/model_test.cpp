@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "model/gpt_zoo.h"
+#include "model/transformer.h"
+
+namespace pm = pipette::model;
+
+namespace {
+double nominal_ratio(const pm::TransformerConfig& m, double nominal) {
+  return static_cast<double>(pm::total_parameters(m)) / nominal;
+}
+}  // namespace
+
+TEST(Transformer, LayerParameterFormula) {
+  pm::TransformerConfig m;
+  m.hidden_size = 1024;
+  // 12 h^2 + 13 h
+  EXPECT_EQ(pm::layer_parameters(m), 12LL * 1024 * 1024 + 13 * 1024);
+}
+
+TEST(Transformer, EmbeddingIncludesPositions) {
+  pm::TransformerConfig m;
+  m.hidden_size = 1024;
+  m.seq_len = 2048;
+  m.vocab_size = 51200;
+  EXPECT_EQ(pm::embedding_parameters(m), (51200LL + 2048) * 1024);
+}
+
+class ZooNominalSize
+    : public testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(ZooNominalSize, ParameterCountNearNominal) {
+  const auto [name, nominal] = GetParam();
+  const auto m = pm::gpt_by_name(name);
+  EXPECT_NEAR(nominal_ratio(m, nominal), 1.0, 0.05)
+      << name << " has " << pm::total_parameters(m) << " params";
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooNominalSize,
+                         testing::Values(std::pair{"gpt-774m", 774e6},
+                                         std::pair{"gpt-1.1b", 1.1e9},
+                                         std::pair{"gpt-2.2b", 2.2e9},
+                                         std::pair{"gpt-3.1b", 3.1e9},
+                                         std::pair{"gpt-8.1b", 8.1e9},
+                                         std::pair{"gpt-11.1b", 11.1e9}));
+
+TEST(Zoo, LookupUnknownThrows) {
+  EXPECT_THROW(pm::gpt_by_name("gpt-900t"), std::out_of_range);
+  EXPECT_EQ(pm::gpt_zoo().size(), 6u);
+}
+
+TEST(Zoo, WeakScalingMapMatchesFig8) {
+  EXPECT_EQ(pm::weak_scaled_model(32, false).name, "gpt-774m");
+  EXPECT_EQ(pm::weak_scaled_model(64, false).name, "gpt-1.1b");
+  EXPECT_EQ(pm::weak_scaled_model(128, false).name, "gpt-3.1b");
+  EXPECT_EQ(pm::weak_scaled_model(32, true).name, "gpt-2.2b");
+  EXPECT_EQ(pm::weak_scaled_model(64, true).name, "gpt-8.1b");
+  EXPECT_EQ(pm::weak_scaled_model(128, true).name, "gpt-11.1b");
+}
+
+TEST(Transformer, FlopsScaleLinearlyInBatch) {
+  const auto m = pm::gpt_3_1b();
+  EXPECT_NEAR(pm::layer_fwd_flops(m, 8) / pm::layer_fwd_flops(m, 1), 8.0, 1e-9);
+  EXPECT_NEAR(pm::logits_fwd_flops(m, 4) / pm::logits_fwd_flops(m, 2), 2.0, 1e-9);
+}
+
+TEST(Transformer, ActivationBytesMatchKorthikantiForm) {
+  const auto m = pm::gpt_3_1b();  // h=2304, a=24, s=1024
+  const double s = m.seq_len, b = 2, h = m.hidden_size, a = m.num_heads;
+  const double expect = s * b * h * (34.0 + 5.0 * a * s / h);
+  EXPECT_NEAR(pm::layer_activation_bytes(m, 2, 1), expect, 1.0);
+  // Tensor parallelism shards the residency.
+  EXPECT_NEAR(pm::layer_activation_bytes(m, 2, 8), expect / 8.0, 1.0);
+}
+
+TEST(Transformer, MessageSizesAreFp16BoundaryTensors) {
+  const auto m = pm::gpt_774m();
+  EXPECT_DOUBLE_EQ(pm::pp_message_bytes(m, 4), 2.0 * 4 * m.seq_len * m.hidden_size);
+  EXPECT_DOUBLE_EQ(pm::tp_message_bytes(m, 4), pm::pp_message_bytes(m, 4));
+}
+
+TEST(Transformer, LargerModelsCostMore) {
+  const auto zoo = pm::gpt_zoo();
+  for (std::size_t i = 1; i < zoo.size(); ++i) {
+    EXPECT_GT(pm::total_parameters(zoo[i]), pm::total_parameters(zoo[i - 1]))
+        << zoo[i].name << " vs " << zoo[i - 1].name;
+    EXPECT_GT(pm::layer_fwd_flops(zoo[i], 1), 0.0);
+  }
+}

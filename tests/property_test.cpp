@@ -1,0 +1,221 @@
+// Property-style sweeps over seeds and configuration space: invariants that
+// must hold for *every* point, not just the hand-picked unit-test cases.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/profiler.h"
+#include "core/evaluation.h"
+#include "estimators/latency_models.h"
+#include "model/gpt_zoo.h"
+#include "parallel/groups.h"
+#include "search/mapping_search.h"
+#include "sim/memory_sim.h"
+#include "sim/pipeline_sim.h"
+
+using namespace pipette;
+
+// ---------------------------------------------------------------------------
+// Batch geometry: for every enumerated configuration and admissible
+// microbatch, dp * n_microbatches * micro == global batch exactly.
+class BatchGeometry : public testing::TestWithParam<int> {};
+
+TEST_P(BatchGeometry, PartitionIsExact) {
+  const int global_batch = GetParam();
+  for (const auto& pc : parallel::enumerate_parallel_configs(64, 8, 48, {})) {
+    for (int micro : parallel::micro_batch_options(global_batch, pc, {})) {
+      const int nmb = parallel::num_microbatches(global_batch, pc, micro);
+      EXPECT_EQ(pc.dp * nmb * micro, global_batch) << pc.str() << " mb" << micro;
+      EXPECT_GE(nmb, pc.pp);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GlobalBatches, BatchGeometry, testing::Values(64, 128, 256, 512, 1024));
+
+// ---------------------------------------------------------------------------
+// Group structure: under any valid mapping, the TP groups over (stage, dpr)
+// partition the GPU set exactly; same for DP groups over (stage, tpr).
+class GroupPartition : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupPartition, TpAndDpGroupsPartitionTheCluster) {
+  common::Rng rng(GetParam());
+  parallel::Mapping m = parallel::Mapping::megatron_default({4, 2, 4});
+  for (int i = 0; i < 64; ++i) search::random_mapping_move(m, rng, {}, 8);
+  ASSERT_TRUE(m.is_valid_permutation());
+
+  std::set<int> seen;
+  for (int x = 0; x < 4; ++x) {
+    for (int z = 0; z < 4; ++z) {
+      for (int g : parallel::tp_group_gpus(m, x, z)) {
+        EXPECT_TRUE(seen.insert(g).second) << "GPU " << g << " in two TP groups";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+
+  seen.clear();
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int g : parallel::dp_group_gpus(m, x, y)) {
+        EXPECT_TRUE(seen.insert(g).second) << "GPU " << g << " in two DP groups";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupPartition, testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// 1F1B schedule invariant: replaying any stage's op list, the number of
+// in-flight microbatches (forwarded but not yet backwarded) never exceeds
+// min(pp - stage, nmb) — the memory-efficiency property the memory model and
+// the paper's Fig. 2b rely on.
+class OneFOneBWindow : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OneFOneBWindow, InflightNeverExceedsWindow) {
+  const auto [pp, nmb] = GetParam();
+  for (int stage = 0; stage < pp; ++stage) {
+    const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryEfficient1F1B, pp, stage, nmb);
+    int inflight = 0, peak = 0;
+    for (const auto& op : ops) {
+      inflight += op.fwd ? 1 : -1;
+      peak = std::max(peak, inflight);
+      ASSERT_GE(inflight, 0);
+    }
+    EXPECT_EQ(inflight, 0) << "schedule did not drain";
+    EXPECT_LE(peak, std::min(pp - stage, nmb)) << "stage " << stage << " of pp " << pp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OneFOneBWindow,
+                         testing::Values(std::tuple{2, 8}, std::tuple{4, 4}, std::tuple{4, 16},
+                                         std::tuple{8, 8}, std::tuple{8, 64},
+                                         std::tuple{16, 32}, std::tuple{3, 7},
+                                         std::tuple{5, 13}));
+
+// ---------------------------------------------------------------------------
+// Simulator sanity across the whole configuration space of a small cluster:
+// positive finite time, bubbles in [0,1), and the memory-efficient schedule
+// never uses more activation memory than the memory-unaware one.
+class SimulatorSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorSweep, AllConfigurationsSimulateSanely) {
+  cluster::Topology topo(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{},
+                         GetParam());
+  const model::TrainingJob job{model::gpt_774m(), 64};
+  sim::SimOptions opt;
+  opt.seed = GetParam();
+  int count = 0;
+  for (const auto& pc : parallel::enumerate_parallel_configs(16, 8, 36, {})) {
+    for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
+      const auto mapping = parallel::Mapping::megatron_default(pc);
+      const auto r = sim::simulate_iteration(topo, job, mapping, micro, opt);
+      EXPECT_GT(r.total_s, 0.0) << pc.str();
+      EXPECT_TRUE(std::isfinite(r.total_s)) << pc.str();
+      EXPECT_GE(r.bubble_fraction, 0.0);
+      EXPECT_LT(r.bubble_fraction, 1.0);
+      EXPECT_GE(r.total_s, r.last_backward_s);
+
+      const auto eff = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
+                                                 sim::ScheduleKind::kMemoryEfficient1F1B, 1);
+      const auto una = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
+                                                 sim::ScheduleKind::kMemoryUnaware, 1);
+      EXPECT_LE(eff.activation_bytes, una.activation_bytes * 1.0001) << pc.str();
+      ++count;
+    }
+  }
+  EXPECT_GT(count, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorSweep, testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// Estimator monotonicity: making every inter-node link slower can never make
+// the Pipette latency estimate smaller.
+TEST(EstimatorProperty, MonotoneInBandwidth) {
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 9);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+
+  auto fast = topo.true_matrix();
+  cluster::BandwidthMatrix slow(fast.num_gpus());
+  for (int g1 = 0; g1 < fast.num_gpus(); ++g1) {
+    for (int g2 = 0; g2 < fast.num_gpus(); ++g2) {
+      if (g1 != g2) slow.set(g1, g2, fast.at(g1, g2) * 0.5);
+    }
+  }
+  estimators::PipetteLatencyModel m_fast(job, pc, 2, prof, &fast, links);
+  estimators::PipetteLatencyModel m_slow(job, pc, 2, prof, &slow, links);
+  EXPECT_GT(m_slow.estimate(mapping), m_fast.estimate(mapping));
+}
+
+// Estimator monotonicity: more microbatches (smaller microbatch size) never
+// reduce the per-iteration pipeline communication volume on the critical path.
+TEST(EstimatorProperty, PpTermGrowsWithMessageSize) {
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 9);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const auto bw = topo.true_matrix();
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const auto prof1 = estimators::profile_compute(topo, job, pc, 1, {});
+  const auto prof4 = estimators::profile_compute(topo, job, pc, 4, {});
+  estimators::PipetteLatencyModel m1(job, pc, 1, prof1, &bw, links);
+  estimators::PipetteLatencyModel m4(job, pc, 4, prof4, &bw, links);
+  EXPECT_LT(m1.pp_comm_term(mapping), m4.pp_comm_term(mapping));
+}
+
+// ---------------------------------------------------------------------------
+// OOM-fallback completeness: if any entry of a ranking is runnable, the
+// fallback must find one (never report failure while a runnable config waits).
+class FallbackCompleteness : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FallbackCompleteness, FindsRunnableIfOneExists) {
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{},
+                         GetParam());
+  const model::TrainingJob job{model::gpt_3_1b(), 256};
+  core::ConfiguratorResult rec;
+  rec.found = true;
+  bool any_runnable = false;
+  // A ranking assembled from the raw enumeration, deliberately unfiltered.
+  for (const auto& pc : parallel::enumerate_parallel_configs(32, 8, 48, {})) {
+    for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
+      rec.ranking.push_back({core::Candidate{pc, micro}, 1.0});
+      any_runnable |= !core::run_actual(topo, job, {pc, micro},
+                                        parallel::Mapping::megatron_default(pc), {})
+                           .oom;
+    }
+  }
+  ASSERT_FALSE(rec.ranking.empty());
+  rec.best = rec.ranking.front().cand;
+  rec.mapping = parallel::Mapping::megatron_default(rec.best.pc);
+  const auto out = core::execute_with_oom_fallback(topo, job, rec, {},
+                                                   static_cast<int>(rec.ranking.size()));
+  EXPECT_EQ(out.success, any_runnable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FallbackCompleteness, testing::Values(3, 14, 159));
+
+// ---------------------------------------------------------------------------
+// Day drift: the profiled matrix from day 0 stays within the clamp envelope
+// of the fabric on any later day (the premise of profiling once per job).
+TEST(ProfileStability, DriftStaysWithinClamp) {
+  cluster::HeterogeneityOptions het;
+  cluster::Topology topo(cluster::mid_range_cluster(4), het, 77);
+  const auto day0 = cluster::profile_network(topo, {});
+  for (int d = 0; d < 20; ++d) topo.advance_day();
+  for (int n1 = 0; n1 < 4; ++n1) {
+    for (int n2 = 0; n2 < 4; ++n2) {
+      if (n1 == n2) continue;
+      const double measured = day0.bw.at(n1 * 8, n2 * 8);
+      const double now = topo.bandwidth(n1 * 8, n2 * 8);
+      // Measurement noise (2 %) + max daily excursion (12 %) both ways.
+      EXPECT_NEAR(measured / now, 1.0, 0.35);
+    }
+  }
+}

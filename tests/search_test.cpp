@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/profiler.h"
+#include "estimators/compute_profile.h"
+#include "estimators/latency_models.h"
+#include "model/gpt_zoo.h"
+#include "search/mapping_search.h"
+#include "search/sa.h"
+
+using namespace pipette;
+
+namespace {
+
+/// Toy problem: sort a permutation; cost = sum of |v[i] - i|.
+double displacement_cost(const std::vector<int>& v) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    c += std::abs(v[i] - static_cast<int>(i));
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST(SimulatedAnnealing, SolvesToyPermutationProblem) {
+  std::vector<int> state(24);
+  std::iota(state.begin(), state.end(), 0);
+  std::reverse(state.begin(), state.end());
+
+  search::SaOptions opt;
+  opt.time_limit_s = 2.0;
+  opt.max_iters = 200000;
+  opt.seed = 4;
+  const auto res = search::simulated_annealing(
+      state, displacement_cost,
+      [](std::vector<int>& s, common::Rng& rng) {
+        const int i = rng.uniform_int(0, static_cast<int>(s.size()) - 1);
+        const int j = rng.uniform_int(0, static_cast<int>(s.size()) - 1);
+        std::swap(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(j)]);
+      },
+      opt);
+  EXPECT_GT(res.initial_cost, 0.0);
+  EXPECT_LT(res.best_cost, res.initial_cost * 0.1);
+  EXPECT_DOUBLE_EQ(displacement_cost(state), res.best_cost);
+}
+
+TEST(SimulatedAnnealing, RespectsIterationCap) {
+  std::vector<int> state{3, 2, 1, 0};
+  search::SaOptions opt;
+  opt.max_iters = 50;
+  opt.time_limit_s = 100.0;
+  const auto res = search::simulated_annealing(
+      state, displacement_cost,
+      [](std::vector<int>& s, common::Rng& rng) {
+        std::swap(s[0], s[static_cast<std::size_t>(rng.uniform_int(1, 3))]);
+      },
+      opt);
+  EXPECT_EQ(res.iters, 50);
+}
+
+TEST(SimulatedAnnealing, DeterministicUnderIterationCap) {
+  auto run = [](std::uint64_t seed) {
+    std::vector<int> state{5, 4, 3, 2, 1, 0};
+    search::SaOptions opt;
+    opt.max_iters = 2000;
+    opt.time_limit_s = 100.0;
+    opt.seed = seed;
+    search::simulated_annealing(
+        state, displacement_cost,
+        [](std::vector<int>& s, common::Rng& rng) {
+          const int i = rng.uniform_int(0, 5), j = rng.uniform_int(0, 5);
+          std::swap(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(j)]);
+        },
+        opt);
+    return state;
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+TEST(SimulatedAnnealing, NeverReturnsWorseThanInitial) {
+  std::vector<int> state{0, 1, 2, 3};  // already optimal
+  search::SaOptions opt;
+  opt.max_iters = 5000;
+  opt.time_limit_s = 100.0;
+  const auto res = search::simulated_annealing(
+      state, displacement_cost,
+      [](std::vector<int>& s, common::Rng& rng) {
+        const int i = rng.uniform_int(0, 3), j = rng.uniform_int(0, 3);
+        std::swap(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(j)]);
+      },
+      opt);
+  EXPECT_DOUBLE_EQ(res.best_cost, res.initial_cost);
+  EXPECT_EQ(state, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MappingSearch, MovesCoverEnabledSetOnly) {
+  common::Rng rng(3);
+  parallel::Mapping m = parallel::Mapping::megatron_default({4, 2, 4});
+  search::MoveSet only_swap;
+  only_swap.migrate = only_swap.reverse = only_swap.node_swap = only_swap.node_reverse = false;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(search::random_mapping_move(m, rng, only_swap, 8), search::MappingMove::kSwap);
+  }
+  EXPECT_TRUE(m.is_valid_permutation());
+}
+
+TEST(MappingSearch, EmptyMoveSetFallsBackToSwap) {
+  common::Rng rng(4);
+  parallel::Mapping m(parallel::ParallelConfig{2, 2, 2});
+  search::MoveSet none;
+  none.migrate = none.swap = none.reverse = none.node_swap = none.node_reverse = false;
+  EXPECT_EQ(search::random_mapping_move(m, rng, none, 8), search::MappingMove::kSwap);
+  EXPECT_TRUE(m.is_valid_permutation());
+}
+
+TEST(MappingSearch, OptimizeMappingImprovesHeterogeneousPlacement) {
+  // On a strongly heterogeneous 8-node cluster, node-level dedication must
+  // find a strictly better estimate than the default order.
+  cluster::Topology topo(cluster::mid_range_cluster(16), cluster::HeterogeneityOptions{}, 12345);
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::ParallelConfig pc{8, 2, 8};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+
+  auto m = parallel::Mapping::megatron_default(pc);
+  const double before = model.estimate(m);
+  search::SaOptions opt;
+  opt.time_limit_s = 1.0;
+  opt.max_iters = 40000;
+  const auto res = search::optimize_mapping(m, model, topo.gpus_per_node(), opt);
+  EXPECT_TRUE(m.is_valid_permutation());
+  EXPECT_LE(res.best_cost, before);
+  EXPECT_DOUBLE_EQ(model.estimate(m), res.best_cost);
+  EXPECT_LT(res.best_cost, before * 0.995) << "SA found no improvement at all";
+}
+
+TEST(MappingSearch, SaStatsAreConsistent) {
+  cluster::Topology topo(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{}, 6);
+  const model::TrainingJob job{model::gpt_774m(), 64};
+  const parallel::ParallelConfig pc{2, 2, 4};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
+  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  auto m = parallel::Mapping::megatron_default(pc);
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = 100.0;
+  const auto res = search::optimize_mapping(m, model, topo.gpus_per_node(), opt);
+  EXPECT_EQ(res.iters, 3000);
+  EXPECT_GE(res.accepted, 0);
+  EXPECT_LE(res.accepted, res.iters);
+  EXPECT_GT(res.wall_s, 0.0);
+}
