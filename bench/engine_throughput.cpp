@@ -1,0 +1,121 @@
+// Engine throughput: a 16-request configuration sweep against one cluster,
+// served two ways.
+//
+//   serial — the pre-engine workflow: one fresh PipetteConfigurator per
+//            request, so every request re-profiles the fabric and retrains
+//            the MLP memory estimator.
+//   engine — one ConfigService: the cluster-fingerprint cache pays the
+//            profile/training cost once and the thread pool fans requests
+//            and per-request candidate scoring / SA passes out.
+//
+// Both sides use an iteration-capped SA budget, so the engine's
+// recommendations are bit-identical to the serial ones (verified and
+// reported). The acceptance bar for the engine subsystem is >= 3x.
+//
+// Run:  ./engine_throughput [--requests 16] [--nodes 2] [--threads N]
+//                           [--full] [--seed N] [--csv PATH]
+#include <chrono>
+
+#include "bench_common.h"
+#include "engine/config_service.h"
+
+using namespace pipette;
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+double seconds_since(clock_t_::time_point t0) {
+  return std::chrono::duration<double>(clock_t_::now() - t0).count();
+}
+
+/// Same recommendation (winner, predicted latency, full preference order)?
+bool same_result(const core::ConfiguratorResult& a, const core::ConfiguratorResult& b) {
+  if (a.found != b.found || !(a.best == b.best) || a.predicted_s != b.predicted_s) return false;
+  if (a.ranking.size() != b.ranking.size()) return false;
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    if (!(a.ranking[i].cand == b.ranking[i].cand)) return false;
+    if (a.ranking[i].predicted_s != b.ranking[i].predicted_s) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int requests = cli.get_int("requests", 16);
+  const int nodes = cli.get_int("nodes", 2);
+  const int threads = cli.get_int("threads", 0);
+
+  const auto topo = bench::make_cluster("mid-range", nodes, env.seed);
+
+  // The request stream: the zoo's two small models across the paper's batch
+  // range, repeated — the shape of real configuration traffic, where many
+  // jobs target the same cluster.
+  const std::vector<model::TrainingJob> job_pool = {
+      {model::gpt_774m(), 128}, {model::gpt_774m(), 256}, {model::gpt_774m(), 512},
+      {model::gpt_1_1b(), 128}, {model::gpt_1_1b(), 256}, {model::gpt_1_1b(), 512},
+  };
+  std::vector<model::TrainingJob> jobs;
+  for (int i = 0; i < requests; ++i) jobs.push_back(job_pool[static_cast<std::size_t>(i) % job_pool.size()]);
+
+  // Iteration-capped SA keeps the two sides comparable request for request
+  // (and makes the engine's output bit-identical to the serial one).
+  core::PipetteOptions opt = bench::pipette_options(env, /*dedication=*/true);
+  opt.sa.max_iters = env.full ? 100000 : 1500;
+  opt.sa.time_limit_s = 1e9;
+  opt.sa_top_k = env.full ? opt.sa_top_k : 4;
+  if (!env.full) {
+    opt.memory_training.hidden = {64, 64};
+    opt.memory_training.train.iters = 4000;
+    opt.memory_training.max_profile_nodes = 2;
+    opt.memory_training.profile_global_batches = {128};
+    opt.memory_training.soft_margin = 0.2;
+  }
+
+  std::cout << "Cluster " << topo.spec().name << " (" << topo.num_gpus() << " GPUs), "
+            << requests << " configure requests\n\n";
+
+  // Serial baseline: a fresh configurator per request, nothing shared.
+  std::vector<core::ConfiguratorResult> serial_results;
+  const auto t_serial = clock_t_::now();
+  for (const auto& job : jobs) {
+    core::PipetteConfigurator cfg(opt);
+    serial_results.push_back(cfg.configure(topo, job));
+  }
+  const double serial_s = seconds_since(t_serial);
+
+  // The engine: shared pool + cluster-fingerprint cache.
+  engine::ConfigServiceOptions so;
+  so.threads = threads;
+  so.pipette = opt;
+  engine::ConfigService service(so);
+  const auto t_engine = clock_t_::now();
+  const auto engine_results = service.sweep(topo, jobs);
+  const double engine_s = seconds_since(t_engine);
+
+  int mismatches = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!same_result(serial_results[i], engine_results[i])) ++mismatches;
+  }
+  const auto stats = service.cache_stats();
+  const double speedup = engine_s > 0.0 ? serial_s / engine_s : 0.0;
+
+  common::Table t({"mode", "wall", "req/s", "trainings", "profiles", "speedup"});
+  t.add_row({"serial", common::fmt_duration(serial_s),
+             common::fmt_fixed(requests / serial_s, 2), std::to_string(requests),
+             std::to_string(requests), "1.00x"});
+  t.add_row({"engine", common::fmt_duration(engine_s),
+             common::fmt_fixed(requests / engine_s, 2), std::to_string(stats.trainings_run),
+             std::to_string(stats.profiles_run), common::fmt_fixed(speedup, 2) + "x"});
+  bench::finish_table(t, env);
+
+  std::cout << "\npool threads: " << service.pool().num_threads() << ", cache lookups "
+            << stats.lookups << ", hits " << stats.hits << "\n";
+  std::cout << "recommendations identical to serial: "
+            << (mismatches == 0 ? "yes" : "NO (" + std::to_string(mismatches) + " differ)") << "\n";
+  std::cout << "speedup: " << common::fmt_fixed(speedup, 2) << "x (target >= 3x)\n";
+  return mismatches == 0 && speedup >= 3.0 ? 0 : 1;
+}

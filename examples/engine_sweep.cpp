@@ -1,0 +1,71 @@
+// Engine quickstart: serve a whole scenario study with one ConfigService.
+//
+// The batch-sensitivity question — "how does the recommended configuration
+// change with the global batch size?" — becomes a single `sweep` call: the
+// cluster is profiled and the memory estimator trained exactly once (the
+// cluster-fingerprint cache), and the per-batch configure requests share the
+// engine's thread pool.
+//
+// Run:  ./engine_sweep [--nodes 2] [--threads N] [--model gpt-774m]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "engine/config_service.h"
+#include "model/gpt_zoo.h"
+
+using namespace pipette;
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const int nodes = cli.get_int("nodes", 2);
+  const int threads = cli.get_int("threads", 0);
+  const std::string model_name = cli.get_string("model", "gpt-774m");
+
+  cluster::Topology topo(cluster::mid_range_cluster(nodes), cluster::HeterogeneityOptions{},
+                         /*seed=*/42);
+  model::TransformerConfig model_cfg;
+  try {
+    model_cfg = model::gpt_by_name(model_name);
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << " (try gpt-774m, gpt-1.1b, gpt-2.2b, gpt-3.1b, gpt-8.1b, gpt-11.1b)\n";
+    return 1;
+  }
+
+  engine::ConfigServiceOptions so;
+  so.threads = threads;
+  so.pipette.sa.max_iters = 2000;       // iteration-capped SA: deterministic
+  so.pipette.sa.time_limit_s = 1e9;     // for any thread count
+  so.pipette.sa_top_k = 4;
+  so.pipette.memory_training.hidden = {64, 64};
+  so.pipette.memory_training.train.iters = 4000;
+  so.pipette.memory_training.max_profile_nodes = 2;
+  so.pipette.memory_training.profile_global_batches = {128};
+  so.pipette.memory_training.soft_margin = 0.2;
+  engine::ConfigService service(so);
+
+  std::vector<model::TrainingJob> jobs;
+  for (const int batch : {128, 256, 512, 1024}) jobs.push_back({model_cfg, batch});
+
+  std::cout << "Sweeping " << model_cfg.name << " over " << jobs.size()
+            << " global batch sizes on " << topo.num_gpus() << " GPUs ("
+            << service.pool().num_threads() << " engine threads)\n\n";
+  const auto results = service.sweep(topo, jobs);
+
+  common::Table t({"global batch", "recommended", "predicted s/iter", "candidates", "oom-rejected"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({std::to_string(jobs[i].global_batch),
+               r.found ? r.best.str() : "(none runnable)",
+               r.found ? common::fmt_fixed(r.predicted_s, 3) : "-",
+               std::to_string(r.candidates_evaluated),
+               std::to_string(r.candidates_rejected_oom)});
+  }
+  t.print(std::cout);
+
+  const auto stats = service.cache_stats();
+  std::cout << "\ncluster cache: " << stats.lookups << " lookups, " << stats.hits
+            << " hits — profiled " << stats.profiles_run << "x, trained estimator "
+            << stats.trainings_run << "x for the whole study\n";
+  return 0;
+}

@@ -1,8 +1,29 @@
 #include "cluster/cluster_spec.h"
 
+#include "common/hashing.h"
 #include "common/units.h"
 
 namespace pipette::cluster {
+
+std::uint64_t spec_digest(const ClusterSpec& spec) {
+  using common::hash_combine;
+  std::uint64_t h = 0x5bec5bec5bec5ull;
+  h = common::hash_string(h, spec.name);
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.num_nodes));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.gpus_per_node));
+  h = hash_combine(h, static_cast<std::uint64_t>(spec.gpu));
+  h = hash_combine(h, spec.intra_node.bandwidth_Bps);
+  h = hash_combine(h, spec.intra_node.latency_s);
+  h = hash_combine(h, spec.inter_node.bandwidth_Bps);
+  h = hash_combine(h, spec.inter_node.latency_s);
+  h = hash_combine(h, spec.gpu_peak_flops);
+  h = hash_combine(h, spec.gpu_memory_bytes);
+  h = hash_combine(h, spec.hbm_bandwidth_Bps);
+  h = hash_combine(h, spec.cuda_context_bytes);
+  h = hash_combine(h, spec.gemm_efficiency_max);
+  h = hash_combine(h, spec.gemm_efficiency_knee_flops);
+  return h;
+}
 
 using common::GBps;
 using common::Gbps;

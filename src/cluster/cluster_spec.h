@@ -3,6 +3,7 @@
 // per-pair *attained* bandwidths observed on real fabrics.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace pipette::cluster {
@@ -36,6 +37,12 @@ struct ClusterSpec {
 
   int num_gpus() const { return num_nodes * gpus_per_node; }
 };
+
+/// Stable 64-bit digest of every ClusterSpec field. Two clusters with equal
+/// digests are indistinguishable to anything that reads only the spec — e.g.
+/// the MLP memory estimator, whose training data is simulated from the spec
+/// alone (engine::ClusterCache keys trained estimators on this).
+std::uint64_t spec_digest(const ClusterSpec& spec);
 
 /// 'Mid-range' cluster of Table I: 8x V100 per node, Infiniband EDR 100 Gbps,
 /// NVLink 300 GBps. Defaults to the paper's 16 nodes (128 GPUs).

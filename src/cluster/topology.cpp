@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/hashing.h"
 #include "common/rng.h"
 
 namespace pipette::cluster {
@@ -111,6 +112,21 @@ BandwidthMatrix Topology::true_matrix() const {
     }
   }
   return m;
+}
+
+std::uint64_t Topology::fingerprint() const {
+  using common::hash_combine;
+  // Digest the actual link state, not the construction recipe: sub_cluster()
+  // slices factors out of the parent's larger RNG draw, so a sliced 3-node
+  // cluster and a directly built one share (spec, het, seed, day) yet attain
+  // different bandwidths — only the factor vectors tell them apart.
+  std::uint64_t h = hash_combine(0x9172e7b2d4f1ull, spec_digest(spec_));
+  for (const double f : inter_base_) h = hash_combine(h, f);
+  for (const double f : inter_daily_) h = hash_combine(h, f);
+  for (const double f : intra_base_) h = hash_combine(h, f);
+  h = hash_combine(h, seed_);
+  h = hash_combine(h, static_cast<std::uint64_t>(day_));
+  return h;
 }
 
 Topology Topology::sub_cluster(int num_nodes) const {

@@ -46,6 +46,14 @@ class Topology {
   /// Dense snapshot of the current-day attained bandwidths.
   BandwidthMatrix true_matrix() const;
 
+  /// Stable 64-bit digest of everything that determines this cluster's
+  /// behaviour: the spec plus the attained per-link factors of the current
+  /// day (which also distinguishes sub_cluster() slices from directly built
+  /// clusters). Two Topology objects with equal fingerprints produce
+  /// identical bandwidths, latencies, and sub-clusters — this is what
+  /// engine::ClusterCache keys its memoized bandwidth profiles on.
+  std::uint64_t fingerprint() const;
+
   /// Restricts to the first `num_nodes` nodes (same seed-derived link factors)
   /// — how the memory estimator's "profile on up to four nodes" data is made.
   Topology sub_cluster(int num_nodes) const;

@@ -1,0 +1,44 @@
+// Minimal parallel-execution interface. Core algorithms (the configurator's
+// candidate scoring and per-candidate SA passes) are written against this so
+// they run serially by default and scale across an engine::ThreadPool when
+// one is plugged in — without core/ depending on the engine.
+//
+// Contract: parallel_for runs fn(0..n-1), each index exactly once, and
+// returns only after every index has completed. Index execution order is
+// unspecified, so deterministic pipelines must write results into
+// index-addressed slots and merge them in canonical order afterwards.
+#pragma once
+
+#include <exception>
+#include <functional>
+
+namespace pipette::common {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// How many tasks may run concurrently (1 for serial executors).
+  virtual int concurrency() const = 0;
+  virtual void parallel_for(int n, const std::function<void(int)>& fn) = 0;
+};
+
+/// Runs everything inline on the calling thread, in index order. Matches the
+/// pool's exception semantics: every index runs, the first error is rethrown
+/// after the loop.
+class SerialExecutor final : public Executor {
+ public:
+  int concurrency() const override { return 1; }
+  void parallel_for(int n, const std::function<void(int)>& fn) override {
+    std::exception_ptr error;
+    for (int i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace pipette::common

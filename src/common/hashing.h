@@ -1,0 +1,42 @@
+// Small deterministic hashing toolkit. Used wherever the repository needs a
+// stable 64-bit digest that is identical across runs, platforms, and thread
+// schedules: cluster fingerprints (engine::ClusterCache keys) and
+// per-candidate SA seed derivation. Not for hash tables of adversarial input.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace pipette::common {
+
+/// splitmix64 finalizer: a strong, cheap 64 -> 64 bit mixer.
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Folds `v` into the running digest `h`. Order-sensitive.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return hash_mix(h ^ hash_mix(v));
+}
+
+/// Doubles are hashed by bit pattern, so -0.0 != +0.0; fingerprint inputs are
+/// configuration values, never computed results, so this never matters.
+inline std::uint64_t hash_combine(std::uint64_t h, double v) {
+  return hash_combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// FNV-1a over the bytes of `s`, folded into `h`.
+constexpr std::uint64_t hash_string(std::uint64_t h, std::string_view s) {
+  std::uint64_t f = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    f ^= static_cast<unsigned char>(c);
+    f *= 0x100000001b3ull;
+  }
+  return hash_combine(h, f);
+}
+
+}  // namespace pipette::common

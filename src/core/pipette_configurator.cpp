@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
@@ -26,9 +27,16 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
   ConfiguratorResult res;
   res.method = name();
 
-  // Line 1: profile the actual bandwidth matrix.
-  const auto profiled = cluster::profile_network(topo, opt_.profile);
-  res.profile_wall_s = profiled.wall_time_s;
+  // Line 1: profile the actual bandwidth matrix — or reuse a snapshot the
+  // engine's cluster cache already took of this fabric on this day. Like
+  // mem_train_wall_s, profile_wall_s reports only the cost this request paid:
+  // zero when the snapshot's owner already paid it.
+  std::shared_ptr<const cluster::ProfileResult> profiled = opt_.profile_snapshot;
+  if (!profiled) {
+    profiled = std::make_shared<const cluster::ProfileResult>(
+        cluster::profile_network(topo, opt_.profile));
+    res.profile_wall_s = profiled->wall_time_s;
+  }
 
   // One-time memory estimator (trained from small-scale profiling runs).
   if (!memory_) {
@@ -46,38 +54,69 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
   const double mem_limit = topo.spec().gpu_memory_bytes;
 
-  // Lines 3-7: enumerate and memory-filter the candidate space; score every
-  // survivor with the refined latency model under the default placement.
-  struct Scored {
-    Candidate cand;
-    double default_cost;
-    estimators::ComputeProfile profile;
-  };
-  std::vector<Scored> scored;
+  common::SerialExecutor serial;
+  common::Executor& exec = opt_.executor ? *opt_.executor : serial;
+
+  // Lines 3-7: enumerate the candidate space, then memory-filter every
+  // candidate and score the survivors with the refined latency model under
+  // the default placement. Each candidate is independent, so this fans out
+  // across the executor; results land in index-addressed slots and are merged
+  // in enumeration order, keeping the ranking schedule-independent.
+  std::vector<Candidate> cands;
   for (const auto& pc : parallel::enumerate_parallel_configs(
            topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, opt_.constraints)) {
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, opt_.constraints)) {
-      ++res.candidates_evaluated;
-      if (opt_.use_memory_filter) {
-        const auto t0 = clock::now();
-        const bool ok = memory_->fits(job, pc, micro, mem_limit);
-        res.mem_est_wall_s += since(t0);
-        if (!ok) {
-          ++res.candidates_rejected_oom;
-          continue;
-        }
-      }
-      auto profile = estimators::profile_compute(topo, job, pc, micro, opt_.compute_profile);
-      estimators::PipetteLatencyModel model(job, pc, micro, profile, &profiled.bw, links);
-      const auto mapping = parallel::Mapping::megatron_default(pc);
-      const double cost = model.estimate(mapping);
-      scored.push_back({Candidate{pc, micro}, cost, std::move(profile)});
+      cands.push_back({pc, micro});
     }
+  }
+  res.candidates_evaluated = static_cast<int>(cands.size());
+
+  struct Slot {
+    double default_cost = 0.0;
+    estimators::ComputeProfile profile;
+    double mem_wall_s = 0.0;
+    bool oom = false;
+  };
+  std::vector<Slot> slots(cands.size());
+  exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
+    Slot& slot = slots[static_cast<std::size_t>(i)];
+    const Candidate& cand = cands[static_cast<std::size_t>(i)];
+    if (opt_.use_memory_filter) {
+      const auto t0 = clock::now();
+      const bool ok = memory_->fits(job, cand.pc, cand.micro_batch, mem_limit);
+      slot.mem_wall_s = since(t0);
+      if (!ok) {
+        slot.oom = true;
+        return;
+      }
+    }
+    slot.profile =
+        estimators::profile_compute(topo, job, cand.pc, cand.micro_batch, opt_.compute_profile);
+    estimators::PipetteLatencyModel model(job, cand.pc, cand.micro_batch, slot.profile,
+                                          &profiled->bw, links);
+    slot.default_cost = model.estimate(parallel::Mapping::megatron_default(cand.pc));
+  });
+
+  struct Scored {
+    Candidate cand;
+    double default_cost;
+    const estimators::ComputeProfile* profile;
+  };
+  std::vector<Scored> scored;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    res.mem_est_wall_s += slots[i].mem_wall_s;
+    if (slots[i].oom) {
+      ++res.candidates_rejected_oom;
+      continue;
+    }
+    scored.push_back({cands[i], slots[i].default_cost, &slots[i].profile});
   }
   if (scored.empty()) return res;
 
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) { return a.default_cost < b.default_cost; });
+  // Stable sort: equal costs keep enumeration order, so the ranking is the
+  // same no matter how the scoring pass was scheduled.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.default_cost < b.default_cost; });
 
   for (const auto& s : scored) {
     if (static_cast<int>(res.ranking.size()) >= opt_.ranking_size) break;
@@ -95,29 +134,51 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     const std::size_t limit =
         opt_.sa_top_k <= 0 ? scored.size()
                            : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(opt_.sa_top_k));
-    double best_cost = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < limit; ++i) {
-      const auto& s = scored[i];
-      estimators::PipetteLatencyModel model(job, s.cand.pc, s.cand.micro_batch, s.profile,
-                                            &profiled.bw, links);
+    struct SaSlot {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::optional<parallel::Mapping> mapping;
+      double wall_s = 0.0;
+    };
+    std::vector<SaSlot> sa_slots(limit);
+    exec.parallel_for(static_cast<int>(limit), [&](int i) {
+      const auto& s = scored[static_cast<std::size_t>(i)];
+      estimators::PipetteLatencyModel model(job, s.cand.pc, s.cand.micro_batch, *s.profile,
+                                            &profiled->bw, links);
       auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
       search::SaOptions sa = opt_.sa;
-      sa.seed = opt_.sa.seed + static_cast<std::uint64_t>(i) * 7919;
+      // Seeded from the candidate itself, not its rank, so serial and
+      // parallel schedules anneal each candidate identically.
+      sa.seed = search::derive_seed(opt_.sa.seed, s.cand.str());
       const auto sa_res =
           search::optimize_mapping(mapping, model, topo.gpus_per_node(), sa, opt_.moves);
-      res.search_wall_s += sa_res.wall_s;
-      if (sa_res.best_cost < best_cost) {
-        best_cost = sa_res.best_cost;
-        res.best = s.cand;
-        res.predicted_s = sa_res.best_cost;
-        res.mapping = std::move(mapping);
+      auto& slot = sa_slots[static_cast<std::size_t>(i)];
+      slot.best_cost = sa_res.best_cost;
+      slot.mapping = std::move(mapping);
+      slot.wall_s = sa_res.wall_s;
+    });
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_i = limit;  // ties resolve to the lowest default-cost rank
+    for (std::size_t i = 0; i < limit; ++i) {
+      res.search_wall_s += sa_slots[i].wall_s;
+      if (sa_slots[i].best_cost < best_cost) {
+        best_cost = sa_slots[i].best_cost;
+        best_i = i;
       }
     }
-    // Keep the ranking's head consistent with the dedicated choice.
+    if (best_i < limit) {
+      res.best = scored[best_i].cand;
+      res.predicted_s = sa_slots[best_i].best_cost;
+      res.mapping = std::move(*sa_slots[best_i].mapping);
+    }
+    // Keep the ranking's head consistent with the dedicated choice. If the
+    // winner fell outside a truncated ranking, leave the ranking untouched
+    // rather than mislabel the head with another candidate's SA cost.
     auto it = std::find_if(res.ranking.begin(), res.ranking.end(),
                            [&](const RankedChoice& r) { return r.cand == res.best; });
-    if (it != res.ranking.end()) std::rotate(res.ranking.begin(), it, it + 1);
-    if (!res.ranking.empty()) res.ranking.front().predicted_s = res.predicted_s;
+    if (it != res.ranking.end()) {
+      std::rotate(res.ranking.begin(), it, it + 1);
+      res.ranking.front().predicted_s = res.predicted_s;
+    }
   }
   return res;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "cluster/profiler.h"
+#include "common/executor.h"
 #include "core/configurator.h"
 #include "estimators/compute_profile.h"
 #include "estimators/mlp_memory.h"
@@ -32,6 +33,16 @@ struct PipetteOptions {
   /// cluster; trained on demand (and its wall time reported) when null.
   std::shared_ptr<const estimators::MlpMemoryEstimator> memory;
   estimators::MlpMemoryOptions memory_training;
+  /// Pre-profiled bandwidth snapshot to reuse (e.g. from an
+  /// engine::ClusterCache entry for the same fabric and day); profiled on
+  /// demand when null.
+  std::shared_ptr<const cluster::ProfileResult> profile_snapshot;
+  /// Parallel executor for candidate scoring and the per-candidate SA passes
+  /// (not owned; typically an engine::ThreadPool). Results are merged in
+  /// canonical enumeration order and SA seeds derive from the candidate
+  /// itself, so — under an iteration-capped SA budget — every thread count
+  /// produces the serial ranking bit for bit. Null runs serially.
+  common::Executor* executor = nullptr;
   int ranking_size = 1000;  // keep the full preference order for OOM fallback
 };
 

@@ -1,0 +1,125 @@
+#include "engine/cluster_cache.h"
+
+#include "common/hashing.h"
+#include "model/gpt_zoo.h"
+
+namespace pipette::engine {
+
+namespace {
+
+std::uint64_t hash_profile_options(std::uint64_t h, const cluster::ProfileOptions& o) {
+  using common::hash_combine;
+  h = hash_combine(h, o.message_bytes);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.rounds));
+  h = hash_combine(h, o.per_measurement_setup_s);
+  h = hash_combine(h, o.per_node_init_s);
+  h = hash_combine(h, o.noise_sigma);
+  h = hash_combine(h, o.seed);
+  return h;
+}
+
+std::uint64_t hash_memory_options(std::uint64_t h, const estimators::MlpMemoryOptions& o) {
+  using common::hash_combine;
+  for (const int w : o.hidden) h = hash_combine(h, static_cast<std::uint64_t>(w));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.train.iters));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.train.batch_size));
+  h = hash_combine(h, o.train.lr);
+  h = hash_combine(h, o.train.lr_decay);
+  h = hash_combine(h, o.train.seed);
+  h = hash_combine(h, o.soft_margin);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.max_profile_nodes));
+  for (const int b : o.profile_global_batches) h = hash_combine(h, static_cast<std::uint64_t>(b));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.max_tp));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.max_micro_batch));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.require_full_rounds));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.fixed_micro_batch));
+  h = hash_combine(h, o.seed);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ClusterCache::profile_key(const cluster::Topology& topo,
+                                        const cluster::ProfileOptions& profile_opt) {
+  return hash_profile_options(topo.fingerprint(), profile_opt);
+}
+
+std::uint64_t ClusterCache::memory_key(const cluster::ClusterSpec& spec,
+                                       const estimators::MlpMemoryOptions& memory_opt) {
+  return hash_memory_options(cluster::spec_digest(spec), memory_opt);
+}
+
+ClusterCache::Entry ClusterCache::get_or_compute(const cluster::Topology& topo,
+                                                 const cluster::ProfileOptions& profile_opt,
+                                                 const estimators::MlpMemoryOptions& memory_opt) {
+  std::shared_ptr<Cell<cluster::ProfileResult>> profile_cell;
+  std::shared_ptr<Cell<estimators::MlpMemoryEstimator>> memory_cell;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.lookups;
+    const auto [pcell, phit] = profiles_.acquire(profile_key(topo, profile_opt), opt_.max_profiles);
+    const auto [mcell, mhit] =
+        estimators_.acquire(memory_key(topo.spec(), memory_opt), opt_.max_estimators);
+    if (phit && mhit) ++stats_.hits;
+    profile_cell = pcell;
+    memory_cell = mcell;
+  }
+
+  Entry entry;
+  auto fill_profile = [&] {  // caller holds profile_cell->mu
+    if (!profile_cell->value) {
+      profile_cell->value = std::make_shared<const cluster::ProfileResult>(
+          cluster::profile_network(topo, profile_opt));
+      std::lock_guard slk(mu_);
+      ++stats_.profiles_run;
+    }
+    entry.profile = profile_cell->value;
+  };
+  auto fill_memory = [&] {  // caller holds memory_cell->mu
+    if (!memory_cell->value) {
+      memory_cell->value = std::make_shared<const estimators::MlpMemoryEstimator>(
+          estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(), memory_opt));
+      std::lock_guard slk(mu_);
+      ++stats_.trainings_run;
+    }
+    entry.memory = memory_cell->value;
+  };
+
+  // The two artifacts are independent; when another request is already
+  // profiling this fabric, do the training half first instead of queueing —
+  // concurrent first requests then split the work (max, not sum, latency).
+  // At most one cell mutex is held at a time, so the opposite orders cannot
+  // deadlock.
+  std::unique_lock plk(profile_cell->mu, std::defer_lock);
+  if (plk.try_lock()) {
+    fill_profile();
+    plk.unlock();
+    std::lock_guard mlk(memory_cell->mu);
+    fill_memory();
+  } else {
+    {
+      std::lock_guard mlk(memory_cell->mu);
+      fill_memory();
+    }
+    std::lock_guard plk2(profile_cell->mu);
+    fill_profile();
+  }
+  return entry;
+}
+
+ClusterCacheStats ClusterCache::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+int ClusterCache::cached_profiles() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(profiles_.cells.size());
+}
+
+int ClusterCache::cached_estimators() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(estimators_.cells.size());
+}
+
+}  // namespace pipette::engine

@@ -1,0 +1,38 @@
+#include "engine/config_service.h"
+
+namespace pipette::engine {
+
+ConfigService::ConfigService(ConfigServiceOptions opt)
+    : opt_(std::move(opt)), pool_(opt_.threads) {}
+
+std::future<core::ConfiguratorResult> ConfigService::submit(cluster::Topology topo,
+                                                            model::TrainingJob job) {
+  return pool_.submit([this, topo = std::move(topo), job = std::move(job)] {
+    return configure_one(topo, job);
+  });
+}
+
+std::vector<core::ConfiguratorResult> ConfigService::sweep(
+    const cluster::Topology& topo, const std::vector<model::TrainingJob>& jobs) {
+  std::vector<std::future<core::ConfiguratorResult>> futs;
+  futs.reserve(jobs.size());
+  for (const auto& job : jobs) futs.push_back(submit(topo, job));
+  std::vector<core::ConfiguratorResult> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& topo,
+                                                      const model::TrainingJob& job) {
+  const ClusterCache::Entry entry =
+      cache_.get_or_compute(topo, opt_.pipette.profile, opt_.pipette.memory_training);
+  core::PipetteOptions po = opt_.pipette;
+  po.memory = entry.memory;
+  po.profile_snapshot = entry.profile;
+  po.executor = opt_.parallel_candidates ? &pool_ : nullptr;
+  core::PipetteConfigurator configurator(std::move(po));
+  return configurator.configure(topo, job);
+}
+
+}  // namespace pipette::engine

@@ -1,0 +1,62 @@
+// The batched front-end of the configuration engine: a stream of
+// (job, topology) requests fans out across one shared thread pool and one
+// cluster-fingerprint cache. Each submit returns a future; a whole scenario
+// sweep (the scalability and batch-sensitivity studies) is one `sweep` call.
+//
+// Determinism: with an iteration-capped SA budget (SaOptions::max_iters set,
+// generous time limit), results are bit-identical for any thread count —
+// candidate scoring merges in canonical order and SA seeds derive from the
+// candidate, not the schedule (see PipetteOptions::executor).
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "core/pipette_configurator.h"
+#include "engine/cluster_cache.h"
+#include "engine/thread_pool.h"
+
+namespace pipette::engine {
+
+struct ConfigServiceOptions {
+  /// Worker threads in the pool; <= 0 picks hardware concurrency.
+  int threads = 0;
+  /// Also fan each request's candidate scoring and SA passes across the pool
+  /// (recommended; disable to parallelize across requests only).
+  bool parallel_candidates = true;
+  /// Bounds on the per-cluster artifact cache.
+  ClusterCacheOptions cache;
+  /// Template options for every request. `memory`, `profile_snapshot`, and
+  /// `executor` are overwritten per request from the cache and pool.
+  core::PipetteOptions pipette;
+};
+
+class ConfigService {
+ public:
+  explicit ConfigService(ConfigServiceOptions opt);
+
+  /// Enqueues one configure request. The topology is captured by value so the
+  /// caller may discard it; the future delivers the full result (or the
+  /// configurator's exception).
+  std::future<core::ConfiguratorResult> submit(cluster::Topology topo, model::TrainingJob job);
+
+  /// Submits every job against one cluster and waits for all of them;
+  /// results are in job order.
+  std::vector<core::ConfiguratorResult> sweep(const cluster::Topology& topo,
+                                              const std::vector<model::TrainingJob>& jobs);
+
+  ClusterCacheStats cache_stats() const { return cache_.stats(); }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  core::ConfiguratorResult configure_one(const cluster::Topology& topo,
+                                         const model::TrainingJob& job);
+
+  ConfigServiceOptions opt_;
+  ClusterCache cache_{opt_.cache};
+  // Last member: destroyed first, so the pool drains queued configure tasks
+  // (which touch cache_ and opt_) while both are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace pipette::engine

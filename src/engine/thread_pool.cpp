@@ -1,0 +1,89 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace pipette::engine {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+
+  // Shared between the caller and the helper jobs it enqueues. Helpers may
+  // still be sitting in the queue when the loop completes and the caller
+  // returns (destroying `fn`); they only read `next` — already >= n by then —
+  // and exit without touching the function pointer.
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+  auto state = std::make_shared<State>();
+  const std::function<void(int)>* body = &fn;
+
+  auto drain = [state, body, n] {
+    for (;;) {
+      const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard lk(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lk(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const int helpers = std::min(num_threads(), n - 1);
+  for (int h = 0; h < helpers; ++h) enqueue(drain);
+  drain();  // caller participates: guarantees progress even on a full pool
+
+  std::unique_lock lk(state->mu);
+  state->cv.wait(lk, [&] { return state->done.load(std::memory_order_acquire) >= n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace pipette::engine

@@ -1,0 +1,64 @@
+// Work-queue thread pool — the execution substrate of the configuration
+// engine. One pool serves two layers at once: whole configure requests
+// (engine::ConfigService::submit) and the per-request fan-out of candidate
+// scoring / SA dedication passes (via the common::Executor interface the
+// configurator is written against).
+//
+// parallel_for is caller-participating: the calling thread drains loop
+// indices alongside the workers, so a task already running on the pool may
+// itself call parallel_for without deadlock — in the worst case (all workers
+// busy) the caller simply runs every index itself.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/executor.h"
+
+namespace pipette::engine {
+
+class ThreadPool final : public common::Executor {
+ public:
+  /// `threads` <= 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int threads = 0);
+  /// Drains the queue (every submitted task still runs), then joins.
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int concurrency() const override { return num_threads(); }
+
+  /// Enqueues `fn`; the future reports its result (or its exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(0..n-1) to completion, each index exactly once; rethrows the
+  /// first task exception after all indices finish.
+  void parallel_for(int n, const std::function<void(int)>& fn) override;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pipette::engine

@@ -1,4 +1,11 @@
-// simulated_annealing is header-only (template); this translation unit exists
-// so the library has an archive member and a home for future non-template
-// helpers.
 #include "search/sa.h"
+
+#include "common/hashing.h"
+
+namespace pipette::search {
+
+std::uint64_t derive_seed(std::uint64_t base, std::string_view key) {
+  return common::hash_string(common::hash_mix(base), key);
+}
+
+}  // namespace pipette::search

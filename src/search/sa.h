@@ -7,10 +7,17 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "common/rng.h"
 
 namespace pipette::search {
+
+/// Derives the SA seed for one named unit of work from a base seed and a
+/// stable key (e.g. `Candidate::str()`). The seed depends only on the key,
+/// never on iteration order or rank, so serial and parallel schedules anneal
+/// every candidate identically and produce the same ranking.
+std::uint64_t derive_seed(std::uint64_t base, std::string_view key);
 
 struct SaOptions {
   double time_limit_s = 10.0;  ///< paper: "10 seconds for the SA time limit"

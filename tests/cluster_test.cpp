@@ -190,3 +190,37 @@ TEST(Profiler, DeterministicInSeed) {
   const auto b = pcl::profile_network(t, {});
   EXPECT_DOUBLE_EQ(a.bw.at(0, 8), b.bw.at(0, 8));
 }
+
+TEST(Topology, FingerprintIdentifiesTheCluster) {
+  pcl::Topology a(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 14);
+  pcl::Topology same(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 14);
+  EXPECT_EQ(a.fingerprint(), same.fingerprint());
+
+  pcl::Topology other_seed(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 15);
+  EXPECT_NE(a.fingerprint(), other_seed.fingerprint());
+  pcl::Topology other_size(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 14);
+  EXPECT_NE(a.fingerprint(), other_size.fingerprint());
+  pcl::HeterogeneityOptions het;
+  het.inter_mean += 0.01;
+  pcl::Topology other_het(pcl::mid_range_cluster(2), het, 14);
+  EXPECT_NE(a.fingerprint(), other_het.fingerprint());
+}
+
+TEST(Topology, FingerprintTracksTheDay) {
+  pcl::Topology t(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 14);
+  const auto day0 = t.fingerprint();
+  t.advance_day();
+  EXPECT_NE(t.fingerprint(), day0) << "a profile from yesterday must not be reused today";
+}
+
+TEST(Topology, FingerprintDistinguishesSubClusterFromDirectBuild) {
+  // sub_cluster() slices link factors out of the parent's larger RNG draw, so
+  // it attains different bandwidths than a directly built same-spec cluster;
+  // their fingerprints must differ or a cache would mix up their profiles.
+  pcl::Topology parent(pcl::mid_range_cluster(4), pcl::HeterogeneityOptions{}, 2024);
+  pcl::Topology direct(pcl::mid_range_cluster(3), pcl::HeterogeneityOptions{}, 2024);
+  const auto sliced = parent.sub_cluster(3);
+  ASSERT_NE(sliced.bandwidth(8, 16), direct.bandwidth(8, 16));
+  EXPECT_NE(sliced.fingerprint(), direct.fingerprint());
+  EXPECT_EQ(sliced.fingerprint(), parent.sub_cluster(3).fingerprint());
+}

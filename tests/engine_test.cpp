@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/cluster_cache.h"
+#include "engine/config_service.h"
+#include "engine/thread_pool.h"
+#include "model/gpt_zoo.h"
+
+using namespace pipette;
+
+namespace {
+
+cluster::Topology small_cluster(std::uint64_t seed = 2024) {
+  return cluster::Topology(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{}, seed);
+}
+
+/// Fast budgets with an iteration-capped SA pass: the determinism guarantees
+/// hold for any thread count only when SA stops on iterations, not wall time.
+core::PipetteOptions fast_options() {
+  core::PipetteOptions opt;
+  opt.sa.max_iters = 1200;
+  opt.sa.time_limit_s = 1e9;
+  opt.sa_top_k = 3;
+  opt.memory_training.hidden = {48, 48};
+  opt.memory_training.train.iters = 2500;
+  opt.memory_training.max_profile_nodes = 2;
+  opt.memory_training.profile_global_batches = {128};
+  opt.memory_training.soft_margin = 0.2;
+  return opt;
+}
+
+engine::ConfigServiceOptions service_options(int threads) {
+  engine::ConfigServiceOptions so;
+  so.threads = threads;
+  so.pipette = fast_options();
+  return so;
+}
+
+void expect_identical(const core::ConfiguratorResult& a, const core::ConfiguratorResult& b) {
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.predicted_s, b.predicted_s);
+  EXPECT_EQ(a.mapping.has_value(), b.mapping.has_value());
+  if (a.mapping && b.mapping) {
+    EXPECT_EQ(*a.mapping, *b.mapping);
+  }
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].cand, b.ranking[i].cand) << "rank " << i;
+    EXPECT_DOUBLE_EQ(a.ranking[i].predicted_s, b.ranking[i].predicted_s) << "rank " << i;
+  }
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+  EXPECT_EQ(a.candidates_rejected_oom, b.candidates_rejected_oom);
+}
+
+}  // namespace
+
+TEST(ThreadPool, SubmitDeliversResultsAndExceptions) {
+  engine::ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_THROW(f2.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  engine::ThreadPool pool(4);
+  constexpr int n = 500;
+  std::vector<std::atomic<int>> counts(n);
+  pool.parallel_for(n, [&](int i) { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << i;
+  pool.parallel_for(0, [&](int) { FAIL() << "n == 0 must run nothing"; });
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Saturate a tiny pool with tasks that each fan out on the same pool; the
+  // caller-participation rule must keep everything progressing.
+  engine::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 6; ++t) {
+    futs.push_back(pool.submit([&pool, &total] {
+      pool.parallel_for(40, [&](int) { total.fetch_add(1); });
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(total.load(), 6 * 40);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  engine::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](int i) {
+                                   ran.fetch_add(1);
+                                   if (i == 13) throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 64) << "all indices still run; the error surfaces after the barrier";
+}
+
+TEST(SerialExecutor, MatchesPoolExceptionSemantics) {
+  common::SerialExecutor exec;
+  int ran = 0;
+  EXPECT_THROW(exec.parallel_for(8,
+                                 [&](int i) {
+                                   ++ran;
+                                   if (i == 2) throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 8) << "serial and pooled executors must agree: run all, rethrow after";
+}
+
+TEST(ClusterCache, KeysAreStableAndSensitive) {
+  const auto topo = small_cluster();
+  const cluster::ProfileOptions po;
+  const estimators::MlpMemoryOptions mo;
+  EXPECT_EQ(engine::ClusterCache::profile_key(topo, po),
+            engine::ClusterCache::profile_key(small_cluster(), po));
+  EXPECT_EQ(topo.fingerprint(), small_cluster().fingerprint());
+
+  EXPECT_NE(engine::ClusterCache::profile_key(small_cluster(7), po),
+            engine::ClusterCache::profile_key(topo, po))
+      << "different heterogeneity universe, different attained bandwidths";
+  auto other_day = small_cluster();
+  other_day.advance_day();
+  EXPECT_NE(other_day.fingerprint(), topo.fingerprint()) << "AR(1) day must change the profile key";
+  cluster::ProfileOptions po2 = po;
+  po2.rounds += 1;
+  EXPECT_NE(engine::ClusterCache::profile_key(topo, po2), engine::ClusterCache::profile_key(topo, po));
+
+  // The estimator trains from the spec alone: same spec shares the artifact
+  // across universes and days; any option change invalidates it.
+  EXPECT_EQ(engine::ClusterCache::memory_key(small_cluster(7).spec(), mo),
+            engine::ClusterCache::memory_key(topo.spec(), mo));
+  estimators::MlpMemoryOptions mo2 = mo;
+  mo2.hidden.push_back(32);
+  EXPECT_NE(engine::ClusterCache::memory_key(topo.spec(), mo2),
+            engine::ClusterCache::memory_key(topo.spec(), mo));
+}
+
+TEST(ClusterCache, DayDriftReprofilesButDoesNotRetrain) {
+  engine::ClusterCache cache;
+  cluster::ProfileOptions po;
+  estimators::MlpMemoryOptions mo;
+  mo.hidden = {48, 48};
+  mo.train.iters = 1500;
+  mo.max_profile_nodes = 2;
+  mo.profile_global_batches = {128};
+
+  auto topo = small_cluster();
+  const auto day0 = cache.get_or_compute(topo, po, mo);
+  topo.advance_day();
+  const auto day1 = cache.get_or_compute(topo, po, mo);
+  EXPECT_NE(day0.profile, day1.profile) << "yesterday's bandwidth snapshot must not be reused";
+  EXPECT_EQ(day0.memory, day1.memory) << "the estimator depends on the spec, not the day";
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.profiles_run, 2);
+  EXPECT_EQ(stats.trainings_run, 1);
+  EXPECT_EQ(stats.hits, 0) << "day 1 missed on the profile half";
+}
+
+TEST(ClusterCache, EvictsOldestProfilesPastTheCap) {
+  engine::ClusterCacheOptions co;
+  co.max_profiles = 2;
+  engine::ClusterCache cache(co);
+  cluster::ProfileOptions po;
+  estimators::MlpMemoryOptions mo;
+  mo.hidden = {48, 48};
+  mo.train.iters = 1500;
+  mo.max_profile_nodes = 2;
+  mo.profile_global_batches = {128};
+
+  auto topo = small_cluster();
+  const auto day0 = cache.get_or_compute(topo, po, mo);
+  topo.advance_day();
+  cache.get_or_compute(topo, po, mo);
+  topo.advance_day();
+  cache.get_or_compute(topo, po, mo);  // evicts the day-0 snapshot
+  EXPECT_EQ(cache.cached_profiles(), 2);
+  EXPECT_EQ(cache.stats().profiles_run, 3);
+  EXPECT_EQ(cache.stats().trainings_run, 1) << "eviction only applies per map";
+  EXPECT_TRUE(day0.profile) << "in-flight users keep evicted artifacts alive";
+}
+
+TEST(ConfigService, RankingIsBitIdenticalAcrossThreadCounts) {
+  const auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  engine::ConfigService serial(service_options(1));
+  engine::ConfigService wide(service_options(8));
+  const auto r1 = serial.submit(topo, job).get();
+  const auto r8 = wide.submit(topo, job).get();
+  expect_identical(r1, r8);
+}
+
+TEST(ConfigService, MatchesStandalonePipetteConfigurator) {
+  const auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  core::PipetteConfigurator standalone(fast_options());
+  const auto expect = standalone.configure(topo, job);
+  engine::ConfigService service(service_options(4));
+  const auto got = service.submit(topo, job).get();
+  expect_identical(expect, got);
+}
+
+TEST(ConfigService, SecondSubmitHitsTheClusterCache) {
+  const auto topo = small_cluster();
+  engine::ConfigService service(service_options(2));
+  const auto r1 = service.submit(topo, {model::gpt_774m(), 128}).get();
+  const auto r2 = service.submit(topo, {model::gpt_774m(), 256}).get();
+  ASSERT_TRUE(r1.found);
+  ASSERT_TRUE(r2.found);
+  const auto stats = service.cache_stats();
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.profiles_run, 1) << "bandwidth profiling must run once per cluster";
+  EXPECT_EQ(stats.trainings_run, 1) << "MLP training must run once per cluster";
+  EXPECT_DOUBLE_EQ(r1.mem_train_wall_s, 0.0) << "training is owned by the cache, not the request";
+  EXPECT_DOUBLE_EQ(r2.mem_train_wall_s, 0.0);
+  EXPECT_DOUBLE_EQ(r1.profile_wall_s, 0.0) << "profiling is owned by the cache, not the request";
+  EXPECT_DOUBLE_EQ(r2.profile_wall_s, 0.0);
+}
+
+TEST(ConfigService, ConcurrentSubmitsTrainOnce) {
+  const auto topo = small_cluster();
+  engine::ConfigService service(service_options(4));
+  constexpr int kClients = 4;
+  std::vector<std::future<core::ConfiguratorResult>> futs(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        futs[static_cast<std::size_t>(c)] = service.submit(topo, {model::gpt_774m(), 128});
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  std::vector<core::ConfiguratorResult> results;
+  for (auto& f : futs) results.push_back(f.get());
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.found);
+    expect_identical(results.front(), r);
+  }
+  const auto stats = service.cache_stats();
+  EXPECT_EQ(stats.lookups, kClients);
+  EXPECT_EQ(stats.trainings_run, 1);
+  EXPECT_EQ(stats.profiles_run, 1);
+}
+
+TEST(ConfigService, SweepPreservesJobOrder) {
+  const auto topo = small_cluster();
+  engine::ConfigService service(service_options(4));
+  const std::vector<model::TrainingJob> jobs = {
+      {model::gpt_774m(), 128}, {model::gpt_774m(), 256}, {model::gpt_774m(), 512}};
+  const auto results = service.sweep(topo, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(results[i].found) << "job " << i;
+    // dp can never exceed the job's global batch; distinguishes the jobs.
+    EXPECT_LE(results[i].best.pc.dp, jobs[i].global_batch) << "job " << i;
+  }
+  EXPECT_EQ(service.cache_stats().trainings_run, 1);
+}

@@ -95,6 +95,29 @@ TEST(SimulatedAnnealing, NeverReturnsWorseThanInitial) {
   EXPECT_EQ(state, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(DeriveSeed, DeterministicAndKeySensitive) {
+  EXPECT_EQ(search::derive_seed(13, "pp2·tp8·dp2-mb4"), search::derive_seed(13, "pp2·tp8·dp2-mb4"));
+  EXPECT_NE(search::derive_seed(13, "pp2·tp8·dp2-mb4"), search::derive_seed(13, "pp2·tp8·dp2-mb2"));
+  EXPECT_NE(search::derive_seed(13, "pp2·tp8·dp2-mb4"), search::derive_seed(14, "pp2·tp8·dp2-mb4"));
+}
+
+TEST(DeriveSeed, IndependentOfEvaluationOrder) {
+  // The per-candidate seed is a pure function of (base, key): evaluating the
+  // same candidates in any order — or on any thread — yields the same seeds,
+  // hence the same annealing outcomes under an iteration cap.
+  const std::vector<std::string> keys = {"a", "b", "c", "d"};
+  std::vector<std::uint64_t> forward, backward;
+  for (const auto& k : keys) forward.push_back(search::derive_seed(7, k));
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) backward.push_back(search::derive_seed(7, *it));
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(forward[i], forward[j]) << keys[i] << " vs " << keys[j];
+    }
+  }
+}
+
 TEST(MappingSearch, MovesCoverEnabledSetOnly) {
   common::Rng rng(3);
   parallel::Mapping m = parallel::Mapping::megatron_default({4, 2, 4});
