@@ -1,0 +1,126 @@
+// SA placement-loop throughput: moves/sec with full re-evaluation
+// (PipetteLatencyModel::estimate per proposal, the pre-incremental hot path)
+// vs the IncrementalLatencyEvaluator behind optimize_mapping. Both anneal the
+// identical trajectory (same seed, same rng stream, bit-identical costs), so
+// the `match` column doubles as an end-to-end equivalence check.
+//
+//   --fast       CI budget: fewer iterations, skips the 256/512-GPU shapes
+//   --iters N    override the full-evaluation iteration count
+//   --seed N     heterogeneity universe seed (default 2024)
+//   --csv PATH   mirror the table to CSV
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "cluster/profiler.h"
+#include "cluster/topology.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "estimators/compute_profile.h"
+#include "estimators/latency_models.h"
+#include "model/gpt_zoo.h"
+#include "search/mapping_search.h"
+
+using namespace pipette;
+
+namespace {
+
+struct ShapeCase {
+  parallel::ParallelConfig pc;
+  int micro;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  if (const auto unknown = cli.first_unknown({"fast", "iters", "seed", "csv"})) {
+    std::cerr << "unknown flag --" << *unknown << "\n";
+    return 1;
+  }
+  const bool fast = cli.get_bool("fast", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+  const long full_iters = cli.get_int("iters", fast ? 4000 : 20000);
+  const long inc_iters = full_iters * (fast ? 25 : 10);
+  const std::string csv = cli.get_string("csv", "");
+
+  std::vector<ShapeCase> cases = {
+      {{4, 2, 4}, 2}, {{2, 8, 2}, 2}, {{8, 1, 4}, 2}, {{4, 4, 2}, 2},  // 32 GPUs
+      {{8, 2, 4}, 2}, {{4, 4, 4}, 2},                                  // 64 GPUs
+      {{8, 4, 4}, 2},                                                  // 128 GPUs
+  };
+  if (!fast) {
+    cases.push_back({{8, 4, 8}, 2});   // 256 GPUs
+    cases.push_back({{8, 8, 8}, 2});   // 512 GPUs
+  }
+
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  // The two paths run different iteration counts (the incremental one needs
+  // more for a clean rate measurement), so each gets its own column.
+  common::Table table({"shape", "gpus", "full iters", "full s", "full mv/s", "incr iters",
+                       "incr s", "incr mv/s", "speedup", "match"});
+
+  for (const auto& c : cases) {
+    const cluster::Topology topo(cluster::mid_range_cluster(c.pc.ways() / 8),
+                                 cluster::HeterogeneityOptions{}, seed);
+    const int gpn = topo.gpus_per_node();
+    const auto profiled = cluster::profile_network(topo, {});
+    const auto links = estimators::LinkConstants::from_spec(topo.spec());
+    const auto prof = estimators::profile_compute(topo, job, c.pc, c.micro, {});
+    const estimators::PipetteLatencyModel model(job, c.pc, c.micro, prof, &profiled.bw, links);
+
+    search::SaOptions opt;
+    opt.time_limit_s = std::numeric_limits<double>::infinity();  // iteration-capped
+    opt.seed = search::derive_seed(seed, c.pc.str());
+    opt.max_iters = full_iters;
+
+    // Full re-evaluation per proposal: the copy-based generic annealer over
+    // model.estimate — exactly what optimize_mapping did before the
+    // incremental evaluator.
+    parallel::Mapping m_full = parallel::Mapping::megatron_default(c.pc);
+    const auto res_full = search::simulated_annealing(
+        m_full, [&model](const parallel::Mapping& s) { return model.estimate(s); },
+        [gpn](parallel::Mapping& s, common::Rng& rng) {
+          parallel::apply_move(s, search::draw_mapping_move(s, rng, {}, gpn), gpn);
+        },
+        opt);
+
+    // Trajectory check at the same iteration count, then a longer run for a
+    // clean rate measurement of the incremental path.
+    parallel::Mapping m_inc = parallel::Mapping::megatron_default(c.pc);
+    const auto res_inc_match = search::optimize_mapping(m_inc, model, gpn, opt);
+    const bool match =
+        res_inc_match.best_cost == res_full.best_cost && m_inc.raw() == m_full.raw();
+
+    opt.max_iters = inc_iters;
+    parallel::Mapping m_rate = parallel::Mapping::megatron_default(c.pc);
+    const auto res_inc = search::optimize_mapping(m_rate, model, gpn, opt);
+
+    const double full_rate = static_cast<double>(res_full.iters) / res_full.wall_s;
+    const double inc_rate = static_cast<double>(res_inc.iters) / res_inc.wall_s;
+    table.add_row({c.pc.str(), std::to_string(c.pc.ways()), std::to_string(res_full.iters),
+                   common::fmt_fixed(res_full.wall_s, 3), common::fmt_count(full_rate),
+                   std::to_string(res_inc.iters), common::fmt_fixed(res_inc.wall_s, 3),
+                   common::fmt_count(inc_rate), common::fmt_fixed(inc_rate / full_rate, 1) + "x",
+                   match ? "yes" : "NO"});
+    if (!match) {
+      std::cerr << "MISMATCH on " << c.pc.str()
+                << ": incremental and full-evaluation SA diverged\n";
+      return 2;
+    }
+  }
+
+  table.print(std::cout);
+  if (!csv.empty()) {
+    if (table.write_csv(csv)) {
+      std::cout << "(csv written to " << csv << ")\n";
+    } else {
+      std::cout << "(failed to write csv to " << csv << ")\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -52,6 +52,10 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 int Rng::uniform_int(int lo, int hi) {
   assert(lo <= hi);
   const std::uint64_t span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // Power-of-two spans (GPU counts, node counts) take the mask path, which is
+  // bit-identical to the modulo but skips the 64-bit division — the SA hot
+  // loop draws two such operands per proposed move.
+  if ((span & (span - 1)) == 0) return lo + static_cast<int>(next_u64() & (span - 1));
   return lo + static_cast<int>(next_u64() % span);
 }
 

@@ -124,7 +124,10 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
   }
 
   // Lines 9-15: fine-grained worker dedication on the most promising
-  // candidates (all of them when sa_top_k == 0, as in the paper).
+  // candidates (all of them when sa_top_k == 0, as in the paper). Each SA
+  // pass runs on the incremental evaluator inside optimize_mapping —
+  // bit-identical costs to model.estimate, so the annealed mappings match
+  // full re-evaluation move for move while proposals cost O(touched groups).
   res.found = true;
   res.best = scored.front().cand;
   res.predicted_s = scored.front().default_cost;

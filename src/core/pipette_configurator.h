@@ -22,7 +22,10 @@ struct PipetteOptions {
   bool use_memory_filter = true;
   /// SA is run on the `sa_top_k` best candidates by default-placement score;
   /// 0 means "every surviving candidate" (the paper's Algorithm 1 loops SA
-  /// over all of them with a 10 s budget each).
+  /// over all of them with a 10 s budget each). Proposals are scored by the
+  /// incremental evaluator (see src/estimators/incremental_latency.h), which
+  /// multiplies the moves explored per second of budget without changing any
+  /// result.
   int sa_top_k = 6;
   search::SaOptions sa;
   search::MoveSet moves;

@@ -1,0 +1,546 @@
+#include "estimators/incremental_latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "parallel/parallel_config.h"
+#include "sim/stage_costs.h"
+
+namespace pipette::estimators {
+
+IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyModel& model,
+                                                         const parallel::Mapping& start,
+                                                         int gpus_per_node)
+    : model_(&model), cur_(start) {
+  const parallel::ParallelConfig& pc = model.pc_;
+  pp_ = pc.pp;
+  tp_ = pc.tp;
+  dp_ = pc.dp;
+  move_gpn_ = gpus_per_node;
+  const int n = cur_.num_workers();
+  const int num_gpus = model.bw_->num_gpus();
+  num_nodes_ = std::max(1, (num_gpus + model.links_.gpus_per_node - 1) / model.links_.gpus_per_node);
+  pair_stride_ = num_nodes_ * num_nodes_;
+  rounds_ = static_cast<double>(model.nmb_) / pc.pp;
+  flow_bytes_ = model.pp_msg_bytes_ / pc.tp;
+
+  pos_stage_.resize(static_cast<std::size_t>(n));
+  pos_tpr_.resize(static_cast<std::size_t>(n));
+  pos_dpr_.resize(static_cast<std::size_t>(n));
+  for (int x = 0; x < pp_; ++x) {
+    for (int y = 0; y < tp_; ++y) {
+      for (int z = 0; z < dp_; ++z) {
+        const auto w = static_cast<std::size_t>(cur_.worker_index(x, y, z));
+        pos_stage_[w] = x;
+        pos_tpr_[w] = y;
+        pos_dpr_[w] = z;
+      }
+    }
+  }
+  node_of_gpu_.resize(static_cast<std::size_t>(num_gpus));
+  for (int g = 0; g < num_gpus; ++g) {
+    node_of_gpu_[static_cast<std::size_t>(g)] = g / model.links_.gpus_per_node;
+  }
+
+  layers_.resize(static_cast<std::size_t>(pp_));
+  c_.resize(static_cast<std::size_t>(pp_));
+  msg_.resize(static_cast<std::size_t>(pp_));
+  for (int x = 0; x < pp_; ++x) {
+    layers_[static_cast<std::size_t>(x)] =
+        parallel::layers_of_stage(model.job_->model.num_layers, pp_, x);
+    c_[static_cast<std::size_t>(x)] = model.profile_.stage_fwd_s[static_cast<std::size_t>(x)] +
+                                      model.profile_.stage_bwd_s[static_cast<std::size_t>(x)];
+    msg_[static_cast<std::size_t>(x)] = sim::dp_gradient_bytes(model.job_->model, pc, x);
+  }
+  // The full model builds an inter-node hop's shared byte count by adding
+  // flow_bytes once per sharing flow; precomputing the same running sums keeps
+  // the incremental result bit-identical without the O(dp·tp) inner loop.
+  shared_sum_.resize(static_cast<std::size_t>(dp_ * tp_) + 1);
+  shared_sum_[0] = 0.0;
+  for (std::size_t k = 1; k < shared_sum_.size(); ++k) {
+    shared_sum_[k] = shared_sum_[k - 1] + flow_bytes_;
+  }
+
+  const int cells = pp_ * dp_;
+  const int hops = std::max(0, pp_ - 1);
+  const int groups = pp_ * tp_;
+  const int flows = hops * dp_ * tp_;
+  tp_term_.assign(static_cast<std::size_t>(cells), 0.0);
+  block_.assign(static_cast<std::size_t>(pp_), 0.0);
+  hop_.assign(static_cast<std::size_t>(hops * dp_), 0.0);
+  flow_pair_.assign(static_cast<std::size_t>(flows), -1);
+  pair_count_.assign(static_cast<std::size_t>(hops) * static_cast<std::size_t>(pair_stride_), 0);
+  g_min_intra_.assign(static_cast<std::size_t>(groups), 0.0);
+  g_min_inter_.assign(static_cast<std::size_t>(groups), 0.0);
+  g_max_same_.assign(static_cast<std::size_t>(groups), 1);
+  g_num_nodes_.assign(static_cast<std::size_t>(groups), 0);
+  g_nodes_.assign(static_cast<std::size_t>(groups * dp_), 0);
+  node_flows_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  g_flows_key_.assign(static_cast<std::size_t>(groups), -1);
+  g_t_memo_.assign(static_cast<std::size_t>(groups), 0.0);
+
+  stamp_cell_.assign(static_cast<std::size_t>(cells), 0);
+  stamp_stage_.assign(static_cast<std::size_t>(pp_), 0);
+  stamp_group_.assign(static_cast<std::size_t>(groups), 0);
+  stamp_flow_.assign(static_cast<std::size_t>(flows), 0);
+  stamp_col_.assign(static_cast<std::size_t>(hops * dp_), 0);
+  stamp_pair_.assign(pair_count_.size(), 0);
+  dirty_cells_.reserve(static_cast<std::size_t>(cells));
+  dirty_stages_.reserve(static_cast<std::size_t>(pp_));
+  dirty_groups_.reserve(static_cast<std::size_t>(groups));
+  dirty_flows_.reserve(static_cast<std::size_t>(flows));
+  dirty_cols_.reserve(static_cast<std::size_t>(hops * dp_));
+  changed_pairs_.reserve(static_cast<std::size_t>(2 * std::max(1, flows)));
+  touched_pos_.reserve(static_cast<std::size_t>(n));
+  undo_tp_.resize(static_cast<std::size_t>(cells));
+  undo_block_.resize(static_cast<std::size_t>(pp_));
+  undo_hop_.resize(static_cast<std::size_t>(hops * dp_));
+  pair_deltas_.reserve(static_cast<std::size_t>(2 * std::max(1, flows)));
+  undo_g_min_intra_.resize(static_cast<std::size_t>(groups));
+  undo_g_min_inter_.resize(static_cast<std::size_t>(groups));
+  undo_g_max_same_.resize(static_cast<std::size_t>(groups));
+  undo_g_num_nodes_.resize(static_cast<std::size_t>(groups));
+  undo_g_nodes_.resize(static_cast<std::size_t>(groups * dp_));
+  scratch_gpu_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
+  scratch_node_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
+  scratch_counts_.assign(static_cast<std::size_t>(num_nodes_), 0);
+
+  full_recompute();
+}
+
+void IncrementalLatencyEvaluator::recompute_tp_cell(int stage, int dpr) {
+  // Mirrors PipetteLatencyModel::tp_time with members hoisted into scratch
+  // (same pair order, so the same mins); for tp < 2 the ring term is zero
+  // either way.
+  const auto* bw = model_->bw_;
+  for (int y = 0; y < tp_; ++y) {
+    const int g = cur_.gpu_of(stage, y, dpr);
+    scratch_gpu_[static_cast<std::size_t>(y)] = g;
+    scratch_node_[static_cast<std::size_t>(y)] = node_of_gpu_[static_cast<std::size_t>(g)];
+  }
+  double min_bw = std::numeric_limits<double>::infinity();
+  bool crosses_node = false;
+  for (int y1 = 0; y1 < tp_; ++y1) {
+    const int g1 = scratch_gpu_[static_cast<std::size_t>(y1)];
+    const int n1 = scratch_node_[static_cast<std::size_t>(y1)];
+    for (int y2 = 0; y2 < tp_; ++y2) {
+      if (y1 == y2) continue;
+      min_bw = std::min(min_bw, bw->at(g1, scratch_gpu_[static_cast<std::size_t>(y2)]));
+      if (n1 != scratch_node_[static_cast<std::size_t>(y2)]) crosses_node = true;
+    }
+  }
+  const double lat = crosses_node ? model_->links_.inter_latency_s : model_->links_.intra_latency_s;
+  tp_term_[static_cast<std::size_t>(stage * dp_ + dpr)] =
+      4.0 * layers_[static_cast<std::size_t>(stage)] *
+      detail::ring_allreduce(model_->tp_msg_bytes_, tp_, min_bw, lat);
+}
+
+void IncrementalLatencyEvaluator::recompute_block(int stage) {
+  const double c = c_[static_cast<std::size_t>(stage)];
+  double block = c;
+  for (int z = 0; z < dp_; ++z) {
+    block = std::max(block, c + tp_term_[static_cast<std::size_t>(stage * dp_ + z)]);
+  }
+  block_[static_cast<std::size_t>(stage)] = block;
+}
+
+void IncrementalLatencyEvaluator::reprice_hop_column(int hop, int dpr) {
+  // Mirrors the per-replica flow pricing of PipetteLatencyModel::pp_comm_term;
+  // the NIC-sharing counts are maintained incrementally in pair_count_, so
+  // the full model's O(dp·tp) sharing scan per flow becomes one lookup.
+  const auto* bw = model_->bw_;
+  const double intra_lat = model_->links_.intra_latency_s;
+  const double inter_lat = model_->links_.inter_latency_s;
+  const int base = (hop * dp_ + dpr) * tp_;
+  double h = 0.0;
+  for (int y = 0; y < tp_; ++y) {
+    const int g1 = cur_.gpu_of(hop, y, dpr);
+    const int g2 = cur_.gpu_of(hop + 1, y, dpr);
+    const int pair = flow_pair_[static_cast<std::size_t>(base + y)];
+    double fwd, bwd;
+    if (pair < 0) {
+      fwd = flow_bytes_ / bw->at(g1, g2) + intra_lat;
+      bwd = flow_bytes_ / bw->at(g2, g1) + intra_lat;
+    } else {
+      const double shared_bytes = shared_sum_[static_cast<std::size_t>(
+          pair_count_[static_cast<std::size_t>(hop * pair_stride_ + pair)])];
+      fwd = shared_bytes / bw->at(g1, g2) + inter_lat;
+      bwd = shared_bytes / bw->at(g2, g1) + inter_lat;
+    }
+    h = std::max(h, fwd + bwd);
+  }
+  hop_[static_cast<std::size_t>(hop * dp_ + dpr)] = h;
+}
+
+void IncrementalLatencyEvaluator::recompute_group(int stage, int tpr) {
+  const int gidx = stage * tp_ + tpr;
+  for (int z = 0; z < dp_; ++z) {
+    const int g = cur_.gpu_of(stage, tpr, z);
+    scratch_gpu_[static_cast<std::size_t>(z)] = g;
+    scratch_node_[static_cast<std::size_t>(z)] = node_of_gpu_[static_cast<std::size_t>(g)];
+  }
+  int* nodes = &g_nodes_[static_cast<std::size_t>(gidx * dp_)];
+  int num = 0;
+  for (int z = 0; z < dp_; ++z) {
+    const int n = scratch_node_[static_cast<std::size_t>(z)];
+    if (scratch_counts_[static_cast<std::size_t>(n)]++ == 0) nodes[num++] = n;
+  }
+  int max_same = 1;
+  for (int i = 0; i < num; ++i) {
+    max_same = std::max(max_same, scratch_counts_[static_cast<std::size_t>(nodes[i])]);
+    scratch_counts_[static_cast<std::size_t>(nodes[i])] = 0;
+  }
+  const auto* bw = model_->bw_;
+  double min_intra = std::numeric_limits<double>::infinity();
+  double min_inter = std::numeric_limits<double>::infinity();
+  for (int z1 = 0; z1 < dp_; ++z1) {
+    const int g1 = scratch_gpu_[static_cast<std::size_t>(z1)];
+    const int n1 = scratch_node_[static_cast<std::size_t>(z1)];
+    for (int z2 = 0; z2 < dp_; ++z2) {
+      if (z1 == z2) continue;
+      const double b = bw->at(g1, scratch_gpu_[static_cast<std::size_t>(z2)]);
+      if (n1 == scratch_node_[static_cast<std::size_t>(z2)]) {
+        min_intra = std::min(min_intra, b);
+      } else {
+        min_inter = std::min(min_inter, b);
+      }
+    }
+  }
+  g_min_intra_[static_cast<std::size_t>(gidx)] = min_intra;
+  g_min_inter_[static_cast<std::size_t>(gidx)] = min_inter;
+  g_max_same_[static_cast<std::size_t>(gidx)] = max_same;
+  g_num_nodes_[static_cast<std::size_t>(gidx)] = num;
+  g_flows_key_[static_cast<std::size_t>(gidx)] = -1;  // invalidate the memo
+}
+
+void IncrementalLatencyEvaluator::add_group_flows(int gidx, int delta) {
+  const int num = g_num_nodes_[static_cast<std::size_t>(gidx)];
+  if (num < 2) return;  // only node-crossing rings occupy a NIC
+  const int* nodes = &g_nodes_[static_cast<std::size_t>(gidx * dp_)];
+  for (int i = 0; i < num; ++i) node_flows_[static_cast<std::size_t>(nodes[i])] += delta;
+}
+
+double IncrementalLatencyEvaluator::reduce() const {
+  // Fold the cached tables in the exact order PipetteLatencyModel::estimate
+  // uses: per-stage blocks in stage order, hop sums in hop order, and the
+  // same max/add/divide expressions, so the result is bit-identical.
+  double sum_blocks = 0.0;
+  double max_block = 0.0;
+  for (int x = 0; x < pp_; ++x) {
+    const double b = block_[static_cast<std::size_t>(x)];
+    sum_blocks += b;
+    max_block = std::max(max_block, b);
+  }
+  double pp_comm = 0.0;
+  for (int z = 0; z < dp_; ++z) {
+    double path = 0.0;
+    for (int e = 0; e + 1 < pp_; ++e) path += hop_[static_cast<std::size_t>(e * dp_ + z)];
+    pp_comm = std::max(pp_comm, path);
+  }
+  const double bubble = std::max(sum_blocks + pp_comm, pp_ * max_block);
+  const double straggler = (pp_ - 1) * max_block;
+  double dp_comm = 0.0;
+  if (dp_ >= 2) {
+    for (int stage = 0; stage < pp_; ++stage) {
+      const double msg = msg_[static_cast<std::size_t>(stage)];
+      for (int y = 0; y < tp_; ++y) {
+        const auto gidx = static_cast<std::size_t>(stage * tp_ + y);
+        const int num = g_num_nodes_[gidx];
+        const int* nodes = &g_nodes_[gidx * static_cast<std::size_t>(dp_)];
+        int flows = 1;
+        for (int i = 0; i < num; ++i) {
+          flows = std::max(flows, node_flows_[static_cast<std::size_t>(nodes[i])]);
+        }
+        // The ring term depends on the (rarely changing) sharing factor and
+        // the group stats; memoize on the factor, recompute on stats change.
+        double t;
+        if (g_flows_key_[gidx] == flows) {
+          t = g_t_memo_[gidx];
+        } else {
+          t = 0.0;
+          if (g_max_same_[gidx] > 1) {
+            const auto ni = static_cast<double>(g_max_same_[gidx]);
+            t += 4.0 * (ni - 1.0) * msg / (ni * g_min_intra_[gidx]);
+          }
+          if (num > 1) {
+            const auto nn = static_cast<double>(num);
+            t += 2.0 * (nn - 1.0) * msg / (nn * g_min_inter_[gidx] / flows);
+          }
+          g_flows_key_[gidx] = flows;
+          g_t_memo_[gidx] = t;
+        }
+        dp_comm = std::max(dp_comm, t);
+      }
+    }
+  }
+  return bubble * rounds_ + straggler + dp_comm;
+}
+
+void IncrementalLatencyEvaluator::full_recompute() {
+  for (int x = 0; x < pp_; ++x) {
+    for (int z = 0; z < dp_; ++z) recompute_tp_cell(x, z);
+    recompute_block(x);
+  }
+  std::fill(pair_count_.begin(), pair_count_.end(), 0);
+  for (int e = 0; e + 1 < pp_; ++e) {
+    for (int z = 0; z < dp_; ++z) {
+      for (int y = 0; y < tp_; ++y) {
+        const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(e, y, z))];
+        const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(e + 1, y, z))];
+        const int pair = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
+        flow_pair_[static_cast<std::size_t>((e * dp_ + z) * tp_ + y)] = pair;
+        if (pair >= 0) ++pair_count_[static_cast<std::size_t>(e * pair_stride_ + pair)];
+      }
+    }
+  }
+  for (int e = 0; e + 1 < pp_; ++e) {
+    for (int z = 0; z < dp_; ++z) reprice_hop_column(e, z);
+  }
+  std::fill(node_flows_.begin(), node_flows_.end(), 0);
+  for (int x = 0; x < pp_; ++x) {
+    for (int y = 0; y < tp_; ++y) {
+      recompute_group(x, y);
+      add_group_flows(x * tp_ + y, +1);
+    }
+  }
+  cost_ = reduce();
+  pending_ = false;
+}
+
+void IncrementalLatencyEvaluator::apply_and_collect(const parallel::MappingMoveDesc& mv) {
+  // Equivalent to parallel::touched_positions + parallel::apply_move but in
+  // one pass (node moves pay the per-element node division once, not twice).
+  using parallel::MoveKind;
+  touched_pos_.clear();
+  switch (mv.kind) {
+    case MoveKind::kSwap:
+      if (mv.a != mv.b) {
+        touched_pos_.push_back(mv.a);
+        touched_pos_.push_back(mv.b);
+      }
+      cur_.swap(mv.a, mv.b);
+      break;
+    case MoveKind::kMigrate:
+    case MoveKind::kReverse: {
+      const int lo = std::min(mv.a, mv.b), hi = std::max(mv.a, mv.b);
+      for (int p = lo; p <= hi && lo != hi; ++p) touched_pos_.push_back(p);
+      if (mv.kind == MoveKind::kMigrate) {
+        cur_.migrate(mv.a, mv.b);
+      } else {
+        cur_.reverse(mv.a, mv.b);
+      }
+      break;
+    }
+    case MoveKind::kNodeSwap:
+      cur_.swap_nodes(mv.a, mv.b, move_gpn_, touched_pos_);
+      break;
+    case MoveKind::kNodeReverse:
+      cur_.reverse_nodes(mv.a, mv.b, move_gpn_, touched_pos_);
+      break;
+  }
+}
+
+double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv) {
+  assert(!pending_ && "propose() requires a commit() or rollback() first");
+  pending_ = true;
+  pending_move_ = mv;
+  apply_and_collect(mv);
+
+  if (++epoch_ == 0) {  // stamp wrap-around: invalidate all stamps once
+    std::fill(stamp_cell_.begin(), stamp_cell_.end(), 0u);
+    std::fill(stamp_stage_.begin(), stamp_stage_.end(), 0u);
+    std::fill(stamp_group_.begin(), stamp_group_.end(), 0u);
+    std::fill(stamp_flow_.begin(), stamp_flow_.end(), 0u);
+    std::fill(stamp_col_.begin(), stamp_col_.end(), 0u);
+    std::fill(stamp_pair_.begin(), stamp_pair_.end(), 0u);
+    epoch_ = 1;
+  }
+  dirty_cells_.clear();
+  dirty_stages_.clear();
+  dirty_groups_.clear();
+  dirty_flows_.clear();
+  dirty_cols_.clear();
+  changed_pairs_.clear();
+  pair_deltas_.clear();
+  // tp < 2 leaves every TP term at zero and every block at C forever, and
+  // dp < 2 zeroes the whole DP term — skip the respective bookkeeping.
+  const bool track_cells = tp_ >= 2;
+  const bool track_groups = dp_ >= 2;
+  for (int p : touched_pos_) {
+    const int x = pos_stage_[static_cast<std::size_t>(p)];
+    const int y = pos_tpr_[static_cast<std::size_t>(p)];
+    const int z = pos_dpr_[static_cast<std::size_t>(p)];
+    if (track_cells) {
+      const int cell = x * dp_ + z;
+      if (stamp_cell_[static_cast<std::size_t>(cell)] != epoch_) {
+        stamp_cell_[static_cast<std::size_t>(cell)] = epoch_;
+        dirty_cells_.push_back({cell, x, z});
+      }
+      if (stamp_stage_[static_cast<std::size_t>(x)] != epoch_) {
+        stamp_stage_[static_cast<std::size_t>(x)] = epoch_;
+        dirty_stages_.push_back(x);
+      }
+    }
+    if (track_groups) {
+      const int gidx = x * tp_ + y;
+      if (stamp_group_[static_cast<std::size_t>(gidx)] != epoch_) {
+        stamp_group_[static_cast<std::size_t>(gidx)] = epoch_;
+        dirty_groups_.push_back({gidx, x, y});
+      }
+    }
+    // The flow into this worker's stage and the flow out of it, both for
+    // this worker's own (tp, dp) lane.
+    if (x > 0) {
+      const int fl = ((x - 1) * dp_ + z) * tp_ + y;
+      if (stamp_flow_[static_cast<std::size_t>(fl)] != epoch_) {
+        stamp_flow_[static_cast<std::size_t>(fl)] = epoch_;
+        dirty_flows_.push_back({fl, x - 1, z, y});
+      }
+    }
+    if (x + 1 < pp_) {
+      const int fl = (x * dp_ + z) * tp_ + y;
+      if (stamp_flow_[static_cast<std::size_t>(fl)] != epoch_) {
+        stamp_flow_[static_cast<std::size_t>(fl)] = epoch_;
+        dirty_flows_.push_back({fl, x, z, y});
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < dirty_cells_.size(); ++i) {
+    const DirtyCell& dc = dirty_cells_[i];
+    undo_tp_[i] = tp_term_[static_cast<std::size_t>(dc.idx)];
+    recompute_tp_cell(dc.stage, dc.dpr);
+  }
+  for (std::size_t i = 0; i < dirty_stages_.size(); ++i) {
+    const int x = dirty_stages_[i];
+    undo_block_[i] = block_[static_cast<std::size_t>(x)];
+    recompute_block(x);
+  }
+
+  // Pipeline flows: refresh each touched flow's ordered node pair and the
+  // per-(hop, pair) sharing counts, then reprice exactly the columns that
+  // hold a touched flow or a flow whose sharing count changed.
+  for (const DirtyFlow& df : dirty_flows_) {
+    const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop, df.tpr, df.dpr))];
+    const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop + 1, df.tpr, df.dpr))];
+    const int new_pair = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
+    const int old_pair = flow_pair_[static_cast<std::size_t>(df.idx)];
+    const int col = df.hop * dp_ + df.dpr;
+    if (stamp_col_[static_cast<std::size_t>(col)] != epoch_) {
+      stamp_col_[static_cast<std::size_t>(col)] = epoch_;
+      dirty_cols_.push_back({col, df.hop, df.dpr});
+    }
+    if (new_pair == old_pair) continue;
+    flow_pair_[static_cast<std::size_t>(df.idx)] = new_pair;
+    if (old_pair >= 0) {
+      const int idx = df.hop * pair_stride_ + old_pair;
+      --pair_count_[static_cast<std::size_t>(idx)];
+      pair_deltas_.push_back({idx, -1});
+      if (stamp_pair_[static_cast<std::size_t>(idx)] != epoch_) {
+        stamp_pair_[static_cast<std::size_t>(idx)] = epoch_;
+        changed_pairs_.push_back({idx, df.hop, old_pair});
+      }
+    }
+    if (new_pair >= 0) {
+      const int idx = df.hop * pair_stride_ + new_pair;
+      ++pair_count_[static_cast<std::size_t>(idx)];
+      pair_deltas_.push_back({idx, +1});
+      if (stamp_pair_[static_cast<std::size_t>(idx)] != epoch_) {
+        stamp_pair_[static_cast<std::size_t>(idx)] = epoch_;
+        changed_pairs_.push_back({idx, df.hop, new_pair});
+      }
+    }
+  }
+  for (const ChangedPair& cp : changed_pairs_) {
+    const int base = cp.hop * dp_;
+    for (int z = 0; z < dp_; ++z) {
+      const int col = base + z;
+      if (stamp_col_[static_cast<std::size_t>(col)] == epoch_) continue;  // already dirty
+      const int fbase = col * tp_;
+      for (int y = 0; y < tp_; ++y) {
+        if (flow_pair_[static_cast<std::size_t>(fbase + y)] == cp.pair) {
+          stamp_col_[static_cast<std::size_t>(col)] = epoch_;
+          dirty_cols_.push_back({col, cp.hop, z});
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
+    undo_hop_[i] = hop_[static_cast<std::size_t>(dirty_cols_[i].idx)];
+    reprice_hop_column(dirty_cols_[i].hop, dirty_cols_[i].dpr);
+  }
+
+  for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
+    const DirtyGroup& dg = dirty_groups_[i];
+    const auto gidx = static_cast<std::size_t>(dg.gidx);
+    undo_g_min_intra_[i] = g_min_intra_[gidx];
+    undo_g_min_inter_[i] = g_min_inter_[gidx];
+    undo_g_max_same_[i] = g_max_same_[gidx];
+    undo_g_num_nodes_[i] = g_num_nodes_[gidx];
+    for (int j = 0; j < g_num_nodes_[gidx]; ++j) {
+      undo_g_nodes_[i * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)] =
+          g_nodes_[gidx * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)];
+    }
+    add_group_flows(dg.gidx, -1);
+    recompute_group(dg.stage, dg.tpr);
+    add_group_flows(dg.gidx, +1);
+  }
+
+  pending_cost_ = reduce();
+  return pending_cost_;
+}
+
+void IncrementalLatencyEvaluator::commit() {
+  assert(pending_ && "commit() without a pending propose()");
+  cost_ = pending_cost_;
+  pending_ = false;
+}
+
+void IncrementalLatencyEvaluator::rollback() {
+  assert(pending_ && "rollback() without a pending propose()");
+  parallel::apply_move(cur_, parallel::inverse_move(pending_move_), move_gpn_);
+  for (std::size_t i = 0; i < dirty_cells_.size(); ++i) {
+    tp_term_[static_cast<std::size_t>(dirty_cells_[i].idx)] = undo_tp_[i];
+  }
+  for (std::size_t i = 0; i < dirty_stages_.size(); ++i) {
+    block_[static_cast<std::size_t>(dirty_stages_[i])] = undo_block_[i];
+  }
+  for (const PairDelta& pd : pair_deltas_) {
+    pair_count_[static_cast<std::size_t>(pd.idx)] -= pd.delta;
+  }
+  for (const DirtyFlow& df : dirty_flows_) {
+    // The committed pair id is a pure function of the (already restored)
+    // mapping, so recompute it instead of keeping a per-flow undo slot.
+    const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop, df.tpr, df.dpr))];
+    const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop + 1, df.tpr, df.dpr))];
+    flow_pair_[static_cast<std::size_t>(df.idx)] = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
+  }
+  for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
+    hop_[static_cast<std::size_t>(dirty_cols_[i].idx)] = undo_hop_[i];
+  }
+  for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
+    const DirtyGroup& dg = dirty_groups_[i];
+    const auto gidx = static_cast<std::size_t>(dg.gidx);
+    add_group_flows(dg.gidx, -1);  // drop the proposed contribution
+    g_min_intra_[gidx] = undo_g_min_intra_[i];
+    g_min_inter_[gidx] = undo_g_min_inter_[i];
+    g_max_same_[gidx] = undo_g_max_same_[i];
+    g_num_nodes_[gidx] = undo_g_num_nodes_[i];
+    for (int j = 0; j < g_num_nodes_[gidx]; ++j) {
+      g_nodes_[gidx * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)] =
+          undo_g_nodes_[i * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)];
+    }
+    g_flows_key_[gidx] = -1;  // the memo may hold the proposed-state term
+    add_group_flows(dg.gidx, +1);  // restore the committed contribution
+  }
+  pending_ = false;
+}
+
+void IncrementalLatencyEvaluator::reset(const std::vector<int>& raw_perm) {
+  cur_.set_raw(raw_perm);
+  full_recompute();
+}
+
+}  // namespace pipette::estimators

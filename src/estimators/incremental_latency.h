@@ -1,0 +1,158 @@
+// Incremental evaluation of PipetteLatencyModel::estimate for the simulated
+// annealing hot loop (paper §IV). The full model re-scans every TP group,
+// pipeline hop, and DP ring on each call — O(pp·dp·tp²) TP scans done twice
+// (bubble and straggler), an O(pp·dp·tp · dp·tp) NIC-sharing pass, and an
+// O(pp·tp·dp²) DP-ring pass — although one SA move dirties only the few
+// groups its touched workers belong to. This evaluator caches the cost
+// decomposition and recomputes just what a move dirtied:
+//
+//   * per (stage, dp-replica) TP cell: the T_TP ring term,
+//   * per (hop, dp-replica) column: the slowest fwd+bwd pipeline transfer,
+//     with the NIC-sharing flow counts per (hop, ordered node pair) kept
+//     incrementally so untouched columns are never repriced,
+//   * per (stage, tp-rank) DP ring: the member-node census and min profiled
+//     bandwidths, plus per-node crossing-ring counts, with the final ring
+//     term memoized on its NIC-sharing factor.
+//
+// The dirtied entries are recomputed with the full model's exact expressions
+// and reduced in its exact order, so every returned cost is bit-identical to
+// model.estimate(mapping) — a property tests/incremental_test.cpp enforces
+// over randomized sweeps of all five move kinds.
+//
+// Protocol: propose(move) applies the move tentatively and returns the total
+// iteration latency; exactly one of commit()/rollback() must follow before
+// the next propose(). After construction no heap allocation happens on the
+// propose/commit/rollback path: all term tables, dirty lists, undo logs, and
+// scratch buffers are preallocated to their worst-case sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "estimators/latency_models.h"
+#include "parallel/mapping.h"
+
+namespace pipette::estimators {
+
+class IncrementalLatencyEvaluator {
+ public:
+  /// `model` must outlive the evaluator; `start` becomes the committed state.
+  /// `gpus_per_node` defines the node blocks for node-granular moves (the
+  /// cost-side node math always uses the model's own link constants).
+  IncrementalLatencyEvaluator(const PipetteLatencyModel& model, const parallel::Mapping& start,
+                              int gpus_per_node);
+
+  /// The committed mapping.
+  const parallel::Mapping& mapping() const { return cur_; }
+
+  /// Latency of the committed mapping; equals model.estimate(mapping()).
+  double cost() const { return cost_; }
+
+  /// Applies `mv` tentatively and returns the resulting total latency,
+  /// recomputing only the term-table entries the move dirtied.
+  double propose(const parallel::MappingMoveDesc& mv);
+
+  /// Accepts the pending move: the proposed mapping becomes committed state.
+  void commit();
+
+  /// Undoes the pending move exactly: the mapping, every cached term, and the
+  /// flow counts return to their committed values.
+  void rollback();
+
+  /// Re-seats the evaluator on a new committed permutation (full recompute;
+  /// used when annealing restores its best snapshot).
+  void reset(const std::vector<int>& raw_perm);
+
+ private:
+  void full_recompute();
+  void apply_and_collect(const parallel::MappingMoveDesc& mv);
+  void recompute_tp_cell(int stage, int dpr);
+  void recompute_block(int stage);
+  void reprice_hop_column(int hop, int dpr);
+  void recompute_group(int stage, int tpr);
+  /// Adds (`delta` = +1) or removes (-1) a crossing ring's per-node flow
+  /// contribution for group `gidx`.
+  void add_group_flows(int gidx, int delta);
+  /// Folds the cached tables into Eq. (3), mirroring the full model's
+  /// reduction order exactly.
+  double reduce() const;
+
+  const PipetteLatencyModel* model_;
+  parallel::Mapping cur_;
+  int pp_ = 1, tp_ = 1, dp_ = 1;
+  int move_gpn_ = 8;       ///< node-block width for applying node moves
+  int num_nodes_ = 1;      ///< nodes of the profiled fabric
+  int pair_stride_ = 1;    ///< num_nodes_² (ordered node pairs per hop)
+  double rounds_ = 1.0;    ///< n_mb / pp of Eq. (3)
+  double flow_bytes_ = 0.0;  ///< per-TP-rank pipeline flow (pp_msg / tp)
+
+  // Mapping-independent tables (no division in the inner loops).
+  std::vector<int> pos_stage_, pos_tpr_, pos_dpr_;  ///< worker position -> coords
+  std::vector<int> node_of_gpu_;
+  std::vector<int> layers_;         ///< per stage
+  std::vector<double> c_;           ///< per stage fwd+bwd compute
+  std::vector<double> msg_;         ///< per stage DP gradient bytes
+  std::vector<double> shared_sum_;  ///< k sequential additions of flow_bytes_
+
+  // Cached cost decomposition.
+  std::vector<double> tp_term_;  ///< [stage*dp + dpr] T_TP of the cell
+  std::vector<double> block_;    ///< [stage] C + max_z T_TP
+  std::vector<double> hop_;      ///< [hop*dp + dpr] slowest fwd+bwd of the hop
+  std::vector<int> flow_pair_;   ///< [(hop*dp + dpr)*tp + tpr] ordered node
+                                 ///< pair id of the flow, -1 when intra-node
+  std::vector<int> pair_count_;  ///< [hop*pair_stride + pair] sharing flows
+  std::vector<double> g_min_intra_, g_min_inter_;  ///< [stage*tp + tpr]
+  std::vector<int> g_max_same_, g_num_nodes_;
+  std::vector<int> g_nodes_;     ///< [gidx*dp + i] distinct member nodes
+  std::vector<int> node_flows_;  ///< crossing rings resident per node
+  // Per-group memo of the DP ring term keyed on its NIC-sharing factor;
+  // filled lazily inside the (const) reduction, invalidated on recompute.
+  mutable std::vector<int> g_flows_key_;
+  mutable std::vector<double> g_t_memo_;
+
+  double cost_ = 0.0;          ///< committed cost
+  double pending_cost_ = 0.0;  ///< proposed cost
+
+  // Dirty tracking (epoch stamps dedup without clearing).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_cell_, stamp_stage_, stamp_group_;
+  std::vector<std::uint32_t> stamp_flow_, stamp_col_, stamp_pair_;
+  struct DirtyCell {
+    int idx, stage, dpr;
+  };
+  struct DirtyGroup {
+    int gidx, stage, tpr;
+  };
+  struct DirtyFlow {
+    int idx, hop, dpr, tpr;
+  };
+  struct DirtyCol {
+    int idx, hop, dpr;
+  };
+  std::vector<DirtyCell> dirty_cells_;
+  std::vector<int> dirty_stages_;
+  std::vector<DirtyGroup> dirty_groups_;
+  std::vector<DirtyFlow> dirty_flows_;
+  std::vector<DirtyCol> dirty_cols_;
+  struct ChangedPair {
+    int idx, hop, pair;
+  };
+  std::vector<ChangedPair> changed_pairs_;
+
+  // Undo logs for rollback (preallocated; parallel to the dirty lists).
+  bool pending_ = false;
+  parallel::MappingMoveDesc pending_move_;
+  std::vector<int> touched_pos_;
+  std::vector<double> undo_tp_, undo_block_, undo_hop_;
+  struct PairDelta {
+    int idx, delta;
+  };
+  std::vector<PairDelta> pair_deltas_;
+  std::vector<double> undo_g_min_intra_, undo_g_min_inter_;
+  std::vector<int> undo_g_max_same_, undo_g_num_nodes_, undo_g_nodes_;
+
+  // Recompute scratch (member GPU/node hoists).
+  std::vector<int> scratch_gpu_, scratch_node_, scratch_counts_;
+};
+
+}  // namespace pipette::estimators

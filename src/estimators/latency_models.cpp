@@ -18,16 +18,7 @@ LinkConstants LinkConstants::from_spec(const cluster::ClusterSpec& spec) {
   return l;
 }
 
-namespace {
-
-/// Ring all-reduce term used throughout (Thakur et al. [19]).
-double ring_allreduce(double bytes, int n, double bw, double latency) {
-  if (n < 2) return 0.0;
-  const double nn = static_cast<double>(n);
-  return 2.0 * (nn - 1.0) / nn * bytes / bw + 2.0 * (nn - 1.0) * latency;
-}
-
-}  // namespace
+using detail::ring_allreduce;
 
 PipetteLatencyModel::PipetteLatencyModel(const model::TrainingJob& job,
                                          const parallel::ParallelConfig& pc, int micro_batch,
@@ -42,7 +33,9 @@ PipetteLatencyModel::PipetteLatencyModel(const model::TrainingJob& job,
       bw_(profiled_bw),
       links_(links),
       pp_msg_bytes_(model::pp_message_bytes(job.model, micro_batch)),
-      tp_msg_bytes_(model::tp_message_bytes(job.model, micro_batch)) {}
+      tp_msg_bytes_(model::tp_message_bytes(job.model, micro_batch)),
+      num_nodes_(std::max(
+          1, (profiled_bw->num_gpus() + links.gpus_per_node - 1) / links.gpus_per_node)) {}
 
 double PipetteLatencyModel::tp_time(const parallel::Mapping& m, int stage, int dpr) const {
   if (pc_.tp < 2) return 0.0;
@@ -159,25 +152,34 @@ double PipetteLatencyModel::dp_comm_term(const parallel::Mapping& m) const {
   // single-flow bandwidth divides accordingly.
 
   // Node-crossing rings resident per node, over all (stage, tp-rank) groups.
-  std::vector<int> node_flows(256, 0);
+  // The scratch buffers are sized from the profiled topology (no fixed node
+  // cap) and reused across calls — thread_local so estimate() stays const AND
+  // safe to call concurrently on one instance; counts are reset via the
+  // distinct-node list so each group costs O(dp), not O(num_nodes). The
+  // counts buffer is all-zero outside a group iteration (grow-fill keeps new
+  // entries zero), which is what lets the reset stay O(touched).
+  static thread_local std::vector<int> scratch_node_flows_;
+  static thread_local std::vector<int> scratch_counts_;
+  static thread_local std::vector<int> scratch_nodes_;
+  const auto nodes_needed = static_cast<std::size_t>(num_nodes_);
+  if (scratch_counts_.size() < nodes_needed) {
+    scratch_node_flows_.resize(nodes_needed);
+    scratch_counts_.resize(nodes_needed, 0);
+    scratch_nodes_.reserve(nodes_needed);
+  }
+  std::fill(scratch_node_flows_.begin(), scratch_node_flows_.begin() + num_nodes_, 0);
   for (int x = 0; x < pc_.pp; ++x) {
     for (int y = 0; y < pc_.tp; ++y) {
-      bool crosses = false;
-      const int first_node = m.gpu_of(x, y, 0) / links_.gpus_per_node;
-      for (int z = 1; z < pc_.dp; ++z) {
-        if (m.gpu_of(x, y, z) / links_.gpus_per_node != first_node) {
-          crosses = true;
-          break;
-        }
-      }
-      if (!crosses) continue;
-      // Count each distinct member node once.
-      std::vector<int> nodes;
+      // Distinct member nodes, first-seen order; the ring crosses nodes iff
+      // there is more than one.
+      scratch_nodes_.clear();
       for (int z = 0; z < pc_.dp; ++z) {
         const int n = m.gpu_of(x, y, z) / links_.gpus_per_node;
-        if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) nodes.push_back(n);
+        if (scratch_counts_[static_cast<std::size_t>(n)]++ == 0) scratch_nodes_.push_back(n);
       }
-      for (int n : nodes) ++node_flows[static_cast<std::size_t>(n)];
+      for (int n : scratch_nodes_) scratch_counts_[static_cast<std::size_t>(n)] = 0;
+      if (scratch_nodes_.size() < 2) continue;
+      for (int n : scratch_nodes_) ++scratch_node_flows_[static_cast<std::size_t>(n)];
     }
   }
 
@@ -188,17 +190,17 @@ double PipetteLatencyModel::dp_comm_term(const parallel::Mapping& m) const {
       double min_intra = std::numeric_limits<double>::infinity();
       double min_inter = std::numeric_limits<double>::infinity();
       int max_same_node = 1;
-      int num_nodes_used = 0;
       int flows = 1;
-      int counts[256] = {0};
+      scratch_nodes_.clear();
       for (int z = 0; z < pc_.dp; ++z) {
         const int n = m.gpu_of(stage, y, z) / links_.gpus_per_node;
-        ++counts[n];
-        flows = std::max(flows, node_flows[static_cast<std::size_t>(n)]);
+        if (scratch_counts_[static_cast<std::size_t>(n)]++ == 0) scratch_nodes_.push_back(n);
+        flows = std::max(flows, scratch_node_flows_[static_cast<std::size_t>(n)]);
       }
-      for (int n = 0; n < 256; ++n) {
-        if (counts[n] > 0) ++num_nodes_used;
-        max_same_node = std::max(max_same_node, counts[n]);
+      const int num_nodes_used = static_cast<int>(scratch_nodes_.size());
+      for (int n : scratch_nodes_) {
+        max_same_node = std::max(max_same_node, scratch_counts_[static_cast<std::size_t>(n)]);
+        scratch_counts_[static_cast<std::size_t>(n)] = 0;
       }
       for (int z1 = 0; z1 < pc_.dp; ++z1) {
         const int g1 = m.gpu_of(stage, y, z1);

@@ -20,6 +20,21 @@
 
 namespace pipette::estimators {
 
+class IncrementalLatencyEvaluator;
+
+namespace detail {
+
+/// Ring all-reduce term used throughout (Thakur et al. [19]). Shared between
+/// the full model and the incremental evaluator so both compute the exact
+/// same floating-point expression.
+inline double ring_allreduce(double bytes, int n, double bw, double latency) {
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return 2.0 * (nn - 1.0) / nn * bytes / bw + 2.0 * (nn - 1.0) * latency;
+}
+
+}  // namespace detail
+
 /// Cluster geometry and spec constants the models need besides the matrix.
 struct LinkConstants {
   double spec_inter_bw = 0.0;
@@ -50,6 +65,8 @@ class PipetteLatencyModel {
   double dp_comm_term(const parallel::Mapping& m) const;    // T_DP_com of Eq. (6)
 
  private:
+  friend class IncrementalLatencyEvaluator;  // reads the model constants
+
   /// Heaviest per-microbatch stage block C + T_TP under mapping `m`.
   double max_stage_block(const parallel::Mapping& m) const;
   double tp_time(const parallel::Mapping& m, int stage, int dpr) const;
@@ -63,6 +80,7 @@ class PipetteLatencyModel {
   LinkConstants links_;
   double pp_msg_bytes_ = 0.0;
   double tp_msg_bytes_ = 0.0;
+  int num_nodes_ = 1;  ///< of the profiled fabric, not a hard-coded cap
 };
 
 /// Eq. (1) with spec bandwidths and the default (mapping-unaware) placement.

@@ -68,6 +68,33 @@ void Mapping::reverse_nodes(int n1, int n2, int gpus_per_node) {
   }
 }
 
+void Mapping::swap_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched) {
+  if (n1 == n2) return;
+  for (std::size_t p = 0; p < perm_.size(); ++p) {
+    const int g = perm_[p];
+    const int node = g / gpus_per_node;
+    if (node == n1) {
+      perm_[p] = g + (n2 - n1) * gpus_per_node;
+      touched.push_back(static_cast<int>(p));
+    } else if (node == n2) {
+      perm_[p] = g + (n1 - n2) * gpus_per_node;
+      touched.push_back(static_cast<int>(p));
+    }
+  }
+}
+
+void Mapping::reverse_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched) {
+  if (n1 > n2) std::swap(n1, n2);
+  for (std::size_t p = 0; p < perm_.size(); ++p) {
+    const int g = perm_[p];
+    const int node = g / gpus_per_node;
+    if (node >= n1 && node <= n2 && n1 + n2 != 2 * node) {
+      perm_[p] = g + (n1 + n2 - 2 * node) * gpus_per_node;
+      touched.push_back(static_cast<int>(p));
+    }
+  }
+}
+
 bool Mapping::is_valid_permutation() const {
   std::vector<bool> seen(perm_.size(), false);
   for (int g : perm_) {
@@ -77,6 +104,69 @@ bool Mapping::is_valid_permutation() const {
     seen[static_cast<std::size_t>(g)] = true;
   }
   return true;
+}
+
+void apply_move(Mapping& m, const MappingMoveDesc& mv, int gpus_per_node) {
+  switch (mv.kind) {
+    case MoveKind::kSwap:
+      m.swap(mv.a, mv.b);
+      break;
+    case MoveKind::kMigrate:
+      m.migrate(mv.a, mv.b);
+      break;
+    case MoveKind::kReverse:
+      m.reverse(mv.a, mv.b);
+      break;
+    case MoveKind::kNodeSwap:
+      m.swap_nodes(mv.a, mv.b, gpus_per_node);
+      break;
+    case MoveKind::kNodeReverse:
+      m.reverse_nodes(mv.a, mv.b, gpus_per_node);
+      break;
+  }
+}
+
+MappingMoveDesc inverse_move(const MappingMoveDesc& mv) {
+  if (mv.kind == MoveKind::kMigrate) return {mv.kind, mv.b, mv.a};
+  return mv;
+}
+
+void touched_positions(const Mapping& m, const MappingMoveDesc& mv, int gpus_per_node,
+                       std::vector<int>& out) {
+  switch (mv.kind) {
+    case MoveKind::kSwap:
+      if (mv.a != mv.b) {
+        out.push_back(mv.a);
+        out.push_back(mv.b);
+      }
+      break;
+    case MoveKind::kMigrate:
+    case MoveKind::kReverse: {
+      // Every position in the span shifts (migrate) or mirrors (reverse);
+      // values are distinct, so only a reverse's midpoint can stay fixed.
+      const int lo = std::min(mv.a, mv.b), hi = std::max(mv.a, mv.b);
+      if (lo == hi) break;
+      for (int p = lo; p <= hi; ++p) out.push_back(p);
+      break;
+    }
+    case MoveKind::kNodeSwap: {
+      if (mv.a == mv.b) break;
+      for (int p = 0; p < m.num_workers(); ++p) {
+        const int node = m.gpu_at(p) / gpus_per_node;
+        if (node == mv.a || node == mv.b) out.push_back(p);
+      }
+      break;
+    }
+    case MoveKind::kNodeReverse: {
+      const int lo = std::min(mv.a, mv.b), hi = std::max(mv.a, mv.b);
+      if (lo == hi) break;
+      for (int p = 0; p < m.num_workers(); ++p) {
+        const int node = m.gpu_at(p) / gpus_per_node;
+        if (node >= lo && node <= hi && lo + hi - node != node) out.push_back(p);
+      }
+      break;
+    }
+  }
 }
 
 void Mapping::set_raw(std::vector<int> perm) {

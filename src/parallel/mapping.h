@@ -55,6 +55,12 @@ class Mapping {
   /// symmetric bidirectional bandwidths).
   void reverse_nodes(int n1, int n2, int gpus_per_node);
 
+  /// Single-pass variants that also append every changed worker position to
+  /// `touched` — the incremental evaluator's hot path, which would otherwise
+  /// pay the per-element node division twice (once to collect, once to move).
+  void swap_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched);
+  void reverse_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched);
+
   /// True iff the permutation is a bijection onto [0, num_workers).
   bool is_valid_permutation() const;
 
@@ -67,5 +73,36 @@ class Mapping {
   ParallelConfig cfg_;
   std::vector<int> perm_;  // worker index -> gpu
 };
+
+/// The five SA move kinds over a Mapping (paper §IV plus the node-granular
+/// variants of Fig. 4).
+enum class MoveKind { kMigrate, kSwap, kReverse, kNodeSwap, kNodeReverse };
+
+/// A move as data, so it can be drawn once and then applied, undone, and
+/// cost-evaluated incrementally. Operand semantics per kind:
+///   kSwap / kReverse      a, b = worker positions
+///   kMigrate              a = from position, b = to position
+///   kNodeSwap / kNodeReverse  a, b = node labels
+struct MappingMoveDesc {
+  MoveKind kind = MoveKind::kSwap;
+  int a = 0;
+  int b = 0;
+};
+
+/// Applies `mv` to `m` (dispatch onto the member moves above).
+void apply_move(Mapping& m, const MappingMoveDesc& mv, int gpus_per_node);
+
+/// The move that exactly undoes `mv`: every kind is an involution except
+/// migrate, whose inverse swaps the endpoints.
+MappingMoveDesc inverse_move(const MappingMoveDesc& mv);
+
+/// Appends to `out` the flat worker positions whose assigned GPU `mv` would
+/// change when applied to `m` (evaluated against the current state, before
+/// application): swap touches its two positions, migrate/reverse the whole
+/// [min, max] position range, and node moves every position currently holding
+/// a GPU inside an affected node block. Conservative only at a reverse's
+/// fixed midpoint; everything reported genuinely belongs to the move's span.
+void touched_positions(const Mapping& m, const MappingMoveDesc& mv, int gpus_per_node,
+                       std::vector<int>& out);
 
 }  // namespace pipette::parallel

@@ -2,50 +2,97 @@
 
 namespace pipette::search {
 
-MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
-                                int gpus_per_node) {
+parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
+                                            const MoveSet& moves, int gpus_per_node) {
+  using parallel::MoveKind;
   const int n = m.num_workers();
   const int nodes = (n + gpus_per_node - 1) / gpus_per_node;
-  if (!moves.migrate && !moves.swap && !moves.reverse && !moves.node_swap && !moves.node_reverse) {
-    // Degenerate move set: fall back to swap so the annealer still explores.
-    m.swap(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
-    return MappingMove::kSwap;
+  const bool node_moves_possible = nodes >= 2;
+  const bool any_enabled = moves.migrate || moves.swap || moves.reverse ||
+                           ((moves.node_swap || moves.node_reverse) && node_moves_possible);
+  if (!any_enabled) {
+    // Degenerate move set — including node-only sets on a single-node
+    // cluster, where the retry loop below would never terminate: fall back
+    // to swap so the annealer still explores.
+    const int i = rng.uniform_int(0, n - 1);
+    const int j = rng.uniform_int(0, n - 1);
+    return {MoveKind::kSwap, i, j};
   }
   for (;;) {
     switch (rng.uniform_int(0, 4)) {
-      case 0:
+      case 0: {
         if (!moves.migrate) break;
-        m.migrate(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
-        return MappingMove::kMigrate;
-      case 1:
+        const int from = rng.uniform_int(0, n - 1);
+        const int to = rng.uniform_int(0, n - 1);
+        return {MoveKind::kMigrate, from, to};
+      }
+      case 1: {
         if (!moves.swap) break;
-        m.swap(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
-        return MappingMove::kSwap;
-      case 2:
+        const int i = rng.uniform_int(0, n - 1);
+        const int j = rng.uniform_int(0, n - 1);
+        return {MoveKind::kSwap, i, j};
+      }
+      case 2: {
         if (!moves.reverse) break;
-        m.reverse(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
-        return MappingMove::kReverse;
-      case 3:
+        const int i = rng.uniform_int(0, n - 1);
+        const int j = rng.uniform_int(0, n - 1);
+        return {MoveKind::kReverse, i, j};
+      }
+      case 3: {
         if (!moves.node_swap || nodes < 2) break;
-        m.swap_nodes(rng.uniform_int(0, nodes - 1), rng.uniform_int(0, nodes - 1), gpus_per_node);
-        return MappingMove::kNodeSwap;
-      default:
+        const int n1 = rng.uniform_int(0, nodes - 1);
+        const int n2 = rng.uniform_int(0, nodes - 1);
+        return {MoveKind::kNodeSwap, n1, n2};
+      }
+      default: {
         if (!moves.node_reverse || nodes < 2) break;
-        m.reverse_nodes(rng.uniform_int(0, nodes - 1), rng.uniform_int(0, nodes - 1),
-                        gpus_per_node);
-        return MappingMove::kNodeReverse;
+        const int n1 = rng.uniform_int(0, nodes - 1);
+        const int n2 = rng.uniform_int(0, nodes - 1);
+        return {MoveKind::kNodeReverse, n1, n2};
+      }
     }
   }
 }
 
+MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
+                                int gpus_per_node) {
+  const parallel::MappingMoveDesc mv = draw_mapping_move(m, rng, moves, gpus_per_node);
+  parallel::apply_move(m, mv, gpus_per_node);
+  return mv.kind;
+}
+
+namespace {
+
+/// The propose/commit/rollback problem simulated_annealing_incremental
+/// drives: moves are drawn from the same rng stream random_mapping_move
+/// consumes and scored by the incremental evaluator, whose costs are
+/// bit-identical to model.estimate — so the annealing trajectory matches the
+/// copy-based path exactly.
+struct MappingAnnealProblem {
+  estimators::IncrementalLatencyEvaluator* eval;
+  const MoveSet* moves;
+  int gpus_per_node;
+  std::vector<int> best;  // raw permutation snapshot; assign() reuses capacity
+
+  double cost() const { return eval->cost(); }
+  double propose(common::Rng& rng) {
+    return eval->propose(draw_mapping_move(eval->mapping(), rng, *moves, gpus_per_node));
+  }
+  void commit() { eval->commit(); }
+  void rollback() { eval->rollback(); }
+  void save_best() { best = eval->mapping().raw(); }
+  void restore_best() { eval->reset(best); }
+};
+
+}  // namespace
+
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
                           int gpus_per_node, const SaOptions& opt, const MoveSet& moves) {
-  return simulated_annealing(
-      m, [&model](const parallel::Mapping& s) { return model.estimate(s); },
-      [&moves, gpus_per_node](parallel::Mapping& s, common::Rng& rng) {
-        random_mapping_move(s, rng, moves, gpus_per_node);
-      },
-      opt);
+  estimators::IncrementalLatencyEvaluator eval(model, m, gpus_per_node);
+  MappingAnnealProblem prob{&eval, &moves, gpus_per_node, m.raw()};
+  const SaResult res = simulated_annealing_incremental(prob, opt);
+  m = eval.mapping();  // restore_best left the evaluator on the best mapping
+  return res;
 }
 
 }  // namespace pipette::search

@@ -3,15 +3,20 @@
 // moves — migration, swap, and reverse (exploiting the near-symmetric
 // bidirectional bandwidths) — with the node-granular reorder/regroup moves
 // its Fig. 4 illustrates, with the Pipette latency estimate as objective.
+// The annealer itself runs on the incremental evaluator, so each move costs
+// O(touched groups) instead of a full model re-evaluation.
 #pragma once
 
+#include "estimators/incremental_latency.h"
 #include "estimators/latency_models.h"
 #include "parallel/mapping.h"
 #include "search/sa.h"
 
 namespace pipette::search {
 
-enum class MappingMove { kMigrate, kSwap, kReverse, kNodeSwap, kNodeReverse };
+/// Move kinds live with the Mapping now; keep the historical name for the
+/// ablation benches and tests.
+using MappingMove = parallel::MoveKind;
 
 /// Which moves the annealer may draw (all enabled by default; ablations can
 /// disable some — see bench/ablation_sa_moves).
@@ -23,13 +28,23 @@ struct MoveSet {
   bool node_reverse = true;
 };
 
-/// Applies one uniformly-drawn enabled move to `m`. `gpus_per_node` defines
-/// the node blocks for the node-granular moves.
+/// Draws one uniformly-chosen enabled move for `m` without applying it.
+/// Degenerate cases — nothing enabled, or only node moves enabled on a
+/// cluster with fewer than two nodes (where retrying node draws would spin
+/// forever) — fall back to a swap so the annealer still explores.
+parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
+                                            const MoveSet& moves, int gpus_per_node);
+
+/// Draws and applies one enabled move (draw_mapping_move + apply_move, same
+/// rng stream). `gpus_per_node` defines the node blocks.
 MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
                                 int gpus_per_node);
 
 /// Runs SA from `m` (typically the Megatron default order) to minimize
-/// `model.estimate(m)`. On return `m` is the best mapping found.
+/// `model.estimate(m)`. On return `m` is the best mapping found. Proposals
+/// are scored by an IncrementalLatencyEvaluator whose costs are bit-identical
+/// to the full model, so the trajectory — and therefore the result under an
+/// iteration cap — matches the copy-based full-evaluation path exactly.
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
                           int gpus_per_node, const SaOptions& opt, const MoveSet& moves = {});
 

@@ -43,6 +43,9 @@ template <typename State, typename CostFn, typename MutateFn>
 SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, const SaOptions& opt) {
   using clock = std::chrono::steady_clock;
   const auto t_start = clock::now();
+  // Iteration-capped (deterministic) runs leave time_limit_s at infinity and
+  // should not pay for wall-clock reads in the loop at all.
+  const bool timed = std::isfinite(opt.time_limit_s);
 
   common::Rng rng(opt.seed);
   State current = state;
@@ -56,7 +59,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
   int since_temp_step = 0;
   while (res.iters < opt.max_iters) {
-    if ((res.iters & 63) == 0) {
+    if (timed && (res.iters & 63) == 0) {
       const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
       if (elapsed >= opt.time_limit_s) break;
     }
@@ -81,6 +84,68 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   }
 
   state = std::move(best);
+  res.best_cost = best_cost;
+  res.wall_s = std::chrono::duration<double>(clock::now() - t_start).count();
+  return res;
+}
+
+/// Incremental simulated annealing: instead of copying the state and paying a
+/// full cost evaluation per proposal, the problem object mutates itself in
+/// place and can cheaply undo a rejected move. `Problem` must expose:
+///
+///   double cost() const;            // cost of the committed state
+///   double propose(common::Rng&);   // draw + apply one move, return new cost
+///   void commit();                  // accept the pending move
+///   void rollback();                // undo the pending move exactly
+///   void save_best();               // snapshot the committed state as best
+///   void restore_best();            // make the last snapshot the state
+///
+/// The rng stream and acceptance rule are identical to simulated_annealing,
+/// so a problem whose propose() draws moves the same way and returns
+/// bit-identical costs follows the exact same trajectory — the property
+/// tests/incremental_test.cpp locks in for the mapping problem.
+template <typename Problem>
+SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
+  using clock = std::chrono::steady_clock;
+  const auto t_start = clock::now();
+  const bool timed = std::isfinite(opt.time_limit_s);
+
+  common::Rng rng(opt.seed);
+  double cur_cost = prob.cost();
+  double best_cost = cur_cost;
+  prob.save_best();
+
+  SaResult res;
+  res.initial_cost = cur_cost;
+
+  double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
+  int since_temp_step = 0;
+  while (res.iters < opt.max_iters) {
+    if (timed && (res.iters & 63) == 0) {
+      const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
+      if (elapsed >= opt.time_limit_s) break;
+    }
+    const double c = prob.propose(rng);
+    const double delta = c - cur_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      prob.commit();
+      cur_cost = c;
+      ++res.accepted;
+      if (cur_cost < best_cost) {
+        best_cost = cur_cost;
+        prob.save_best();
+      }
+    } else {
+      prob.rollback();
+    }
+    if (++since_temp_step >= opt.iters_per_temp) {
+      temp *= opt.alpha;
+      since_temp_step = 0;
+    }
+    ++res.iters;
+  }
+
+  prob.restore_best();
   res.best_cost = best_cost;
   res.wall_s = std::chrono::duration<double>(clock::now() - t_start).count();
   return res;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "parallel/groups.h"
 #include "parallel/mapping.h"
@@ -139,6 +141,86 @@ TEST(Mapping, ReverseNodesReversesBlockOrder) {
   EXPECT_TRUE(m.is_valid_permutation());
   // Worker 0 held GPU 0 (node 0) and must now hold the same slot on node 3.
   EXPECT_EQ(m.raw()[0], 24);
+}
+
+TEST(Mapping, MigrateEdgeCases) {
+  pp::Mapping m(pp::ParallelConfig{4, 1, 2});
+  const auto ident = m.raw();
+  m.migrate(3, 3);  // i == j: no-op
+  EXPECT_EQ(m.raw(), ident);
+  m.migrate(0, 7);  // front to back: left rotation
+  EXPECT_EQ(m.raw(), (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 0}));
+  EXPECT_TRUE(m.is_valid_permutation());
+  m.migrate(7, 0);  // exact inverse
+  EXPECT_EQ(m.raw(), ident);
+}
+
+TEST(Mapping, ReverseEdgeCases) {
+  pp::Mapping m(pp::ParallelConfig{4, 1, 2});
+  const auto ident = m.raw();
+  m.reverse(5, 5);  // i == j: no-op
+  EXPECT_EQ(m.raw(), ident);
+  m.reverse(0, 7);  // full range
+  EXPECT_EQ(m.raw(), (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+  EXPECT_TRUE(m.is_valid_permutation());
+  m.reverse(7, 0);  // operands in either order, self-inverse
+  EXPECT_EQ(m.raw(), ident);
+}
+
+TEST(Mapping, ReverseNodesEdgeCases) {
+  pp::Mapping m(pp::ParallelConfig{4, 2, 4});  // 32 workers, 4 nodes of 8
+  const auto ident = m.raw();
+  m.reverse_nodes(2, 2, 8);  // single node: no-op
+  EXPECT_EQ(m.raw(), ident);
+  m.reverse_nodes(0, 3, 8);  // full range; node 1 <-> node 2 as well
+  EXPECT_TRUE(m.is_valid_permutation());
+  EXPECT_EQ(m.raw()[0], 24);
+  EXPECT_EQ(m.raw()[8], 16);
+  m.reverse_nodes(3, 0, 8);  // self-inverse, either operand order
+  EXPECT_EQ(m.raw(), ident);
+
+  // Single-node cluster: the only legal node range is [0, 0], a no-op.
+  pp::Mapping single(pp::ParallelConfig{2, 2, 2});
+  const auto before = single.raw();
+  single.reverse_nodes(0, 0, 8);
+  EXPECT_EQ(single.raw(), before);
+  single.swap_nodes(0, 0, 8);
+  EXPECT_EQ(single.raw(), before);
+}
+
+TEST(MappingMoveDesc, ApplyInverseRoundTripsAllKinds) {
+  pipette::common::Rng rng(31);
+  pp::Mapping m = pp::Mapping::megatron_default({4, 2, 4});
+  for (int i = 0; i < 2000; ++i) {
+    const auto mv = pipette::search::draw_mapping_move(m, rng, {}, 8);
+    const auto before = m.raw();
+    pp::apply_move(m, mv, 8);
+    ASSERT_TRUE(m.is_valid_permutation());
+    pp::apply_move(m, pp::inverse_move(mv), 8);
+    ASSERT_EQ(m.raw(), before) << "inverse failed for kind " << static_cast<int>(mv.kind)
+                               << " a=" << mv.a << " b=" << mv.b;
+    pp::apply_move(m, mv, 8);  // keep walking the state space
+  }
+}
+
+TEST(MappingMoveDesc, TouchedPositionsCoverEveryChange) {
+  pipette::common::Rng rng(17);
+  pp::Mapping m = pp::Mapping::megatron_default({4, 2, 4});
+  std::vector<int> touched;
+  for (int i = 0; i < 2000; ++i) {
+    const auto mv = pipette::search::draw_mapping_move(m, rng, {}, 8);
+    touched.clear();
+    pp::touched_positions(m, mv, 8, touched);
+    const auto before = m.raw();
+    pp::apply_move(m, mv, 8);
+    for (std::size_t p = 0; p < before.size(); ++p) {
+      if (before[p] != m.raw()[p]) {
+        ASSERT_NE(std::find(touched.begin(), touched.end(), static_cast<int>(p)), touched.end())
+            << "position " << p << " changed but was not reported, kind "
+            << static_cast<int>(mv.kind);
+      }
+    }
+  }
 }
 
 TEST(Mapping, SetRawValidates) {

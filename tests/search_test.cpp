@@ -138,6 +138,33 @@ TEST(MappingSearch, EmptyMoveSetFallsBackToSwap) {
   EXPECT_TRUE(m.is_valid_permutation());
 }
 
+TEST(MappingSearch, NodeOnlyMovesOnSingleNodeClusterFallBackToSwap) {
+  // Regression: with only node moves enabled and fewer than two nodes, the
+  // retry loop used to spin forever — every draw landed on a disabled or
+  // impossible case. It must fall back to swap like the empty set does.
+  common::Rng rng(11);
+  parallel::Mapping m(parallel::ParallelConfig{2, 2, 2});  // 8 workers, 1 node of 8
+  search::MoveSet node_only;
+  node_only.migrate = node_only.swap = node_only.reverse = false;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(search::random_mapping_move(m, rng, node_only, 8), search::MappingMove::kSwap);
+  }
+  EXPECT_TRUE(m.is_valid_permutation());
+  // On a two-node cluster the same move set draws real node moves again.
+  common::Rng rng2(12);
+  parallel::Mapping m2 = parallel::Mapping::megatron_default({2, 2, 4});  // 16 workers
+  bool saw_node_move = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto kind = search::random_mapping_move(m2, rng2, node_only, 8);
+    saw_node_move = saw_node_move || kind == search::MappingMove::kNodeSwap ||
+                    kind == search::MappingMove::kNodeReverse;
+    EXPECT_NE(kind, search::MappingMove::kMigrate);
+    EXPECT_NE(kind, search::MappingMove::kReverse);
+  }
+  EXPECT_TRUE(saw_node_move);
+  EXPECT_TRUE(m2.is_valid_permutation());
+}
+
 TEST(MappingSearch, OptimizeMappingImprovesHeterogeneousPlacement) {
   // On a strongly heterogeneous 8-node cluster, node-level dedication must
   // find a strictly better estimate than the default order.
