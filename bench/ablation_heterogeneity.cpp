@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   const double sa_time = cli.get_double("sa-time", env.full ? 10.0 : 0.5);
 
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
-  const int micro = 2;
+  const parallel::TrainPlan plan{{8, 2, 8}, 2};
+  const auto& pc = plan.pc;
 
   struct Level {
     std::string name;
@@ -44,23 +44,23 @@ int main(int argc, char** argv) {
     cluster::Topology topo(cluster::mid_range_cluster(16), level.het, env.seed ^ 0x1000ull);
     const auto profiled = cluster::profile_network(topo, {});
     const auto links = estimators::LinkConstants::from_spec(topo.spec());
-    const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-    estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+    const auto prof = estimators::profile_compute(topo, job, plan, {});
+    estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
     auto mapping = parallel::Mapping::megatron_default(pc);
     sim::SimOptions sim_opt;
-    const double before = sim::simulate_iteration(topo, job, mapping, micro, sim_opt).total_s;
+    const double before = sim::simulate_iteration(topo, job, mapping, plan, sim_opt).total_s;
     search::SaOptions opt;
     opt.time_limit_s = sa_time;
     opt.seed = env.seed;
     search::optimize_mapping(mapping, model, topo.gpus_per_node(), opt);
-    const double after = sim::simulate_iteration(topo, job, mapping, micro, sim_opt).total_s;
+    const double after = sim::simulate_iteration(topo, job, mapping, plan, sim_opt).total_s;
     t.add_row({level.name, common::fmt_fixed(before, 3), common::fmt_fixed(after, 3),
                common::fmt_fixed(before / after, 3) + "x"});
   }
 
   std::cout << "Ablation — fine-grained worker dedication gain vs fabric heterogeneity ("
-            << pc.str() << "-mb" << micro << ", mid-range geometry)\n\n";
+            << plan.str() << ", mid-range geometry)\n\n";
   bench::finish_table(t, env);
   return 0;
 }

@@ -14,18 +14,18 @@ int main(int argc, char** argv) {
 
   const auto topo = bench::make_cluster("mid-range", 16, env.seed);
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
-  const int micro = 2;
+  const parallel::TrainPlan plan{{8, 2, 8}, 2};
+  const auto& pc = plan.pc;
 
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-  estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
   const auto base = parallel::Mapping::megatron_default(pc);
   const double initial = model.estimate(base);
   sim::SimOptions sim_opt;
-  const double initial_actual = sim::simulate_iteration(topo, job, base, micro, sim_opt).total_s;
+  const double initial_actual = sim::simulate_iteration(topo, job, base, plan, sim_opt).total_s;
 
   struct Variant {
     std::string name;
@@ -58,12 +58,12 @@ int main(int argc, char** argv) {
     opt.time_limit_s = sa_time;
     opt.seed = env.seed;
     const auto res = search::optimize_mapping(m, model, topo.gpus_per_node(), opt, v.moves);
-    const double actual = sim::simulate_iteration(topo, job, m, micro, sim_opt).total_s;
+    const double actual = sim::simulate_iteration(topo, job, m, plan, sim_opt).total_s;
     t.add_row({v.name, common::fmt_fixed(res.best_cost, 3), common::fmt_fixed(actual, 3),
                common::fmt_fixed(initial_actual / actual, 3) + "x", std::to_string(res.iters)});
   }
 
-  std::cout << "Ablation — SA move families on " << pc.str() << "-mb" << micro
+  std::cout << "Ablation — SA move families on " << plan.str()
             << " (mid-range, 128 GPUs, SA budget " << common::fmt_fixed(sa_time, 1) << " s)\n\n";
   bench::finish_table(t, env);
   return 0;

@@ -32,21 +32,20 @@ int main(int argc, char** argv) {
   for (const auto& pc : parallel::enumerate_parallel_configs(
            topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, {})) {
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
-      if (!sim::fits_in_memory(topo.spec(), job, pc, micro,
-                               sim::ScheduleKind::kMemoryEfficient1F1B,
-                               estimators::kMemoryUniverseSeed)) {
+      const parallel::TrainPlan plan{pc, micro};
+      if (!sim::fits_in_memory(topo.spec(), job, plan, estimators::kMemoryUniverseSeed)) {
         continue;
       }
-      const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-      estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+      const auto prof = estimators::profile_compute(topo, job, plan, {});
+      estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
       const auto mapping = parallel::Mapping::megatron_default(pc);
       const double e_p = model.estimate(mapping);
-      const double e_a = estimators::amp_latency_estimate(job, pc, micro, prof, links);
-      const double act = sim::simulate_iteration(topo, job, mapping, micro, sim_opt).total_s;
+      const double e_a = estimators::amp_latency_estimate(job, plan, prof, links);
+      const double act = sim::simulate_iteration(topo, job, mapping, plan, sim_opt).total_s;
       est_ppt.push_back(e_p);
       est_amp.push_back(e_a);
       actual.push_back(act);
-      t.add_row({pc.str() + "-mb" + std::to_string(micro), common::fmt_fixed(act, 2),
+      t.add_row({plan.str(), common::fmt_fixed(act, 2),
                  common::fmt_fixed(e_p, 2), common::fmt_fixed(e_a, 2),
                  common::fmt_fixed(100.0 * std::abs(e_p - act) / act, 1),
                  common::fmt_fixed(100.0 * std::abs(e_a - act) / act, 1)});

@@ -32,15 +32,15 @@ int main(int argc, char** argv) {
       for (const auto& pc : parallel::enumerate_parallel_configs(
                gpus, topo.gpus_per_node(), job.model.num_layers, {})) {
         for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
-          const auto mem = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
-                                                     sim::ScheduleKind::kMemoryEfficient1F1B,
-                                                     estimators::kMemoryUniverseSeed);
+          const parallel::TrainPlan plan{pc, micro};
+          const auto mem =
+              sim::simulate_peak_memory(topo.spec(), job, plan, estimators::kMemoryUniverseSeed);
           if (mem.total_bytes > topo.spec().gpu_memory_bytes) continue;  // not measurable
           actual.push_back(mem.total_bytes);
-          est_mlp.push_back(mlp->estimate_bytes(job, pc, micro));
-          est_base.push_back(estimators::analytic_memory_estimate(job, pc, micro));
+          est_mlp.push_back(mlp->estimate_bytes(job, plan));
+          est_base.push_back(estimators::analytic_memory_estimate(job, plan));
           if (actual.size() % 8 == 1) {  // sample rows for the table
-            detail.add_row({pc.str() + "-mb" + std::to_string(micro), job.model.name,
+            detail.add_row({plan.str(), job.model.name,
                             common::fmt_fixed(actual.back() / 1e9, 1),
                             common::fmt_fixed(est_mlp.back() / 1e9, 1),
                             common::fmt_fixed(est_base.back() / 1e9, 1)});

@@ -12,13 +12,12 @@ namespace {
 struct Setup {
   cluster::Topology topo = bench::make_cluster("mid-range", 16, 2024);
   model::TrainingJob job{model::gpt_3_1b(), 512};
-  parallel::ParallelConfig pc{8, 2, 8};
-  int micro = 2;
+  parallel::TrainPlan plan{{8, 2, 8}, 2};
   cluster::ProfileResult profiled = cluster::profile_network(topo, {});
   estimators::LinkConstants links = estimators::LinkConstants::from_spec(topo.spec());
-  estimators::ComputeProfile prof = estimators::profile_compute(topo, job, pc, micro, {});
-  estimators::PipetteLatencyModel model{job, pc, micro, prof, &profiled.bw, links};
-  parallel::Mapping mapping = parallel::Mapping::megatron_default(pc);
+  estimators::ComputeProfile prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model{job, plan, prof, &profiled.bw, links};
+  parallel::Mapping mapping = parallel::Mapping::megatron_default(plan.pc);
 };
 
 Setup& setup() {
@@ -50,7 +49,7 @@ static void BM_AmpEstimate(benchmark::State& state) {
   auto& s = setup();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        estimators::amp_latency_estimate(s.job, s.pc, s.micro, s.prof, s.links));
+        estimators::amp_latency_estimate(s.job, s.plan, s.prof, s.links));
   }
 }
 BENCHMARK(BM_AmpEstimate);

@@ -32,9 +32,9 @@ BENCHMARK(BM_MlpInference)->Arg(96)->Arg(200);
 
 static void BM_FeatureVector(benchmark::State& state) {
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
+  const parallel::TrainPlan plan{{8, 2, 8}, 2};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(estimators::MlpMemoryEstimator::features(job, pc, 2));
+    benchmark::DoNotOptimize(estimators::MlpMemoryEstimator::features(job, plan));
   }
 }
 BENCHMARK(BM_FeatureVector);

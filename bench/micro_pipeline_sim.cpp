@@ -10,12 +10,13 @@ using namespace pipette;
 static void BM_Simulate1F1B(benchmark::State& state) {
   const auto topo = bench::make_cluster("mid-range", 16, 2024);
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{static_cast<int>(state.range(0)), 2,
-                                    16 / static_cast<int>(state.range(0)) * 4};
-  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const parallel::TrainPlan plan{{static_cast<int>(state.range(0)), 2,
+                                  16 / static_cast<int>(state.range(0)) * 4},
+                                 2};
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
   sim::SimOptions opt;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, 2, opt).total_s);
+    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, plan, opt).total_s);
   }
 }
 BENCHMARK(BM_Simulate1F1B)->Arg(4)->Arg(8)->Arg(16);
@@ -23,12 +24,12 @@ BENCHMARK(BM_Simulate1F1B)->Arg(4)->Arg(8)->Arg(16);
 static void BM_SimulateMemoryUnaware(benchmark::State& state) {
   const auto topo = bench::make_cluster("mid-range", 16, 2024);
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
-  const auto mapping = parallel::Mapping::megatron_default(pc);
+  parallel::TrainPlan plan{{8, 2, 8}, 2};
+  plan.schedule = parallel::PipeSchedule::kMemoryUnaware;
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
   sim::SimOptions opt;
-  opt.schedule = sim::ScheduleKind::kMemoryUnaware;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, 2, opt).total_s);
+    benchmark::DoNotOptimize(sim::simulate_iteration(topo, job, mapping, plan, opt).total_s);
   }
 }
 BENCHMARK(BM_SimulateMemoryUnaware);
@@ -38,9 +39,7 @@ static void BM_PeakMemory(benchmark::State& state) {
   const model::TrainingJob job{model::gpt_11_1b(), 512};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sim::simulate_peak_memory(spec, job, {8, 8, 2}, 8,
-                                  sim::ScheduleKind::kMemoryEfficient1F1B, 1)
-            .total_bytes);
+        sim::simulate_peak_memory(spec, job, {{8, 8, 2}, 8}, 1).total_bytes);
   }
 }
 BENCHMARK(BM_PeakMemory);

@@ -22,11 +22,12 @@ BENCHMARK(BM_MappingMove);
 static void BM_SaIterations(benchmark::State& state) {
   const auto topo = bench::make_cluster("mid-range", 16, 2024);
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
+  const parallel::TrainPlan plan{{8, 2, 8}, 2};
+  const auto& pc = plan.pc;
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
   const long iters_per_run = state.range(0);
   for (auto _ : state) {

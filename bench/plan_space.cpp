@@ -1,0 +1,78 @@
+// Plan-space ablation — what each fine-grained axis buys. Starting from the
+// legacy (pp, tp, dp, micro) space, enable interleaved-1F1B, activation
+// recomputation, and ZeRO-1 one at a time (then all together) and report the
+// recommended plan, its actual simulated iteration time, and the speedup over
+// the legacy-space recommendation. A memory-tight job shows the axes' other
+// face too: candidates rescued from OOM rejection.
+//
+// Run:  ./plan_space [--nodes 4] [--global-batch 256] [--csv out.csv]
+#include "bench_common.h"
+
+using namespace pipette;
+
+namespace {
+
+struct AxisConfig {
+  std::string name;
+  bool interleaved, recompute, zero1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(cli);
+  const int nodes = cli.get_int("nodes", 4);
+  const int global_batch = cli.get_int("global-batch", 256);
+
+  const std::vector<AxisConfig> axes = {
+      {"legacy (4-tuple)", false, false, false},
+      {"+interleaved", true, false, false},
+      {"+recompute", false, true, false},
+      {"+zero1", false, false, true},
+      {"all axes", true, true, true},
+  };
+
+  common::Table table({"cluster", "model", "axes", "recommended", "predicted s", "actual s",
+                       "vs legacy", "rejected OOM"});
+  for (const std::string tier : {"mid-range", "high-end"}) {
+    const bool high = tier == "high-end";
+    const auto topo = bench::make_cluster(tier, nodes, env.seed);
+    // One size up from the weak-scaling curve: memory-tight, so the relief
+    // axes have something to relieve.
+    const model::TrainingJob job{model::weak_scaled_model(topo.num_gpus() * 2, high),
+                                 global_batch};
+    const auto memory = bench::train_memory_estimator(topo, env);
+    sim::SimOptions sim_opt;
+
+    double legacy_actual = 0.0;
+    for (const auto& axis : axes) {
+      auto opt = bench::pipette_options(env, /*dedication=*/true);
+      opt.memory = memory;
+      opt.constraints.enable_interleaved = axis.interleaved;
+      opt.constraints.enable_recompute = axis.recompute;
+      opt.constraints.enable_zero1 = axis.zero1;
+      core::PipetteConfigurator ppt(opt);
+      const auto rec = ppt.configure(topo, job);
+      const auto out = core::execute_with_oom_fallback(topo, job, rec, sim_opt);
+      if (!out.success) {
+        table.add_row({tier, job.model.name, axis.name, "(none runnable)", "-", "-", "-",
+                       std::to_string(rec.candidates_rejected_oom)});
+        continue;
+      }
+      if (axis.name.front() == 'l') legacy_actual = out.run.time_s;
+      table.add_row({tier, job.model.name, axis.name, out.executed.str(),
+                     common::fmt_fixed(rec.predicted_s, 2),
+                     common::fmt_fixed(out.run.time_s, 2),
+                     legacy_actual > 0.0
+                         ? common::fmt_fixed(legacy_actual / out.run.time_s, 3) + "x"
+                         : "-",
+                     std::to_string(rec.candidates_rejected_oom)});
+    }
+  }
+
+  std::cout << "Plan-space ablation — win from each fine-grained axis ("
+            << nodes << " nodes per tier, global batch " << global_batch << ")\n\n";
+  bench::finish_table(table, env);
+  return 0;
+}

@@ -69,8 +69,9 @@ int main(int argc, char** argv) {
     const int gpn = topo.gpus_per_node();
     const auto profiled = cluster::profile_network(topo, {});
     const auto links = estimators::LinkConstants::from_spec(topo.spec());
-    const auto prof = estimators::profile_compute(topo, job, c.pc, c.micro, {});
-    const estimators::PipetteLatencyModel model(job, c.pc, c.micro, prof, &profiled.bw, links);
+    const parallel::TrainPlan plan{c.pc, c.micro};
+    const auto prof = estimators::profile_compute(topo, job, plan, {});
+    const estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
     search::SaOptions opt;
     opt.time_limit_s = std::numeric_limits<double>::infinity();  // iteration-capped

@@ -32,27 +32,27 @@ int main(int argc, char** argv) {
 
   const model::TrainingJob job{model::gpt_3_1b(), 512};
   // pp * tp * dp must cover the whole cluster (Eq. 2's |W| = |G|).
-  const parallel::ParallelConfig pc{8, 2, nodes * topo.gpus_per_node() / 16};
-  const int micro = 2;
-  std::cout << "Dedicating " << pc.str() << " workers for " << job.model.name << " on " << nodes
+  const parallel::TrainPlan plan{{8, 2, nodes * topo.gpus_per_node() / 16}, 2};
+  const auto& pc = plan.pc;
+  std::cout << "Dedicating " << plan.str() << " workers for " << job.model.name << " on " << nodes
             << " nodes with degraded links\n\n";
 
   // Profile the fabric and build the latency estimator for this candidate.
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-  estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
   auto mapping = parallel::Mapping::megatron_default(pc);
   sim::SimOptions sim_opt;
-  const auto before = sim::simulate_iteration(topo, job, mapping, micro, sim_opt);
+  const auto before = sim::simulate_iteration(topo, job, mapping, plan, sim_opt);
   const double est_before = model.estimate(mapping);
 
   search::SaOptions sa;
   sa.time_limit_s = sa_time;
   sa.seed = seed;
   const auto res = search::optimize_mapping(mapping, model, topo.gpus_per_node(), sa);
-  const auto after = sim::simulate_iteration(topo, job, mapping, micro, sim_opt);
+  const auto after = sim::simulate_iteration(topo, job, mapping, plan, sim_opt);
 
   common::Table t({"mapping", "estimated s/iter", "actual s/iter", "DP sync s", "bubble %"});
   t.add_row({"Megatron default", common::fmt_fixed(est_before, 3),

@@ -43,23 +43,23 @@ int main(int argc, char** argv) {
                                                              topo.gpus_per_node(),
                                                              mcfg.num_layers, {})) {
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
-      const double analytic = estimators::analytic_memory_estimate(job, pc, micro);
-      const double learned = mlp.estimate_bytes(job, pc, micro);
-      const double actual = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
-                                                      sim::ScheduleKind::kMemoryEfficient1F1B,
-                                                      estimators::kMemoryUniverseSeed)
-                                .total_bytes;
+      const parallel::TrainPlan plan{pc, micro};
+      const double analytic = estimators::analytic_memory_estimate(job, plan);
+      const double learned = mlp.estimate_bytes(job, plan);
+      const double actual =
+          sim::simulate_peak_memory(topo.spec(), job, plan, estimators::kMemoryUniverseSeed)
+              .total_bytes;
       const bool fits_truth = actual <= limit;
       const bool fits_analytic = analytic <= limit;
-      const bool fits_mlp = mlp.fits(job, pc, micro, limit);
+      const bool fits_mlp = mlp.fits(job, plan, limit);
       analytic_wrong += fits_analytic != fits_truth;
       mlp_wrong += fits_mlp != fits_truth;
       ++rows;
       if (rows % 3 == 1) {  // sample for readability
-        t.add_row({pc.str() + "-mb" + std::to_string(micro),
-                   common::fmt_fixed(analytic / 1e9, 1), common::fmt_fixed(learned / 1e9, 1),
-                   common::fmt_fixed(actual / 1e9, 1), fits_analytic ? "fits" : "OOM",
-                   fits_mlp ? "fits" : "OOM", fits_truth ? "fits" : "OOM"});
+        t.add_row({plan.str(), common::fmt_fixed(analytic / 1e9, 1),
+                   common::fmt_fixed(learned / 1e9, 1), common::fmt_fixed(actual / 1e9, 1),
+                   fits_analytic ? "fits" : "OOM", fits_mlp ? "fits" : "OOM",
+                   fits_truth ? "fits" : "OOM"});
       }
     }
   }

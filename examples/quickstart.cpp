@@ -50,6 +50,17 @@ int main(int argc, char** argv) {
 
   std::cout << "Pipette recommends " << rec.best.str() << "  (predicted "
             << common::fmt_fixed(rec.predicted_s, 3) << " s/iter)\n";
+  // The full plan, so the recommendation is reproducible from this output.
+  const auto& plan = rec.best;
+  std::cout << "  schedule: "
+            << (plan.schedule == parallel::PipeSchedule::kInterleaved1F1B
+                    ? "interleaved-1F1B (v=" + std::to_string(plan.virtual_stages) + ")"
+                    : "1F1B")
+            << ", recompute: "
+            << (plan.recompute == parallel::Recompute::kFull
+                    ? "full"
+                    : plan.recompute == parallel::Recompute::kSelective ? "selective" : "none")
+            << ", ZeRO-1: " << (plan.zero1 ? "on" : "off") << "\n";
   std::cout << "  candidates evaluated: " << rec.candidates_evaluated
             << ", rejected by memory estimator: " << rec.candidates_rejected_oom << "\n";
   std::cout << "  profiling " << common::fmt_duration(rec.profile_wall_s) << " (simulated), SA "

@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
   auto memory = std::make_shared<const estimators::MlpMemoryEstimator>(
       estimators::MlpMemoryEstimator::train_for_cluster(full, model::gpt_zoo(), mopt));
 
-  common::Table t({"nodes", "model", "recommended", "predicted s/iter", "actual s/iter",
+  // `recommended` prints TrainPlan::str(), which spells out the schedule
+  // (-i<v>), recomputation (-rcsel/-rcfull), and ZeRO-1 (-z1) axes; `axes`
+  // restates them long-form so the recommendation is reproducible at a glance.
+  common::Table t({"nodes", "model", "recommended", "axes", "predicted s/iter", "actual s/iter",
                    "rejected OOM", "tokens/s/GPU"});
   for (int nodes : {2, 4, 8, 16}) {
     const auto topo = full.sub_cluster(nodes);
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
     core::PipetteConfigurator ppt(opt);
     const auto rec = ppt.configure(topo, job);
     if (!rec.found) {
-      t.add_row({std::to_string(nodes), job.model.name, "none found", "-", "-",
+      t.add_row({std::to_string(nodes), job.model.name, "none found", "-", "-", "-",
                  std::to_string(rec.candidates_rejected_oom), "-"});
       continue;
     }
@@ -51,7 +54,16 @@ int main(int argc, char** argv) {
     const auto out = core::execute_with_oom_fallback(topo, job, rec, sim_opt);
     const double tokens =
         static_cast<double>(job.global_batch) * job.model.seq_len;
-    t.add_row({std::to_string(nodes), job.model.name, out.executed.str(),
+    const auto& plan = out.executed;
+    std::string axes =
+        plan.schedule == parallel::PipeSchedule::kInterleaved1F1B
+            ? "interleaved v=" + std::to_string(plan.virtual_stages)
+            : "1F1B";
+    axes += plan.recompute == parallel::Recompute::kFull
+                ? ", rc=full"
+                : plan.recompute == parallel::Recompute::kSelective ? ", rc=sel" : ", rc=none";
+    axes += plan.zero1 ? ", zero1" : "";
+    t.add_row({std::to_string(nodes), job.model.name, plan.str(), axes,
                common::fmt_fixed(rec.predicted_s, 2),
                out.success ? common::fmt_fixed(out.run.time_s, 2) : "OOM",
                std::to_string(rec.candidates_rejected_oom),

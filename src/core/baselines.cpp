@@ -24,9 +24,10 @@ ConfiguratorResult configure_eq1(const cluster::Topology& topo, const model::Tra
            topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, constraints)) {
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, constraints)) {
       ++res.candidates_evaluated;
-      const auto profile = estimators::profile_compute(topo, job, pc, micro, cp_opt);
-      const double est = estimators::amp_latency_estimate(job, pc, micro, profile, links);
-      all.push_back({Candidate{pc, micro}, est});
+      const Candidate cand{pc, micro};  // baselines search only plain plans
+      const auto profile = estimators::profile_compute(topo, job, cand, cp_opt);
+      const double est = estimators::amp_latency_estimate(job, cand, profile, links);
+      all.push_back({cand, est});
     }
   }
   if (all.empty()) return res;
@@ -79,15 +80,14 @@ ConfiguratorResult MegatronHeuristic::configure(const cluster::Topology& topo,
     if (pc.tp != tp) continue;
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, opt_.constraints)) {
       ++res.candidates_evaluated;
-      if (!sim::fits_in_memory(topo.spec(), job, pc, micro,
-                               sim::ScheduleKind::kMemoryEfficient1F1B,
-                               estimators::kMemoryUniverseSeed)) {
+      const Candidate cand{pc, micro};  // the expert tunes the legacy 4-tuple
+      if (!sim::fits_in_memory(topo.spec(), job, cand, estimators::kMemoryUniverseSeed)) {
         ++res.candidates_rejected_oom;
         continue;
       }
       const auto mapping = parallel::Mapping::megatron_default(pc);
-      const auto run = sim::simulate_iteration(topo, job, mapping, micro, opt_.sim);
-      tried.push_back({Candidate{pc, micro}, run.total_s});
+      const auto run = sim::simulate_iteration(topo, job, mapping, cand, opt_.sim);
+      tried.push_back({cand, run.total_s});
     }
   }
   if (tried.empty()) return res;

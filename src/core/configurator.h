@@ -1,8 +1,8 @@
 // Common types for all configurators: what a recommendation looks like, and
 // the interface both Pipette and the baselines implement. A configurator sees
 // the cluster (it may profile it) and the training job; it returns a ranked
-// list of (pp, tp, dp, microbatch) candidates and, for Pipette, a fine-grained
-// worker mapping for the top choice.
+// list of TrainPlan candidates and, for Pipette, a fine-grained worker
+// mapping for the top choice.
 #pragma once
 
 #include <memory>
@@ -13,18 +13,14 @@
 #include "cluster/topology.h"
 #include "model/transformer.h"
 #include "parallel/mapping.h"
-#include "parallel/parallel_config.h"
+#include "parallel/train_plan.h"
 
 namespace pipette::core {
 
-/// One point of the search space of Algorithm 1.
-struct Candidate {
-  parallel::ParallelConfig pc;
-  int micro_batch = 1;
-
-  std::string str() const { return pc.str() + "-mb" + std::to_string(micro_batch); }
-  bool operator==(const Candidate&) const = default;
-};
+/// One point of the search space of Algorithm 1 — a full training plan. The
+/// baselines only ever emit plain plans (their search spaces predate the
+/// schedule/recompute/ZeRO axes); Pipette searches the whole space.
+using Candidate = parallel::TrainPlan;
 
 struct RankedChoice {
   Candidate cand;

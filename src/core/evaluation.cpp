@@ -6,13 +6,12 @@ ActualRun run_actual(const cluster::Topology& topo, const model::TrainingJob& jo
                      const Candidate& cand, const parallel::Mapping& mapping,
                      const sim::SimOptions& sim_opt) {
   ActualRun out;
-  out.mem = sim::simulate_peak_memory(topo.spec(), job, cand.pc, cand.micro_batch,
-                                      sim_opt.schedule, estimators::kMemoryUniverseSeed);
+  out.mem = sim::simulate_peak_memory(topo.spec(), job, cand, estimators::kMemoryUniverseSeed);
   if (out.mem.total_bytes > topo.spec().gpu_memory_bytes) {
     out.oom = true;
     return out;
   }
-  out.time_s = sim::simulate_iteration(topo, job, mapping, cand.micro_batch, sim_opt).total_s;
+  out.time_s = sim::simulate_iteration(topo, job, mapping, cand, sim_opt).total_s;
   return out;
 }
 

@@ -20,8 +20,8 @@ struct ActualRun {
   sim::MemoryBreakdown mem;
 };
 
-/// Executes `cand` under `mapping` (ground truth: 1F1B, true link state,
-/// physical memory check).
+/// Executes plan `cand` under `mapping` (ground truth: the plan's schedule
+/// and recompute/ZeRO axes, true link state, physical memory check).
 ActualRun run_actual(const cluster::Topology& topo, const model::TrainingJob& job,
                      const Candidate& cand, const parallel::Mapping& mapping,
                      const sim::SimOptions& sim_opt);

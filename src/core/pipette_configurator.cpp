@@ -57,43 +57,80 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
   common::SerialExecutor serial;
   common::Executor& exec = opt_.executor ? *opt_.executor : serial;
 
-  // Lines 3-7: enumerate the candidate space, then memory-filter every
-  // candidate and score the survivors with the refined latency model under
-  // the default placement. Each candidate is independent, so this fans out
-  // across the executor; results land in index-addressed slots and are merged
-  // in enumeration order, keeping the ranking schedule-independent.
-  std::vector<Candidate> cands;
-  for (const auto& pc : parallel::enumerate_parallel_configs(
-           topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, opt_.constraints)) {
-    for (int micro : parallel::micro_batch_options(job.global_batch, pc, opt_.constraints)) {
-      cands.push_back({pc, micro});
+  // Lines 3-7, over the enlarged plan space: enumerate the base plans (plain
+  // + interleaved), memory-filter each one, and — where a base plan is near
+  // or over the fit threshold — escalate through the recompute/ZeRO-1 relief
+  // ladder, keeping the cheapest fitting variant per family so the candidate
+  // count stays bounded. Each base plan is independent, so this fans out
+  // across the executor; kept plans land in index-addressed slots and are
+  // merged in enumeration order, keeping the set schedule-independent.
+  const std::vector<Candidate> bases = parallel::enumerate_base_plans(
+      topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, job.global_batch,
+      opt_.constraints);
+
+  struct PlanSlot {
+    std::vector<Candidate> kept;
+    int evaluated = 0;
+    int rejected = 0;
+    double mem_wall_s = 0.0;
+  };
+  std::vector<PlanSlot> plan_slots(bases.size());
+  exec.parallel_for(static_cast<int>(bases.size()), [&](int i) {
+    PlanSlot& slot = plan_slots[static_cast<std::size_t>(i)];
+    const Candidate& base = bases[static_cast<std::size_t>(i)];
+    if (!opt_.use_memory_filter) {
+      slot.evaluated = 1;
+      slot.kept.push_back(base);
+      return;
     }
+    const auto t0 = clock::now();
+    const double margin = 1.0 + memory_->soft_margin();
+    const double base_est = memory_->estimate_bytes(job, base) * margin;
+    const bool base_fits = base_est <= mem_limit;
+    ++slot.evaluated;
+    if (base_fits) {
+      slot.kept.push_back(base);
+    } else {
+      ++slot.rejected;
+    }
+    const bool near_threshold =
+        opt_.variant_trigger_frac > 0.0 && base_est > opt_.variant_trigger_frac * mem_limit;
+    if (!base_fits || near_threshold) {
+      bool kept_plain_family = false, kept_zero_family = false;
+      for (const Candidate& variant : parallel::memory_relief_variants(base, opt_.constraints)) {
+        bool& kept_family = variant.zero1 ? kept_zero_family : kept_plain_family;
+        if (kept_family) continue;
+        ++slot.evaluated;
+        if (memory_->fits(job, variant, mem_limit)) {
+          slot.kept.push_back(variant);
+          kept_family = true;
+        } else {
+          ++slot.rejected;
+        }
+      }
+    }
+    slot.mem_wall_s = since(t0);
+  });
+
+  std::vector<Candidate> cands;
+  for (const auto& slot : plan_slots) {
+    res.candidates_evaluated += slot.evaluated;
+    res.candidates_rejected_oom += slot.rejected;
+    res.mem_est_wall_s += slot.mem_wall_s;
+    cands.insert(cands.end(), slot.kept.begin(), slot.kept.end());
   }
-  res.candidates_evaluated = static_cast<int>(cands.size());
+  if (cands.empty()) return res;
 
   struct Slot {
     double default_cost = 0.0;
     estimators::ComputeProfile profile;
-    double mem_wall_s = 0.0;
-    bool oom = false;
   };
   std::vector<Slot> slots(cands.size());
   exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
     Slot& slot = slots[static_cast<std::size_t>(i)];
     const Candidate& cand = cands[static_cast<std::size_t>(i)];
-    if (opt_.use_memory_filter) {
-      const auto t0 = clock::now();
-      const bool ok = memory_->fits(job, cand.pc, cand.micro_batch, mem_limit);
-      slot.mem_wall_s = since(t0);
-      if (!ok) {
-        slot.oom = true;
-        return;
-      }
-    }
-    slot.profile =
-        estimators::profile_compute(topo, job, cand.pc, cand.micro_batch, opt_.compute_profile);
-    estimators::PipetteLatencyModel model(job, cand.pc, cand.micro_batch, slot.profile,
-                                          &profiled->bw, links);
+    slot.profile = estimators::profile_compute(topo, job, cand, opt_.compute_profile);
+    estimators::PipetteLatencyModel model(job, cand, slot.profile, &profiled->bw, links);
     slot.default_cost = model.estimate(parallel::Mapping::megatron_default(cand.pc));
   });
 
@@ -103,15 +140,10 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     const estimators::ComputeProfile* profile;
   };
   std::vector<Scored> scored;
+  scored.reserve(cands.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    res.mem_est_wall_s += slots[i].mem_wall_s;
-    if (slots[i].oom) {
-      ++res.candidates_rejected_oom;
-      continue;
-    }
     scored.push_back({cands[i], slots[i].default_cost, &slots[i].profile});
   }
-  if (scored.empty()) return res;
 
   // Stable sort: equal costs keep enumeration order, so the ranking is the
   // same no matter how the scoring pass was scheduled.
@@ -145,8 +177,7 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     std::vector<SaSlot> sa_slots(limit);
     exec.parallel_for(static_cast<int>(limit), [&](int i) {
       const auto& s = scored[static_cast<std::size_t>(i)];
-      estimators::PipetteLatencyModel model(job, s.cand.pc, s.cand.micro_batch, *s.profile,
-                                            &profiled->bw, links);
+      estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
       auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
       search::SaOptions sa = opt_.sa;
       // Seeded from the candidate itself, not its rank, so serial and

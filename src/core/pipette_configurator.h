@@ -32,6 +32,13 @@ struct PipetteOptions {
   cluster::ProfileOptions profile;
   estimators::ComputeProfileOptions compute_profile;
   parallel::ConfigConstraints constraints;
+  /// Memory-driven plan-space pruning: recompute/ZeRO-1 relief variants are
+  /// generated only for base plans whose margin-adjusted memory estimate
+  /// exceeds this fraction of the GPU memory (or fails the filter outright),
+  /// and only the cheapest fitting variant per family (without / with ZeRO)
+  /// is kept — so the enlarged space stays bounded. 0 disables the
+  /// near-threshold trigger (variants appear only for plans that do not fit).
+  double variant_trigger_frac = 0.9;
   /// Pre-trained memory estimator to reuse across invocations on the same
   /// cluster; trained on demand (and its wall time reported) when null.
   std::shared_ptr<const estimators::MlpMemoryEstimator> memory;

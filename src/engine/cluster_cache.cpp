@@ -33,6 +33,16 @@ std::uint64_t hash_memory_options(std::uint64_t h, const estimators::MlpMemoryOp
   h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.max_micro_batch));
   h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.require_full_rounds));
   h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.fixed_micro_batch));
+  // Plan-axis knobs change the training dataset, and the feature-vector
+  // version changes the trained net's very input layout: both must key the
+  // cached estimator so feature sets never collide.
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_interleaved));
+  for (const int v : o.constraints.virtual_stage_options) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_recompute));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_zero1));
+  h = hash_combine(h, static_cast<std::uint64_t>(estimators::MlpMemoryEstimator::kFeatureVersion));
   h = hash_combine(h, o.seed);
   return h;
 }

@@ -2,16 +2,17 @@
 // (Bricken, "Transformer Memory Requirements" [20]): model states divided by
 // the parallel ways plus the activations of a single microbatch. It knows
 // nothing about the pipeline's in-flight window or the training framework's
-// own consumption, which is exactly why it underestimates (paper §VI).
+// own consumption, which is exactly why it underestimates (paper §VI). It is
+// plan-aware only in the analytic parts a formula can see: the recompute
+// level's per-layer residency and ZeRO-1's optimizer-state sharding.
 #pragma once
 
 #include "model/transformer.h"
-#include "parallel/parallel_config.h"
+#include "parallel/train_plan.h"
 
 namespace pipette::estimators {
 
 /// Estimated peak bytes per GPU for the worst stage.
-double analytic_memory_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                                int micro_batch);
+double analytic_memory_estimate(const model::TrainingJob& job, const parallel::TrainPlan& plan);
 
 }  // namespace pipette::estimators

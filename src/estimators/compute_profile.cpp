@@ -13,19 +13,31 @@ namespace pipette::estimators {
 using common::Rng;
 
 ComputeProfile profile_compute(const cluster::Topology& topo, const model::TrainingJob& job,
-                               const parallel::ParallelConfig& pc, int micro_batch,
-                               const ComputeProfileOptions& opt) {
+                               const parallel::TrainPlan& plan, const ComputeProfileOptions& opt) {
+  const auto& pc = plan.pc;
   ComputeProfile out;
   out.stage_fwd_s.reserve(static_cast<std::size_t>(pc.pp));
   out.stage_bwd_s.reserve(static_cast<std::size_t>(pc.pp));
   const auto mapping = parallel::Mapping::megatron_default(pc);
+  const int chunks = plan.schedule == parallel::PipeSchedule::kInterleaved1F1B
+                         ? plan.virtual_stages
+                         : 1;
   Rng rng(opt.seed);
   for (int x = 0; x < pc.pp; ++x) {
-    const sim::StageCosts c = sim::stage_costs(topo, job, mapping, micro_batch, x, 0, opt.costs);
+    // A position's per-microbatch compute is the sum over its virtual chunks
+    // (exactly one for flat schedules, so the plain path measures the same
+    // quantity — and draws the same noise stream — as it always did).
+    double fwd_true = 0.0, bwd_true = 0.0;
+    for (int c = 0; c < chunks; ++c) {
+      const sim::StageCosts sc =
+          sim::stage_costs(topo, job, mapping, plan, c * pc.pp + x, 0, opt.costs);
+      fwd_true += sc.fwd_compute_s;
+      bwd_true += sc.bwd_compute_s;
+    }
     double fwd = 0.0, bwd = 0.0;
     for (int r = 0; r < opt.repeats; ++r) {
-      fwd += c.fwd_compute_s * (1.0 + rng.normal(0.0, opt.noise_sigma));
-      bwd += c.bwd_compute_s * (1.0 + rng.normal(0.0, opt.noise_sigma));
+      fwd += fwd_true * (1.0 + rng.normal(0.0, opt.noise_sigma));
+      bwd += bwd_true * (1.0 + rng.normal(0.0, opt.noise_sigma));
     }
     out.stage_fwd_s.push_back(fwd / opt.repeats);
     out.stage_bwd_s.push_back(bwd / opt.repeats);

@@ -18,11 +18,13 @@
 namespace pipette::estimators {
 
 struct ComputeProfile {
-  /// Compute-only fwd/bwd time per microbatch for each stage (TP collectives
-  /// are modelled separately from the profiled bandwidth matrix).
+  /// Compute-only fwd/bwd time per microbatch for each pipeline *position*
+  /// (TP collectives are modelled separately from the profiled bandwidth
+  /// matrix). For interleaved plans a position's entry sums its virtual
+  /// chunks; backward entries include the plan's recomputation work.
   std::vector<double> stage_fwd_s;
   std::vector<double> stage_bwd_s;
-  /// C of Eqs. (1)/(4): the heaviest stage's fwd+bwd compute per microbatch.
+  /// C of Eqs. (1)/(4): the heaviest position's fwd+bwd compute per microbatch.
   double c_block_s = 0.0;
 };
 
@@ -33,10 +35,9 @@ struct ComputeProfileOptions {
   sim::CostOptions costs;
 };
 
-/// Profiles all stages of (pc, micro_batch) for `job` on `topo`.
+/// Profiles every pipeline position of `plan` for `job` on `topo`.
 ComputeProfile profile_compute(const cluster::Topology& topo, const model::TrainingJob& job,
-                               const parallel::ParallelConfig& pc, int micro_batch,
-                               const ComputeProfileOptions& opt);
+                               const parallel::TrainPlan& plan, const ComputeProfileOptions& opt);
 
 /// Power-law extrapolator C(micro) = a * micro^b fitted to profiled points in
 /// log space — the paper's "extrapolated latency estimation model" for

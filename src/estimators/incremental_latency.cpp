@@ -24,6 +24,8 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   pair_stride_ = num_nodes_ * num_nodes_;
   rounds_ = static_cast<double>(model.nmb_) / pc.pp;
   flow_bytes_ = model.pp_msg_bytes_ / pc.tp;
+  ppcomm_scale_ = model.ppcomm_scale_;
+  fill_scale_ = model.fill_scale_;
 
   pos_stage_.resize(static_cast<std::size_t>(n));
   pos_tpr_.resize(static_cast<std::size_t>(n));
@@ -48,10 +50,10 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   msg_.resize(static_cast<std::size_t>(pp_));
   for (int x = 0; x < pp_; ++x) {
     layers_[static_cast<std::size_t>(x)] =
-        parallel::layers_of_stage(model.job_->model.num_layers, pp_, x);
+        parallel::layers_of_position(model.job_->model.num_layers, model.plan_, x);
     c_[static_cast<std::size_t>(x)] = model.profile_.stage_fwd_s[static_cast<std::size_t>(x)] +
                                       model.profile_.stage_bwd_s[static_cast<std::size_t>(x)];
-    msg_[static_cast<std::size_t>(x)] = sim::dp_gradient_bytes(model.job_->model, pc, x);
+    msg_[static_cast<std::size_t>(x)] = sim::dp_sync_bytes(model.job_->model, model.plan_, x);
   }
   // The full model builds an inter-node hop's shared byte count by adding
   // flow_bytes once per sharing flow; precomputing the same running sums keeps
@@ -238,8 +240,8 @@ double IncrementalLatencyEvaluator::reduce() const {
     for (int e = 0; e + 1 < pp_; ++e) path += hop_[static_cast<std::size_t>(e * dp_ + z)];
     pp_comm = std::max(pp_comm, path);
   }
-  const double bubble = std::max(sum_blocks + pp_comm, pp_ * max_block);
-  const double straggler = (pp_ - 1) * max_block;
+  const double bubble = std::max(sum_blocks + ppcomm_scale_ * pp_comm, pp_ * max_block);
+  const double straggler = (pp_ - 1) * max_block * fill_scale_;
   double dp_comm = 0.0;
   if (dp_ >= 2) {
     for (int stage = 0; stage < pp_; ++stage) {

@@ -85,6 +85,11 @@ class IncrementalLatencyEvaluator {
   int pair_stride_ = 1;    ///< num_nodes_² (ordered node pairs per hop)
   double rounds_ = 1.0;    ///< n_mb / pp of Eq. (3)
   double flow_bytes_ = 0.0;  ///< per-TP-rank pipeline flow (pp_msg / tp)
+  /// Interleaving constants copied from the model so reduce() folds the
+  /// cached tables with the exact same expressions (both are 1.0 for flat
+  /// schedules — see PipetteLatencyModel).
+  double ppcomm_scale_ = 1.0;
+  double fill_scale_ = 1.0;
 
   // Mapping-independent tables (no division in the inner loops).
   std::vector<int> pos_stage_, pos_tpr_, pos_dpr_;  ///< worker position -> coords

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "parallel/parallel_config.h"
+#include "sim/stage_costs.h"
 
 namespace pipette::estimators {
 
@@ -21,21 +22,27 @@ LinkConstants LinkConstants::from_spec(const cluster::ClusterSpec& spec) {
 using detail::ring_allreduce;
 
 PipetteLatencyModel::PipetteLatencyModel(const model::TrainingJob& job,
-                                         const parallel::ParallelConfig& pc, int micro_batch,
-                                         ComputeProfile profile,
+                                         const parallel::TrainPlan& plan, ComputeProfile profile,
                                          const cluster::BandwidthMatrix* profiled_bw,
                                          const LinkConstants& links)
     : job_(&job),
-      pc_(pc),
-      micro_(micro_batch),
-      nmb_(parallel::num_microbatches(job.global_batch, pc, micro_batch)),
+      plan_(plan),
+      pc_(plan.pc),
+      nmb_(parallel::num_microbatches(job.global_batch, plan.pc, plan.micro_batch)),
       profile_(std::move(profile)),
       bw_(profiled_bw),
       links_(links),
-      pp_msg_bytes_(model::pp_message_bytes(job.model, micro_batch)),
-      tp_msg_bytes_(model::tp_message_bytes(job.model, micro_batch)),
+      pp_msg_bytes_(model::pp_message_bytes(job.model, plan.micro_batch)),
+      tp_msg_bytes_(model::tp_message_bytes(job.model, plan.micro_batch)),
       num_nodes_(std::max(
-          1, (profiled_bw->num_gpus() + links.gpus_per_node - 1) / links.gpus_per_node)) {}
+          1, (profiled_bw->num_gpus() + links.gpus_per_node - 1) / links.gpus_per_node)) {
+  if (plan_.schedule == parallel::PipeSchedule::kInterleaved1F1B && plan_.virtual_stages > 1) {
+    // v boundary messages per hop per microbatch; the pipeline fills with
+    // 1/v-deep chunk blocks.
+    ppcomm_scale_ = static_cast<double>(plan_.virtual_stages);
+    fill_scale_ = 1.0 / static_cast<double>(plan_.virtual_stages);
+  }
+}
 
 double PipetteLatencyModel::tp_time(const parallel::Mapping& m, int stage, int dpr) const {
   if (pc_.tp < 2) return 0.0;
@@ -54,7 +61,7 @@ double PipetteLatencyModel::tp_time(const parallel::Mapping& m, int stage, int d
     }
   }
   const double lat = crosses_node ? links_.inter_latency_s : links_.intra_latency_s;
-  const int layers = parallel::layers_of_stage(job_->model.num_layers, pc_.pp, stage);
+  const int layers = parallel::layers_of_position(job_->model.num_layers, plan_, stage);
   // Two all-reduces in forward and two in backward per layer.
   return 4.0 * layers * ring_allreduce(tp_msg_bytes_, pc_.tp, min_bw, lat);
 }
@@ -77,7 +84,9 @@ double PipetteLatencyModel::pp_comm_term(const parallel::Mapping& m) const {
   // tensors are scatter-gathered over TP ranks (each flow carries msg/tp),
   // and flows of different replicas that straddle the same node pair share
   // that NIC — the profiled B() is a single-flow measurement, so sharing
-  // divides it. The term is the slowest end-to-end pipeline path.
+  // divides it. The term is the slowest end-to-end pipeline path, priced per
+  // boundary message (interleaving's v-fold message count is applied by the
+  // caller through ppcomm_scale_).
   const double flow_bytes = pp_msg_bytes_ / pc_.tp;
   double worst = 0.0;
   for (int z = 0; z < pc_.dp; ++z) {
@@ -120,8 +129,9 @@ double PipetteLatencyModel::pp_comm_term(const parallel::Mapping& m) const {
 double PipetteLatencyModel::bubble_term(const parallel::Mapping& m) const {
   // Eq. (4) generalized to heterogeneous stages: one steady-state round
   // moves pp microbatches and costs the full down-and-up dependency cycle
-  // (sum of all stage blocks plus the path communication), but can never
-  // beat the bottleneck stage's busy time.
+  // (sum of all stage blocks plus the path communication — v messages per
+  // hop when interleaved), but can never beat the bottleneck stage's busy
+  // time.
   double sum_blocks = 0.0;
   double max_block = 0.0;
   for (int x = 0; x < pc_.pp; ++x) {
@@ -132,11 +142,13 @@ double PipetteLatencyModel::bubble_term(const parallel::Mapping& m) const {
     sum_blocks += block;
     max_block = std::max(max_block, block);
   }
-  return std::max(sum_blocks + pp_comm_term(m), pc_.pp * max_block);
+  return std::max(sum_blocks + ppcomm_scale_ * pp_comm_term(m), pc_.pp * max_block);
 }
 
 double PipetteLatencyModel::straggler_term(const parallel::Mapping& m) const {
-  return (pc_.pp - 1) * max_stage_block(m);
+  // The pipeline fills with per-chunk blocks: 1/v of a position's block when
+  // interleaved (fill_scale_ is exactly 1.0 for flat schedules).
+  return (pc_.pp - 1) * max_stage_block(m) * fill_scale_;
 }
 
 double PipetteLatencyModel::dp_comm_term(const parallel::Mapping& m) const {
@@ -185,7 +197,7 @@ double PipetteLatencyModel::dp_comm_term(const parallel::Mapping& m) const {
 
   double worst = 0.0;
   for (int stage = 0; stage < pc_.pp; ++stage) {
-    const double msg = sim::dp_gradient_bytes(job_->model, pc_, stage);
+    const double msg = sim::dp_sync_bytes(job_->model, plan_, stage);
     for (int y = 0; y < pc_.tp; ++y) {
       double min_intra = std::numeric_limits<double>::infinity();
       double min_inter = std::numeric_limits<double>::infinity();
@@ -237,9 +249,10 @@ double PipetteLatencyModel::estimate(const parallel::Mapping& m) const {
   return bubble_term(m) * rounds + straggler_term(m) + dp_comm_term(m);
 }
 
-double amp_latency_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                            int micro_batch, const ComputeProfile& profile,
-                            const LinkConstants& links) {
+double amp_latency_estimate(const model::TrainingJob& job, const parallel::TrainPlan& plan,
+                            const ComputeProfile& profile, const LinkConstants& links) {
+  const auto& pc = plan.pc;
+  const int micro_batch = plan.micro_batch;
   const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
   // C + T_TP with document bandwidth (TP groups assumed intra-node).
   const double tp_ar =
@@ -260,7 +273,8 @@ double amp_latency_estimate(const model::TrainingJob& job, const parallel::Paral
 
   // Hierarchical DP all-reduce under the default placement. AMP models the
   // collective's *structure* (it is heterogeneity-aware in shape) but prices
-  // it with static document bandwidths — the paper's first criticism.
+  // it with static document bandwidths — the paper's first criticism. It
+  // predates ZeRO/interleaving, so it prices the plain all-reduce volume.
   double t_dp = 0.0;
   if (pc.dp > 1) {
     const double msg = sim::dp_gradient_bytes(job.model, pc, 0);

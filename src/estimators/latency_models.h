@@ -3,7 +3,10 @@
 //  * PipetteLatencyModel — Eqs. (3)-(6): the memory-efficient-schedule model
 //    with the hidden critical path (the bubble term is paid n_mb/pp times),
 //    mapping-aware pipeline/TP/DP communication terms, and *profiled*
-//    pairwise bandwidths.
+//    pairwise bandwidths. Plan-aware: interleaved-1F1B plans scale the
+//    pipeline-fill term by 1/v and the exposed P2P term by v (v messages per
+//    hop per microbatch), recomputation arrives through the profiled backward
+//    costs, and ZeRO-1 through the DP sync volume.
 //  * amp_latency_estimate — Eq. (1): the prior-art model (AMP [8], also the
 //    structure Varuna [12] uses) built for the memory-unaware schedule, with
 //    document-specified bandwidths and no mapping awareness.
@@ -17,6 +20,8 @@
 #include "estimators/compute_profile.h"
 #include "model/transformer.h"
 #include "parallel/mapping.h"
+#include "parallel/train_plan.h"
+#include "sim/collectives.h"
 
 namespace pipette::estimators {
 
@@ -24,13 +29,12 @@ class IncrementalLatencyEvaluator;
 
 namespace detail {
 
-/// Ring all-reduce term used throughout (Thakur et al. [19]). Shared between
-/// the full model and the incremental evaluator so both compute the exact
-/// same floating-point expression.
+/// Ring all-reduce term used throughout (Thakur et al. [19]). Forwards to the
+/// simulator's single inline definition, so the full model, the incremental
+/// evaluator, and the ground-truth simulator all evaluate the exact same
+/// floating-point expression and cannot drift.
 inline double ring_allreduce(double bytes, int n, double bw, double latency) {
-  if (n < 2) return 0.0;
-  const double nn = static_cast<double>(n);
-  return 2.0 * (nn - 1.0) / nn * bytes / bw + 2.0 * (nn - 1.0) * latency;
+  return sim::ring_allreduce_time(bytes, n, bw, latency);
 }
 
 }  // namespace detail
@@ -47,21 +51,23 @@ struct LinkConstants {
 };
 
 /// Pipette's latency estimator (Algorithm 1 line 11). Constructed once per
-/// candidate (pp, tp, dp, micro); estimate(mapping) is the simulated-annealing
-/// hot path and allocates nothing.
+/// candidate TrainPlan; estimate(mapping) is the simulated-annealing hot path
+/// and allocates nothing.
 class PipetteLatencyModel {
  public:
-  PipetteLatencyModel(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                      int micro_batch, ComputeProfile profile,
-                      const cluster::BandwidthMatrix* profiled_bw, const LinkConstants& links);
+  PipetteLatencyModel(const model::TrainingJob& job, const parallel::TrainPlan& plan,
+                      ComputeProfile profile, const cluster::BandwidthMatrix* profiled_bw,
+                      const LinkConstants& links);
 
   /// Total iteration latency of Eq. (3) for a worker dedication `m`.
   double estimate(const parallel::Mapping& m) const;
 
+  const parallel::TrainPlan& plan() const { return plan_; }
+
   /// Individual terms (for tests and diagnostics), all under mapping `m`.
   double bubble_term(const parallel::Mapping& m) const;     // T_bubble of Eq. (4)
   double straggler_term(const parallel::Mapping& m) const;  // T_straggler of Eq. (4)
-  double pp_comm_term(const parallel::Mapping& m) const;    // T_PP_com of Eq. (5)
+  double pp_comm_term(const parallel::Mapping& m) const;    // T_PP_com of Eq. (5), per message
   double dp_comm_term(const parallel::Mapping& m) const;    // T_DP_com of Eq. (6)
 
  private:
@@ -72,21 +78,25 @@ class PipetteLatencyModel {
   double tp_time(const parallel::Mapping& m, int stage, int dpr) const;
 
   const model::TrainingJob* job_;
-  parallel::ParallelConfig pc_;
-  int micro_ = 1;
+  parallel::TrainPlan plan_;
+  parallel::ParallelConfig pc_;  ///< = plan_.pc (hot-path alias)
   int nmb_ = 1;
   ComputeProfile profile_;
   const cluster::BandwidthMatrix* bw_;
   LinkConstants links_;
   double pp_msg_bytes_ = 0.0;
   double tp_msg_bytes_ = 0.0;
+  /// Interleaving constants: v messages per hop per microbatch, fill cost
+  /// divided by v. Exactly 1.0 for flat schedules, so plain plans evaluate
+  /// the identical floating-point expression as the 4-tuple model did.
+  double ppcomm_scale_ = 1.0;
+  double fill_scale_ = 1.0;
   int num_nodes_ = 1;  ///< of the profiled fabric, not a hard-coded cap
 };
 
 /// Eq. (1) with spec bandwidths and the default (mapping-unaware) placement.
 /// Used for both the AMP baseline and (with tp == 1) the Varuna baseline.
-double amp_latency_estimate(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                            int micro_batch, const ComputeProfile& profile,
-                            const LinkConstants& links);
+double amp_latency_estimate(const model::TrainingJob& job, const parallel::TrainPlan& plan,
+                            const ComputeProfile& profile, const LinkConstants& links);
 
 }  // namespace pipette::estimators

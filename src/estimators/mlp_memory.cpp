@@ -12,15 +12,29 @@ double lg(double v) { return std::log2(std::max(v, 1e-9)); }
 }  // namespace
 
 std::vector<double> MlpMemoryEstimator::features(const model::TrainingJob& job,
-                                                 const parallel::ParallelConfig& pc,
-                                                 int micro_batch) {
+                                                 const parallel::TrainPlan& plan) {
   const auto& m = job.model;
+  const auto& pc = plan.pc;
   const double mini = static_cast<double>(job.global_batch) / pc.dp;
   // Eq. (7): n_gpus, n_layers, n_hiddens, n_heads, tp, pp, dp, bs_micro,
-  // bs_mini, bs_global — log2-transformed.
-  return {lg(pc.ways()), lg(m.num_layers), lg(m.hidden_size), lg(m.num_heads),
-          lg(pc.tp),     lg(pc.pp),        lg(pc.dp),         lg(micro_batch),
-          lg(mini),      lg(job.global_batch)};
+  // bs_mini, bs_global — log2-transformed — followed by the v2 additions:
+  // log2 sequence length (activation residency scales superlinearly in it,
+  // and the plan axes exist to manage exactly that), log2 virtual stages,
+  // recompute level (0/1/2), ZeRO-1 flag.
+  return {lg(pc.ways()),
+          lg(m.num_layers),
+          lg(m.hidden_size),
+          lg(m.num_heads),
+          lg(pc.tp),
+          lg(pc.pp),
+          lg(pc.dp),
+          lg(plan.micro_batch),
+          lg(mini),
+          lg(job.global_batch),
+          lg(m.seq_len),
+          lg(plan.virtual_stages),
+          static_cast<double>(plan.recompute),
+          plan.zero1 ? 1.0 : 0.0};
 }
 
 MlpMemoryEstimator::MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape)
@@ -32,25 +46,37 @@ MlpMemoryEstimator MlpMemoryEstimator::train_for_cluster(
   const auto& spec = full.spec();
   const int max_nodes = std::min(opt.max_profile_nodes, spec.num_nodes);
 
-  // Profile "runs": every runnable configuration on 1..max_nodes nodes. Only
-  // configurations that actually fit can be profiled on a real cluster, so
-  // only those enter the dataset.
+  // Profile "runs": every runnable plan on 1..max_nodes nodes — the base
+  // space (plain + interleaved) plus, for base plans near or over the fit
+  // threshold, their recompute/ZeRO relief variants. This mirrors how the
+  // configurator uses the estimator (relief variants are only ever asked
+  // about under memory pressure), so the dataset concentrates coverage where
+  // the filter decides, instead of blowing up 6x with comfortable variants.
+  // Only plans that actually fit can be profiled on a real cluster, so only
+  // those enter the dataset.
+  constexpr double kVariantProfileTrigger = 0.7;
   std::vector<std::vector<double>> rows;
   std::vector<double> targets;
+  auto measure = [&](const model::TrainingJob& job, const parallel::TrainPlan& plan) {
+    const auto mem = sim::simulate_peak_memory(spec, job, plan, kMemoryUniverseSeed);
+    if (mem.total_bytes <= spec.gpu_memory_bytes) {
+      rows.push_back(features(job, plan));
+      targets.push_back(lg(mem.total_bytes));
+    }
+    return mem.total_bytes;
+  };
   for (int nodes = 1; nodes <= max_nodes; ++nodes) {
     const int gpus = nodes * spec.gpus_per_node;
     for (const auto& mcfg : models) {
       for (int gb : opt.profile_global_batches) {
         model::TrainingJob job{mcfg, gb};
-        for (const auto& pc : parallel::enumerate_parallel_configs(
-                 gpus, spec.gpus_per_node, mcfg.num_layers, opt.constraints)) {
-          for (int micro : parallel::micro_batch_options(gb, pc, opt.constraints)) {
-            const auto mem = sim::simulate_peak_memory(spec, job, pc, micro,
-                                                       sim::ScheduleKind::kMemoryEfficient1F1B,
-                                                       kMemoryUniverseSeed);
-            if (mem.total_bytes > spec.gpu_memory_bytes) continue;  // cannot be profiled
-            rows.push_back(features(job, pc, micro));
-            targets.push_back(lg(mem.total_bytes));
+        for (const auto& plan : parallel::enumerate_base_plans(gpus, spec.gpus_per_node,
+                                                               mcfg.num_layers, gb,
+                                                               opt.constraints)) {
+          const double base_bytes = measure(job, plan);
+          if (base_bytes <= kVariantProfileTrigger * spec.gpu_memory_bytes) continue;
+          for (const auto& variant : parallel::memory_relief_variants(plan, opt.constraints)) {
+            measure(job, variant);
           }
         }
       }
@@ -85,14 +111,13 @@ MlpMemoryEstimator MlpMemoryEstimator::train_for_cluster(
 }
 
 double MlpMemoryEstimator::estimate_bytes(const model::TrainingJob& job,
-                                          const parallel::ParallelConfig& pc,
-                                          int micro_batch) const {
-  return std::exp2(reg_.predict(features(job, pc, micro_batch)));
+                                          const parallel::TrainPlan& plan) const {
+  return std::exp2(reg_.predict(features(job, plan)));
 }
 
-bool MlpMemoryEstimator::fits(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                              int micro_batch, double limit_bytes) const {
-  return estimate_bytes(job, pc, micro_batch) * (1.0 + margin_) <= limit_bytes;
+bool MlpMemoryEstimator::fits(const model::TrainingJob& job, const parallel::TrainPlan& plan,
+                              double limit_bytes) const {
+  return estimate_bytes(job, plan) * (1.0 + margin_) <= limit_bytes;
 }
 
 }  // namespace pipette::estimators

@@ -4,6 +4,10 @@
 // few nodes, then extrapolates to full-cluster configurations. Features are
 // log-transformed so the multiplicative structure of memory consumption
 // becomes additive and extrapolation beyond the profiled GPU counts works.
+// The feature vector is versioned: v2 appends the plan axes (virtual stages,
+// recomputation level, ZeRO-1), and the version participates in
+// engine::ClusterCache keys so trained estimators of different feature sets
+// never collide.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +16,7 @@
 #include "cluster/topology.h"
 #include "mlp/regressor.h"
 #include "model/transformer.h"
-#include "parallel/parallel_config.h"
+#include "parallel/train_plan.h"
 #include "sim/memory_sim.h"
 
 namespace pipette::estimators {
@@ -36,28 +40,34 @@ struct MlpMemoryOptions {
 
 class MlpMemoryEstimator {
  public:
+  /// Version of the feature vector below; bump on any change so cached
+  /// estimators trained on an older layout are never reused.
+  static constexpr int kFeatureVersion = 2;
+
   /// Generates the profiling dataset on sub-clusters of `full` (all runnable
-  /// configurations of the given models, up to max_profile_nodes nodes) and
-  /// trains the regressor. One-time per cluster, reusable afterwards (§VI).
+  /// plans of the given models — base space plus recompute/ZeRO relief
+  /// variants, up to max_profile_nodes nodes) and trains the regressor.
+  /// One-time per cluster, reusable afterwards (§VI).
   static MlpMemoryEstimator train_for_cluster(const cluster::Topology& full,
                                               const std::vector<model::TransformerConfig>& models,
                                               const MlpMemoryOptions& opt);
 
   /// Predicted peak bytes per GPU.
-  double estimate_bytes(const model::TrainingJob& job, const parallel::ParallelConfig& pc,
-                        int micro_batch) const;
+  double estimate_bytes(const model::TrainingJob& job, const parallel::TrainPlan& plan) const;
 
   /// Memory-constraint check with the soft margin (Algorithm 1 line 7).
-  bool fits(const model::TrainingJob& job, const parallel::ParallelConfig& pc, int micro_batch,
+  bool fits(const model::TrainingJob& job, const parallel::TrainPlan& plan,
             double limit_bytes) const;
 
   int dataset_size() const { return dataset_size_; }
   double train_mape_percent() const { return train_mape_; }
   double soft_margin() const { return margin_; }
 
-  /// The Eq. (7) feature vector (log2-transformed), exposed for tests.
+  /// The Eq. (7) feature vector (log2-transformed) plus the v2 additions
+  /// (log2 sequence length, log2 virtual stages, recompute level, ZeRO-1
+  /// flag); exposed for tests.
   static std::vector<double> features(const model::TrainingJob& job,
-                                      const parallel::ParallelConfig& pc, int micro_batch);
+                                      const parallel::TrainPlan& plan);
 
  private:
   explicit MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape);

@@ -22,7 +22,14 @@ void Standardizer::fit(const Matrix& x) {
     for (int i = 0; i < x.rows(); ++i) v += (x(i, j) - m) * (x(i, j) - m);
     v /= x.rows();
     mean_[static_cast<std::size_t>(j)] = m;
-    std_[static_cast<std::size_t>(j)] = std::max(std::sqrt(v), 1e-12);
+    // A constant column standardizes to zero no matter the divisor, but the
+    // divisor still scales *inference-time* values outside the training
+    // range: with a 1e-12 floor a feature held fixed during profiling (e.g.
+    // a single profiled global batch) turns any other value into a z-score
+    // of ~1e12 and saturates the net to 0/inf. Unit scale keeps such columns
+    // inert in training and merely mild at inference.
+    const double s = std::sqrt(v);
+    std_[static_cast<std::size_t>(j)] = s < 1e-9 ? 1.0 : s;
   }
 }
 

@@ -31,10 +31,30 @@ double logits_fwd_flops(const TransformerConfig& m, int micro_batch) {
   return 2.0 * b * s * h * static_cast<double>(m.vocab_size);
 }
 
+double layer_attention_core_flops(const TransformerConfig& m, int micro_batch) {
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return 4.0 * b * s * s * h;
+}
+
 double layer_activation_bytes(const TransformerConfig& m, int micro_batch, int tp) {
   const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
   const double a = m.num_heads;
   return s * b * h * (34.0 + 5.0 * a * s / h) / static_cast<double>(tp);
+}
+
+double layer_activation_bytes_selective(const TransformerConfig& m, int micro_batch, int tp) {
+  // Selective recomputation drops the attention score/softmax/dropout
+  // residency (the 5*a*s/h term of Korthikanti et al.); the linear-part 34
+  // bytes per token stay resident.
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return s * b * h * 34.0 / static_cast<double>(tp);
+}
+
+double layer_activation_bytes_checkpoint(const TransformerConfig& m, int micro_batch, int tp) {
+  // Full recomputation stores only each layer's fp16 input (2 bytes per
+  // hidden value) and re-runs the forward inside the backward pass.
+  const double b = micro_batch, s = m.seq_len, h = m.hidden_size;
+  return s * b * h * 2.0 / static_cast<double>(tp);
 }
 
 double pp_message_bytes(const TransformerConfig& m, int micro_batch) {

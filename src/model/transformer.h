@@ -37,10 +37,21 @@ double layer_fwd_flops(const TransformerConfig& m, int micro_batch);
 /// pipeline stage.
 double logits_fwd_flops(const TransformerConfig& m, int micro_batch);
 
+/// FLOPs of the attention core (scores + context, 4*b*s^2*h) — the part
+/// selective recomputation re-executes during the backward pass.
+double layer_attention_core_flops(const TransformerConfig& m, int micro_batch);
+
 /// Activation bytes one layer must keep resident for its backward pass, per
 /// microbatch, under tensor parallelism `tp` (fp16, no recomputation, no
 /// sequence parallelism): s*b*h*(34 + 5*a*s/h) / tp   [Korthikanti et al.].
 double layer_activation_bytes(const TransformerConfig& m, int micro_batch, int tp);
+
+/// Resident bytes under selective recomputation: the attention score/softmax
+/// residency (5*a*s/h per token) is recomputed, the linear 34 B/token stay.
+double layer_activation_bytes_selective(const TransformerConfig& m, int micro_batch, int tp);
+
+/// Resident bytes under full recomputation: only the layer's fp16 input.
+double layer_activation_bytes_checkpoint(const TransformerConfig& m, int micro_batch, int tp);
 
 /// Bytes of the stage boundary tensor (b*s*h fp16 values) — the pipeline P2P
 /// message size msg_PP of Eq. (5).

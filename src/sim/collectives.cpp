@@ -7,18 +7,6 @@
 
 namespace pipette::sim {
 
-double ring_allreduce_time(double bytes, int n, double min_bw, double latency) {
-  if (n < 2) return 0.0;
-  const double nn = static_cast<double>(n);
-  return 2.0 * (nn - 1.0) / nn * bytes / min_bw + 2.0 * (nn - 1.0) * latency;
-}
-
-double ring_reduce_scatter_time(double bytes, int n, double min_bw, double latency) {
-  if (n < 2) return 0.0;
-  const double nn = static_cast<double>(n);
-  return (nn - 1.0) / nn * bytes / min_bw + (nn - 1.0) * latency;
-}
-
 namespace {
 
 /// Minimum true bandwidth over all ordered pairs in `gpus`.

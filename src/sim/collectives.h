@@ -14,10 +14,23 @@ namespace pipette::sim {
 
 /// Ring all-reduce of `bytes` over `n` participants whose slowest link is
 /// `min_bw`: 2(n-1)/n * bytes/min_bw + 2(n-1) * latency. Zero for n < 2.
-double ring_allreduce_time(double bytes, int n, double min_bw, double latency);
+///
+/// This is THE Thakur expression for the whole repository: the ground-truth
+/// simulator and the latency estimators (estimators::detail::ring_allreduce
+/// forwards here) share this one inline definition, so the two sides cannot
+/// drift apart by even a bit.
+inline double ring_allreduce_time(double bytes, int n, double min_bw, double latency) {
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return 2.0 * (nn - 1.0) / nn * bytes / min_bw + 2.0 * (nn - 1.0) * latency;
+}
 
 /// Reduce-scatter (or all-gather) leg only: (n-1)/n * bytes/min_bw + (n-1)*lat.
-double ring_reduce_scatter_time(double bytes, int n, double min_bw, double latency);
+inline double ring_reduce_scatter_time(double bytes, int n, double min_bw, double latency) {
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return (nn - 1.0) / nn * bytes / min_bw + (nn - 1.0) * latency;
+}
 
 /// Ground-truth hierarchical all-reduce of `bytes` across the GPUs in
 /// `group`, reading true link state from `topo`:

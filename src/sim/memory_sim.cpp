@@ -17,50 +17,93 @@ namespace {
 /// Mixed-precision Adam state, Megatron layout: fp16 weights + fp16 grads +
 /// fp32 main grads + fp32 master copy + fp32 momentum + fp32 variance.
 constexpr double kBytesPerParam = 20.0;
+/// The always-resident share under ZeRO-1: fp16 weights + fp16 grads + fp32
+/// main grads. The remaining 12 B/param (master + momentum + variance) are
+/// sharded across the DP group.
+constexpr double kResidentBytesPerParam = 8.0;
+constexpr double kShardedBytesPerParam = 12.0;
 
-std::uint64_t config_hash(const parallel::ParallelConfig& pc, int micro,
-                          const model::TransformerConfig& m) {
+std::uint64_t config_hash(const parallel::TrainPlan& plan, const model::TransformerConfig& m) {
   std::uint64_t h = 1469598103934665603ull;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
-  mix(static_cast<std::uint64_t>(pc.pp));
-  mix(static_cast<std::uint64_t>(pc.tp) << 8);
-  mix(static_cast<std::uint64_t>(pc.dp) << 16);
-  mix(static_cast<std::uint64_t>(micro) << 24);
+  mix(static_cast<std::uint64_t>(plan.pc.pp));
+  mix(static_cast<std::uint64_t>(plan.pc.tp) << 8);
+  mix(static_cast<std::uint64_t>(plan.pc.dp) << 16);
+  mix(static_cast<std::uint64_t>(plan.micro_batch) << 24);
   mix(static_cast<std::uint64_t>(m.num_layers) << 32);
   mix(static_cast<std::uint64_t>(m.hidden_size));
+  // The legacy 4-tuple (and the memory-unaware schedule, which never hashed
+  // its schedule) keeps the seed hash of the original memory universe; only
+  // the genuinely new axes mint new jitter streams.
+  if (plan.virtual_stages > 1 || plan.recompute != parallel::Recompute::kNone || plan.zero1) {
+    mix(static_cast<std::uint64_t>(plan.virtual_stages) << 40);
+    mix(static_cast<std::uint64_t>(plan.recompute) << 48);
+    mix(static_cast<std::uint64_t>(plan.zero1) << 56);
+  }
   return h;
+}
+
+double weights_optimizer_bytes(double params, const parallel::TrainPlan& plan) {
+  if (!plan.zero1) return params * kBytesPerParam;
+  return params * (kResidentBytesPerParam +
+                   kShardedBytesPerParam / static_cast<double>(plan.pc.dp));
 }
 
 }  // namespace
 
 MemoryBreakdown simulate_peak_memory(const cluster::ClusterSpec& spec,
                                      const model::TrainingJob& job,
-                                     const parallel::ParallelConfig& pc, int micro_batch,
-                                     ScheduleKind schedule, std::uint64_t seed) {
+                                     const parallel::TrainPlan& plan, std::uint64_t seed) {
   const auto& m = job.model;
+  const auto& pc = plan.pc;
+  const int micro_batch = plan.micro_batch;
   const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+  const bool interleaved =
+      plan.schedule == parallel::PipeSchedule::kInterleaved1F1B && plan.virtual_stages > 1;
+  const int v = plan.virtual_stages;
 
   MemoryBreakdown worst;
-  for (int stage = 0; stage < pc.pp; ++stage) {
+  for (int position = 0; position < pc.pp; ++position) {
     MemoryBreakdown b;
-    const int layers = parallel::layers_of_stage(m.num_layers, pc.pp, stage);
 
-    // Parameters + optimizer state, sharded over TP.
-    const double params = static_cast<double>(stage_parameters(m, pc.pp, stage)) / pc.tp;
-    b.weights_optimizer_bytes = params * kBytesPerParam;
+    // Parameters + optimizer state of every chunk on this position, sharded
+    // over TP (and the fp32 state additionally over DP under ZeRO-1).
+    double params = 0.0;
+    if (interleaved) {
+      for (int chunk = 0; chunk < v; ++chunk) {
+        params += static_cast<double>(
+                      stage_parameters(m, plan.total_stages(), chunk * pc.pp + position)) /
+                  pc.tp;
+      }
+    } else {
+      params = static_cast<double>(stage_parameters(m, pc.pp, position)) / pc.tp;
+    }
+    b.weights_optimizer_bytes = weights_optimizer_bytes(params, plan);
 
-    // Activations: in-flight microbatches * per-microbatch residency. 1F1B
-    // caps the window at (pp - stage); the memory-unaware schedule keeps all.
-    const int inflight = schedule == ScheduleKind::kMemoryEfficient1F1B
-                             ? std::min(pc.pp - stage, nmb)
-                             : nmb;
-    double per_mb = layers * model::layer_activation_bytes(m, micro_batch, pc.tp);
-    // Stage boundary receive/send buffers plus (first stage) embedding output.
-    per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
-    if (stage == 0) per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+    // Activations: in-flight units * per-unit residency. 1F1B caps the window
+    // at (pp - position); the memory-unaware schedule keeps all; interleaving
+    // holds its warmup depth of chunk-microbatches, each 1/v of a stage.
+    int inflight;
+    double per_mb;
+    if (interleaved) {
+      inflight = std::min(nmb * v, 2 * (pc.pp - position - 1) + (v - 1) * pc.pp + 1);
+      const int chunk_layers = parallel::layers_of_stage(m.num_layers, plan.total_stages(), position);
+      per_mb = chunk_layers * activation_bytes_per_layer(m, micro_batch, pc.tp, plan.recompute);
+      per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+      if (position == 0) per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+    } else {
+      inflight = plan.schedule == parallel::PipeSchedule::kMemoryUnaware
+                     ? nmb
+                     : std::min(pc.pp - position, nmb);
+      const int layers = parallel::layers_of_stage(m.num_layers, pc.pp, position);
+      per_mb = layers * activation_bytes_per_layer(m, micro_batch, pc.tp, plan.recompute);
+      // Stage boundary receive/send buffers plus (first stage) embedding output.
+      per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+      if (position == 0) per_mb += 2.0 * model::pp_message_bytes(m, micro_batch);
+    }
     b.activation_bytes = inflight * per_mb;
 
     // Framework overhead — the part the analytic baseline [20] misses.
@@ -83,12 +126,12 @@ MemoryBreakdown simulate_peak_memory(const cluster::ClusterSpec& spec,
     b.framework_bytes = fw;
 
     b.total_bytes = b.weights_optimizer_bytes + b.activation_bytes + b.framework_bytes;
-    b.limiting_stage = stage;
+    b.limiting_stage = position;
     if (b.total_bytes > worst.total_bytes) worst = b;
   }
 
   // Run-to-run allocator variance: +-2 % deterministic in (seed, config).
-  Rng rng(seed ^ config_hash(pc, micro_batch, m));
+  Rng rng(seed ^ config_hash(plan, m));
   const double jitter = std::max(0.9, 1.0 + rng.normal(0.0, 0.02));
   worst.weights_optimizer_bytes *= jitter;
   worst.activation_bytes *= jitter;
@@ -98,10 +141,8 @@ MemoryBreakdown simulate_peak_memory(const cluster::ClusterSpec& spec,
 }
 
 bool fits_in_memory(const cluster::ClusterSpec& spec, const model::TrainingJob& job,
-                    const parallel::ParallelConfig& pc, int micro_batch, ScheduleKind schedule,
-                    std::uint64_t seed) {
-  return simulate_peak_memory(spec, job, pc, micro_batch, schedule, seed).total_bytes <=
-         spec.gpu_memory_bytes;
+                    const parallel::TrainPlan& plan, std::uint64_t seed) {
+  return simulate_peak_memory(spec, job, plan, seed).total_bytes <= spec.gpu_memory_bytes;
 }
 
 }  // namespace pipette::sim

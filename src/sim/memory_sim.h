@@ -1,10 +1,13 @@
-// Ground-truth per-GPU peak memory for a 3D-parallel configuration — the
-// quantity nvidia-smi would report on the paper's clusters. It is the sum of
-// (a) the analytic part simple estimators like [20] capture (parameter +
-// optimizer state + activations of ONE microbatch) and (b) everything they
-// miss: the in-flight microbatch multiplier of the pipeline schedule, and the
-// framework/library overheads of [21] (CUDA context, NCCL communicator
-// buffers, GEMM workspace, allocator fragmentation). Pipette's MLP memory
+// Ground-truth per-GPU peak memory for a training plan — the quantity
+// nvidia-smi would report on the paper's clusters. It is the sum of (a) the
+// analytic part simple estimators like [20] capture (parameter + optimizer
+// state + activations of ONE microbatch) and (b) everything they miss: the
+// in-flight microbatch multiplier of the pipeline schedule (1F1B window,
+// interleaved warmup depth, or everything for the memory-unaware schedule),
+// and the framework/library overheads of [21] (CUDA context, NCCL
+// communicator buffers, GEMM workspace, allocator fragmentation). The plan's
+// recomputation level shrinks the per-microbatch residency and ZeRO-1 shards
+// the fp32 optimizer state across the DP group. Pipette's MLP memory
 // estimator learns this function from profiled small-cluster runs; the
 // analytic baseline underestimates it badly (paper Fig. 7).
 #pragma once
@@ -13,30 +16,26 @@
 
 #include "cluster/cluster_spec.h"
 #include "model/transformer.h"
-#include "parallel/parallel_config.h"
-#include "sim/pipeline_sim.h"
+#include "parallel/train_plan.h"
 
 namespace pipette::sim {
 
 struct MemoryBreakdown {
-  double weights_optimizer_bytes = 0.0;  ///< fp16 w+g, fp32 master+m+v (16 B/param)
+  double weights_optimizer_bytes = 0.0;  ///< fp16 w+g, fp32 master+m+v (ZeRO-1 shards the fp32)
   double activation_bytes = 0.0;         ///< in-flight microbatches * per-layer residency
   double framework_bytes = 0.0;          ///< context + NCCL + workspace + fragmentation
   double total_bytes = 0.0;              ///< peak across the limiting stage
-  int limiting_stage = 0;
+  int limiting_stage = 0;                ///< pipeline position (GPU rank along pp)
 };
 
-/// Peak memory of the worst GPU. Deterministic in `seed` (small measurement
-/// jitter mimics run-to-run allocator variance).
+/// Peak memory of the worst GPU under `plan`. Deterministic in `seed` (small
+/// measurement jitter mimics run-to-run allocator variance).
 MemoryBreakdown simulate_peak_memory(const cluster::ClusterSpec& spec,
                                      const model::TrainingJob& job,
-                                     const parallel::ParallelConfig& pc, int micro_batch,
-                                     ScheduleKind schedule, std::uint64_t seed);
+                                     const parallel::TrainPlan& plan, std::uint64_t seed);
 
-/// Convenience: does the configuration fit in the per-GPU memory of `spec`
-/// under the given schedule?
+/// Convenience: does the plan fit in the per-GPU memory of `spec`?
 bool fits_in_memory(const cluster::ClusterSpec& spec, const model::TrainingJob& job,
-                    const parallel::ParallelConfig& pc, int micro_batch, ScheduleKind schedule,
-                    std::uint64_t seed);
+                    const parallel::TrainPlan& plan, std::uint64_t seed);
 
 }  // namespace pipette::sim

@@ -1,7 +1,6 @@
 #include "sim/pipeline_sim.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -17,164 +16,86 @@ std::vector<PipeOp> stage_schedule(ScheduleKind kind, int pp, int stage, int num
   std::vector<PipeOp> ops;
   ops.reserve(2 * static_cast<std::size_t>(num_microbatches));
   if (kind == ScheduleKind::kMemoryUnaware) {
-    for (int j = 0; j < num_microbatches; ++j) ops.push_back({true, j});
-    for (int j = num_microbatches - 1; j >= 0; --j) ops.push_back({false, j});
+    for (int j = 0; j < num_microbatches; ++j) ops.push_back({true, j, 0});
+    for (int j = num_microbatches - 1; j >= 0; --j) ops.push_back({false, j, 0});
     return ops;
   }
   // 1F1B (PipeDream-flush): stage p runs min(pp-1-p, n) warmup forwards, then
   // steady one-forward-one-backward, then drains the remaining backwards.
   const int warmup = std::min(pp - 1 - stage, num_microbatches);
-  for (int j = 0; j < warmup; ++j) ops.push_back({true, j});
+  for (int j = 0; j < warmup; ++j) ops.push_back({true, j, 0});
   for (int j = warmup; j < num_microbatches; ++j) {
-    ops.push_back({true, j});
-    ops.push_back({false, j - warmup});
+    ops.push_back({true, j, 0});
+    ops.push_back({false, j - warmup, 0});
   }
   for (int j = std::max(num_microbatches - warmup, 0); j < num_microbatches; ++j) {
-    ops.push_back({false, j});
+    ops.push_back({false, j, 0});
   }
+  return ops;
+}
+
+std::vector<PipeOp> interleaved_stage_schedule(int pp, int v, int position, int num_microbatches) {
+  // Public API: a violating call would produce out-of-range microbatch
+  // indices (silent out-of-bounds writes downstream), so reject it loudly in
+  // every build mode, matching simulate_iteration's validation.
+  if (num_microbatches % pp != 0) {
+    throw std::invalid_argument("interleaved_stage_schedule: microbatches must divide into pp-sized groups");
+  }
+  const int total = num_microbatches * v;
+  const int group = pp * v;
+  auto fwd_op = [&](int i) {
+    const int pos = i % group;
+    return PipeOp{true, (i / group) * pp + (i % pp), pos / pp};
+  };
+  auto bwd_op = [&](int i) {
+    const int pos = i % group;
+    return PipeOp{false, (i / group) * pp + (i % pp), v - 1 - pos / pp};
+  };
+  const int warmup = std::min(total, 2 * (pp - position - 1) + (v - 1) * pp);
+  std::vector<PipeOp> ops;
+  ops.reserve(2 * static_cast<std::size_t>(total));
+  for (int i = 0; i < warmup; ++i) ops.push_back(fwd_op(i));
+  for (int i = warmup; i < total; ++i) {
+    ops.push_back(fwd_op(i));
+    ops.push_back(bwd_op(i - warmup));
+  }
+  for (int i = total - warmup; i < total; ++i) ops.push_back(bwd_op(i));
   return ops;
 }
 
 namespace {
 
-/// Scheduling state of one (stage, dp-replica) entity.
+/// Scheduling state of one (position, dp-replica) entity. end[] slots are
+/// indexed chunk * nmb + microbatch (chunk always 0 for flat schedules).
 struct Entity {
   std::vector<PipeOp> ops;
   std::vector<double> durations;       // per op, jitter applied
   std::size_t next = 0;
   double avail = 0.0;                  // time the executor frees up
-  std::vector<double> fwd_end;         // per microbatch
+  std::vector<double> fwd_end;         // per (chunk, microbatch)
   std::vector<double> bwd_end;
   double busy = 0.0;
 };
 
-}  // namespace
-
-IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model::TrainingJob& job,
-                                      const parallel::Mapping& mapping, int micro_batch,
-                                      const SimOptions& opt) {
-  const auto& pc = mapping.config();
-  if (job.global_batch % pc.dp != 0 || (job.global_batch / pc.dp) % micro_batch != 0) {
-    throw std::invalid_argument("simulate_iteration: batch geometry does not divide");
-  }
-  if (mapping.num_workers() > topo.num_gpus()) {
-    throw std::invalid_argument("simulate_iteration: mapping addresses " +
-                                std::to_string(mapping.num_workers()) + " workers but cluster has " +
-                                std::to_string(topo.num_gpus()) + " GPUs");
-  }
-  const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+/// Shared tail of both schedulers: drive every entity's static op list to
+/// completion given a `ready_time(entity-op)` dependency rule, then price the
+/// data-parallel gradient sync and assemble the breakdown.
+template <typename ReadyFn>
+IterationBreakdown run_entities_and_sync(const cluster::Topology& topo,
+                                         const model::TrainingJob& job,
+                                         const parallel::Mapping& mapping,
+                                         const parallel::TrainPlan& plan,
+                                         std::vector<Entity>& ent, ReadyFn&& ready_time) {
+  const auto& pc = plan.pc;
   const int pp = pc.pp, dp = pc.dp;
-
-  Rng root(opt.seed);
-  auto jitter = [&](Rng& r) {
-    return opt.jitter_sigma <= 0.0 ? 1.0 : std::max(0.5, 1.0 + r.normal(0.0, opt.jitter_sigma));
-  };
-
-  // Build entities with deterministic per-op durations (jitter drawn in op
-  // order so results do not depend on scheduling visit order).
-  std::vector<Entity> ent(static_cast<std::size_t>(pp) * dp);
+  const int nmb = parallel::num_microbatches(job.global_batch, pc, plan.micro_batch);
   auto eidx = [pp](int stage, int z) { return static_cast<std::size_t>(z) * pp + stage; };
-  for (int z = 0; z < dp; ++z) {
-    for (int x = 0; x < pp; ++x) {
-      Entity& e = ent[eidx(x, z)];
-      e.ops = stage_schedule(opt.schedule, pp, x, nmb);
-      const StageCosts costs = stage_costs(topo, job, mapping, micro_batch, x, z, opt.costs);
-      Rng r = root.fork(0x5eed0000ull + static_cast<std::uint64_t>(z) * 1024 + x);
-      e.durations.reserve(e.ops.size());
-      for (const PipeOp& op : e.ops) {
-        e.durations.push_back((op.fwd ? costs.fwd_s : costs.bwd_s) * jitter(r));
-      }
-      e.fwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
-      e.bwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
-    }
-  }
-
-  // Deterministic per-(hop, replica, microbatch, direction) comm times.
-  //
-  // Boundary tensors are scatter-gathered across TP ranks (Megatron's
-  // scatter/gather optimization), so each (y, z) flow carries msg/tp bytes.
-  // Flows whose endpoints straddle the same ordered node pair share that
-  // node's NIC: the completion time of every sharing flow is the pair's total
-  // bytes over the pair's bandwidth. The receiving TP group needs all of its
-  // ranks' shards, so a hop costs the max over the stage's flows.
-  const double msg = model::pp_message_bytes(job.model, micro_batch);
-  const double flow_bytes = msg / pc.tp;
-  // base_hop[dir][x][z]: noiseless transfer time for hop x (toward x+1 for
-  // dir 0, toward x for dir 1) of replica z.
-  std::vector<std::vector<double>> base_hop[2];
-  for (int dir = 0; dir < 2; ++dir) {
-    base_hop[dir].assign(static_cast<std::size_t>(std::max(pp - 1, 0)),
-                         std::vector<double>(static_cast<std::size_t>(dp), 0.0));
-  }
-  for (int x = 0; x + 1 < pp; ++x) {
-    for (int dir = 0; dir < 2; ++dir) {
-      // Total bytes per ordered node pair for this hop and direction.
-      struct PairLoad {
-        int n1, n2;
-        double bytes;
-        double min_bw;
-      };
-      std::vector<PairLoad> pairs;
-      for (int z = 0; z < dp; ++z) {
-        for (int y = 0; y < pc.tp; ++y) {
-          const int g1 = dir == 0 ? mapping.gpu_of(x, y, z) : mapping.gpu_of(x + 1, y, z);
-          const int g2 = dir == 0 ? mapping.gpu_of(x + 1, y, z) : mapping.gpu_of(x, y, z);
-          if (topo.same_node(g1, g2)) continue;
-          const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
-          auto it = std::find_if(pairs.begin(), pairs.end(),
-                                 [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
-          if (it == pairs.end()) {
-            pairs.push_back({n1, n2, flow_bytes, topo.bandwidth(g1, g2)});
-          } else {
-            it->bytes += flow_bytes;
-            it->min_bw = std::min(it->min_bw, topo.bandwidth(g1, g2));
-          }
-        }
-      }
-      for (int z = 0; z < dp; ++z) {
-        double t = 0.0;
-        for (int y = 0; y < pc.tp; ++y) {
-          const int g1 = dir == 0 ? mapping.gpu_of(x, y, z) : mapping.gpu_of(x + 1, y, z);
-          const int g2 = dir == 0 ? mapping.gpu_of(x + 1, y, z) : mapping.gpu_of(x, y, z);
-          if (topo.same_node(g1, g2)) {
-            t = std::max(t, flow_bytes / topo.bandwidth(g1, g2) + topo.latency(g1, g2));
-          } else {
-            const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
-            const auto it = std::find_if(pairs.begin(), pairs.end(),
-                                         [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
-            t = std::max(t, it->bytes / it->min_bw + topo.latency(g1, g2));
-          }
-        }
-        base_hop[dir][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)] = t;
-      }
-    }
-  }
-  // fwd_comm[z][x][j]: transfer after F_j of stage x toward stage x+1.
-  std::vector<std::vector<std::vector<double>>> fwd_comm, bwd_comm;
-  fwd_comm.assign(static_cast<std::size_t>(dp), {});
-  bwd_comm.assign(static_cast<std::size_t>(dp), {});
-  for (int z = 0; z < dp; ++z) {
-    fwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
-    bwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
-    Rng r = root.fork(0xc033ull + static_cast<std::uint64_t>(z));
-    for (int x = 0; x + 1 < pp; ++x) {
-      auto& f = fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
-      auto& b = bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
-      f.resize(static_cast<std::size_t>(nmb));
-      b.resize(static_cast<std::size_t>(nmb));
-      const double base_f = base_hop[0][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
-      const double base_b = base_hop[1][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
-      for (int j = 0; j < nmb; ++j) {
-        f[static_cast<std::size_t>(j)] = base_f * jitter(r);
-        b[static_cast<std::size_t>(j)] = base_b * jitter(r);
-      }
-    }
-  }
 
   // Greedy list scheduling. Each entity executes its ops strictly in schedule
   // order; an op starts when the executor is free and its producer (same
-  // microbatch, neighbour stage) has finished plus the transfer time. The
-  // 1F1B order is a valid topological order, so the sweep always progresses.
+  // microbatch, neighbour stage) has finished plus the transfer time. Both
+  // the 1F1B and the interleaved orders are valid topological orders, so the
+  // sweep always progresses.
   std::size_t remaining = 0;
   for (const auto& e : ent) remaining += e.ops.size();
   while (remaining > 0) {
@@ -185,25 +106,12 @@ IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model
         while (e.next < e.ops.size()) {
           const PipeOp op = e.ops[e.next];
           double ready = 0.0;
-          if (op.fwd) {
-            if (x > 0) {
-              const double dep = ent[eidx(x - 1, z)].fwd_end[static_cast<std::size_t>(op.microbatch)];
-              if (dep < 0.0) break;
-              ready = dep + fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x - 1)]
-                                    [static_cast<std::size_t>(op.microbatch)];
-            }
-          } else {
-            if (x + 1 < pp) {
-              const double dep = ent[eidx(x + 1, z)].bwd_end[static_cast<std::size_t>(op.microbatch)];
-              if (dep < 0.0) break;
-              ready = dep + bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)]
-                                    [static_cast<std::size_t>(op.microbatch)];
-            }
-          }
+          if (!ready_time(x, z, op, ready)) break;
           const double start = std::max(e.avail, ready);
           const double dur = e.durations[e.next];
           const double end = start + dur;
-          (op.fwd ? e.fwd_end : e.bwd_end)[static_cast<std::size_t>(op.microbatch)] = end;
+          (op.fwd ? e.fwd_end
+                  : e.bwd_end)[static_cast<std::size_t>(op.chunk * nmb + op.microbatch)] = end;
           e.avail = end;
           e.busy += dur;
           ++e.next;
@@ -215,7 +123,7 @@ IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model
     if (!progressed) throw std::logic_error("simulate_iteration: schedule deadlock");
   }
 
-  // Data-parallel gradient sync: per (stage, tp-rank) group, all replicas
+  // Data-parallel gradient sync: per (position, tp-rank) group, all replicas
   // must finish their last backward, then the hierarchical all-reduce runs.
   // All groups sync near-simultaneously, so every node's NIC is shared by
   // all node-crossing rings that have a member on it.
@@ -242,7 +150,7 @@ IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model
     out.last_backward_s = std::max(out.last_backward_s, stage_ready);
     double stage_end = stage_ready;
     if (dp > 1) {
-      const double grad_bytes = dp_gradient_bytes(job.model, pc, x);
+      const double grad_bytes = dp_sync_bytes(job.model, plan, x);
       for (int y = 0; y < pc.tp; ++y) {
         const auto group = parallel::dp_group_gpus(mapping, x, y);
         int flows = 1;
@@ -263,6 +171,301 @@ IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model
   out.bubble_fraction =
       out.total_s <= 0.0 ? 0.0 : std::max(0.0, 1.0 - out.max_stage_busy_s / out.total_s);
   return out;
+}
+
+/// Total bytes and slowest link per ordered node pair a hop's inter-node
+/// flows straddle. Boundary tensors are scatter-gathered across TP ranks
+/// (Megatron's scatter/gather optimization), so each (y, z) flow carries
+/// msg/tp bytes; flows of different replicas straddling the same node pair
+/// share that node's NIC. Depends only on (from, to), so callers build it
+/// once per hop and price every replica against it. `to` may wrap
+/// (interleaved pipelines send pp-1 -> 0 between chunks).
+struct PairLoad {
+  int n1, n2;
+  double bytes;
+  double min_bw;
+};
+
+std::vector<PairLoad> hop_pair_loads(const cluster::Topology& topo,
+                                     const parallel::Mapping& mapping,
+                                     const parallel::ParallelConfig& pc, double flow_bytes,
+                                     int from, int to) {
+  std::vector<PairLoad> pairs;
+  for (int z = 0; z < pc.dp; ++z) {
+    for (int y = 0; y < pc.tp; ++y) {
+      const int g1 = mapping.gpu_of(from, y, z);
+      const int g2 = mapping.gpu_of(to, y, z);
+      if (topo.same_node(g1, g2)) continue;
+      const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
+      auto it = std::find_if(pairs.begin(), pairs.end(),
+                             [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
+      if (it == pairs.end()) {
+        pairs.push_back({n1, n2, flow_bytes, topo.bandwidth(g1, g2)});
+      } else {
+        it->bytes += flow_bytes;
+        it->min_bw = std::min(it->min_bw, topo.bandwidth(g1, g2));
+      }
+    }
+  }
+  return pairs;
+}
+
+/// Noiseless transfer time of replica `z` across one hop: the completion
+/// time of every NIC-sharing flow is the pair's total bytes over the pair's
+/// bandwidth, and the receiving TP group needs all of its ranks' shards, so
+/// the hop costs the max over the replica's flows.
+double price_hop(const cluster::Topology& topo, const parallel::Mapping& mapping,
+                 const parallel::ParallelConfig& pc, double flow_bytes, int from, int to, int z,
+                 const std::vector<PairLoad>& pairs) {
+  double t = 0.0;
+  for (int y = 0; y < pc.tp; ++y) {
+    const int g1 = mapping.gpu_of(from, y, z);
+    const int g2 = mapping.gpu_of(to, y, z);
+    if (topo.same_node(g1, g2)) {
+      t = std::max(t, flow_bytes / topo.bandwidth(g1, g2) + topo.latency(g1, g2));
+    } else {
+      const int n1 = topo.node_of(g1), n2 = topo.node_of(g2);
+      const auto it = std::find_if(pairs.begin(), pairs.end(),
+                                   [&](const PairLoad& p) { return p.n1 == n1 && p.n2 == n2; });
+      t = std::max(t, it->bytes / it->min_bw + topo.latency(g1, g2));
+    }
+  }
+  return t;
+}
+
+IterationBreakdown simulate_flat(const cluster::Topology& topo, const model::TrainingJob& job,
+                                 const parallel::Mapping& mapping,
+                                 const parallel::TrainPlan& plan, const SimOptions& opt) {
+  const auto& pc = plan.pc;
+  const int micro_batch = plan.micro_batch;
+  const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+  const int pp = pc.pp, dp = pc.dp;
+
+  Rng root(opt.seed);
+  auto jitter = [&](Rng& r) {
+    return opt.jitter_sigma <= 0.0 ? 1.0 : std::max(0.5, 1.0 + r.normal(0.0, opt.jitter_sigma));
+  };
+
+  // Build entities with deterministic per-op durations (jitter drawn in op
+  // order so results do not depend on scheduling visit order).
+  std::vector<Entity> ent(static_cast<std::size_t>(pp) * dp);
+  auto eidx = [pp](int stage, int z) { return static_cast<std::size_t>(z) * pp + stage; };
+  for (int z = 0; z < dp; ++z) {
+    for (int x = 0; x < pp; ++x) {
+      Entity& e = ent[eidx(x, z)];
+      e.ops = stage_schedule(plan.schedule, pp, x, nmb);
+      const StageCosts costs = stage_costs(topo, job, mapping, plan, x, z, opt.costs);
+      Rng r = root.fork(0x5eed0000ull + static_cast<std::uint64_t>(z) * 1024 + x);
+      e.durations.reserve(e.ops.size());
+      for (const PipeOp& op : e.ops) {
+        e.durations.push_back((op.fwd ? costs.fwd_s : costs.bwd_s) * jitter(r));
+      }
+      e.fwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
+      e.bwd_end.assign(static_cast<std::size_t>(nmb), -1.0);
+    }
+  }
+
+  // Deterministic per-(hop, replica, microbatch, direction) comm times.
+  const double msg = model::pp_message_bytes(job.model, micro_batch);
+  const double flow_bytes = msg / pc.tp;
+  // base_hop[dir][x][z]: noiseless transfer time for hop x (toward x+1 for
+  // dir 0, toward x for dir 1) of replica z.
+  std::vector<std::vector<double>> base_hop[2];
+  for (int dir = 0; dir < 2; ++dir) {
+    base_hop[dir].assign(static_cast<std::size_t>(std::max(pp - 1, 0)),
+                         std::vector<double>(static_cast<std::size_t>(dp), 0.0));
+  }
+  for (int x = 0; x + 1 < pp; ++x) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const int from = dir == 0 ? x : x + 1;
+      const int to = dir == 0 ? x + 1 : x;
+      const auto pairs = hop_pair_loads(topo, mapping, pc, flow_bytes, from, to);
+      for (int z = 0; z < dp; ++z) {
+        base_hop[dir][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)] =
+            price_hop(topo, mapping, pc, flow_bytes, from, to, z, pairs);
+      }
+    }
+  }
+  // fwd_comm[z][x][j]: transfer after F_j of stage x toward stage x+1.
+  std::vector<std::vector<std::vector<double>>> fwd_comm, bwd_comm;
+  fwd_comm.assign(static_cast<std::size_t>(dp), {});
+  bwd_comm.assign(static_cast<std::size_t>(dp), {});
+  for (int z = 0; z < dp; ++z) {
+    fwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
+    bwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(std::max(pp - 1, 0)), {});
+    Rng r = root.fork(0xc033ull + static_cast<std::uint64_t>(z));
+    for (int x = 0; x + 1 < pp; ++x) {
+      auto& f = fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
+      auto& b = bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)];
+      f.resize(static_cast<std::size_t>(nmb));
+      b.resize(static_cast<std::size_t>(nmb));
+      const double base_f = base_hop[0][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
+      const double base_b = base_hop[1][static_cast<std::size_t>(x)][static_cast<std::size_t>(z)];
+      for (int j = 0; j < nmb; ++j) {
+        f[static_cast<std::size_t>(j)] = base_f * jitter(r);
+        b[static_cast<std::size_t>(j)] = base_b * jitter(r);
+      }
+    }
+  }
+
+  auto ready_time = [&](int x, int z, const PipeOp& op, double& ready) {
+    ready = 0.0;
+    if (op.fwd) {
+      if (x > 0) {
+        const double dep = ent[eidx(x - 1, z)].fwd_end[static_cast<std::size_t>(op.microbatch)];
+        if (dep < 0.0) return false;
+        ready = dep + fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x - 1)]
+                              [static_cast<std::size_t>(op.microbatch)];
+      }
+    } else {
+      if (x + 1 < pp) {
+        const double dep = ent[eidx(x + 1, z)].bwd_end[static_cast<std::size_t>(op.microbatch)];
+        if (dep < 0.0) return false;
+        ready = dep + bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(x)]
+                              [static_cast<std::size_t>(op.microbatch)];
+      }
+    }
+    return true;
+  };
+  return run_entities_and_sync(topo, job, mapping, plan, ent, ready_time);
+}
+
+IterationBreakdown simulate_interleaved(const cluster::Topology& topo,
+                                        const model::TrainingJob& job,
+                                        const parallel::Mapping& mapping,
+                                        const parallel::TrainPlan& plan, const SimOptions& opt) {
+  const auto& pc = plan.pc;
+  const int micro_batch = plan.micro_batch;
+  const int nmb = parallel::num_microbatches(job.global_batch, pc, micro_batch);
+  const int pp = pc.pp, dp = pc.dp, v = plan.virtual_stages;
+
+  Rng root(opt.seed);
+  auto jitter = [&](Rng& r) {
+    return opt.jitter_sigma <= 0.0 ? 1.0 : std::max(0.5, 1.0 + r.normal(0.0, opt.jitter_sigma));
+  };
+
+  std::vector<Entity> ent(static_cast<std::size_t>(pp) * dp);
+  auto eidx = [pp](int stage, int z) { return static_cast<std::size_t>(z) * pp + stage; };
+  std::vector<StageCosts> chunk_costs(static_cast<std::size_t>(v));
+  for (int z = 0; z < dp; ++z) {
+    for (int p = 0; p < pp; ++p) {
+      Entity& e = ent[eidx(p, z)];
+      e.ops = interleaved_stage_schedule(pp, v, p, nmb);
+      for (int c = 0; c < v; ++c) {
+        chunk_costs[static_cast<std::size_t>(c)] =
+            stage_costs(topo, job, mapping, plan, c * pp + p, z, opt.costs);
+      }
+      Rng r = root.fork(0x5eed0000ull + static_cast<std::uint64_t>(z) * 1024 + p);
+      e.durations.reserve(e.ops.size());
+      for (const PipeOp& op : e.ops) {
+        const StageCosts& costs = chunk_costs[static_cast<std::size_t>(op.chunk)];
+        e.durations.push_back((op.fwd ? costs.fwd_s : costs.bwd_s) * jitter(r));
+      }
+      e.fwd_end.assign(static_cast<std::size_t>(v) * nmb, -1.0);
+      e.bwd_end.assign(static_cast<std::size_t>(v) * nmb, -1.0);
+    }
+  }
+
+  // Hop h carries position h -> (h+1) % pp; hop pp-1 is the wrap between
+  // consecutive chunks. Each hop moves v*nmb messages per direction.
+  const double flow_bytes = model::pp_message_bytes(job.model, micro_batch) / pc.tp;
+  const int slots = v * nmb;
+  std::vector<std::vector<double>> base_hop[2];  // [dir][h][z]
+  for (int dir = 0; dir < 2; ++dir) {
+    base_hop[dir].assign(static_cast<std::size_t>(pp),
+                         std::vector<double>(static_cast<std::size_t>(dp), 0.0));
+  }
+  for (int h = 0; h < pp; ++h) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const int from = dir == 0 ? h : (h + 1) % pp;
+      const int to = dir == 0 ? (h + 1) % pp : h;
+      const auto pairs = hop_pair_loads(topo, mapping, pc, flow_bytes, from, to);
+      for (int z = 0; z < dp; ++z) {
+        base_hop[dir][static_cast<std::size_t>(h)][static_cast<std::size_t>(z)] =
+            price_hop(topo, mapping, pc, flow_bytes, from, to, z, pairs);
+      }
+    }
+  }
+  std::vector<std::vector<std::vector<double>>> fwd_comm, bwd_comm;  // [z][hop][chunk*nmb+mb]
+  fwd_comm.assign(static_cast<std::size_t>(dp), {});
+  bwd_comm.assign(static_cast<std::size_t>(dp), {});
+  for (int z = 0; z < dp; ++z) {
+    fwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(pp), {});
+    bwd_comm[static_cast<std::size_t>(z)].assign(static_cast<std::size_t>(pp), {});
+    Rng r = root.fork(0xc033ull + static_cast<std::uint64_t>(z));
+    for (int h = 0; h < pp; ++h) {
+      const double base_f = base_hop[0][static_cast<std::size_t>(h)][static_cast<std::size_t>(z)];
+      const double base_b = base_hop[1][static_cast<std::size_t>(h)][static_cast<std::size_t>(z)];
+      auto& f = fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(h)];
+      auto& b = bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(h)];
+      f.resize(static_cast<std::size_t>(slots));
+      b.resize(static_cast<std::size_t>(slots));
+      for (int j = 0; j < slots; ++j) {
+        f[static_cast<std::size_t>(j)] = base_f * jitter(r);
+        b[static_cast<std::size_t>(j)] = base_b * jitter(r);
+      }
+    }
+  }
+
+  auto ready_time = [&](int p, int z, const PipeOp& op, double& ready) {
+    ready = 0.0;
+    const int slot = op.chunk * nmb + op.microbatch;
+    if (op.fwd) {
+      if (p > 0) {
+        const double dep = ent[eidx(p - 1, z)].fwd_end[static_cast<std::size_t>(slot)];
+        if (dep < 0.0) return false;
+        ready = dep + fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(p - 1)]
+                              [static_cast<std::size_t>(slot)];
+      } else if (op.chunk > 0) {
+        const int prev = (op.chunk - 1) * nmb + op.microbatch;
+        const double dep = ent[eidx(pp - 1, z)].fwd_end[static_cast<std::size_t>(prev)];
+        if (dep < 0.0) return false;
+        ready = dep + fwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(pp - 1)]
+                              [static_cast<std::size_t>(prev)];
+      }
+    } else {
+      if (p + 1 < pp) {
+        const double dep = ent[eidx(p + 1, z)].bwd_end[static_cast<std::size_t>(slot)];
+        if (dep < 0.0) return false;
+        ready = dep + bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(p)]
+                              [static_cast<std::size_t>(slot)];
+      } else if (op.chunk + 1 < v) {
+        const int next = (op.chunk + 1) * nmb + op.microbatch;
+        const double dep = ent[eidx(0, z)].bwd_end[static_cast<std::size_t>(next)];
+        if (dep < 0.0) return false;
+        ready = dep + bwd_comm[static_cast<std::size_t>(z)][static_cast<std::size_t>(pp - 1)]
+                              [static_cast<std::size_t>(next)];
+      }
+    }
+    return true;
+  };
+  return run_entities_and_sync(topo, job, mapping, plan, ent, ready_time);
+}
+
+}  // namespace
+
+IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model::TrainingJob& job,
+                                      const parallel::Mapping& mapping,
+                                      const parallel::TrainPlan& plan, const SimOptions& opt) {
+  const auto& pc = plan.pc;
+  if (!(pc == mapping.config())) {
+    throw std::invalid_argument("simulate_iteration: plan and mapping disagree on (pp, tp, dp)");
+  }
+  if (job.global_batch % pc.dp != 0 || (job.global_batch / pc.dp) % plan.micro_batch != 0) {
+    throw std::invalid_argument("simulate_iteration: batch geometry does not divide");
+  }
+  if (mapping.num_workers() > topo.num_gpus()) {
+    throw std::invalid_argument("simulate_iteration: mapping addresses " +
+                                std::to_string(mapping.num_workers()) + " workers but cluster has " +
+                                std::to_string(topo.num_gpus()) + " GPUs");
+  }
+  if (plan.schedule == ScheduleKind::kInterleaved1F1B && plan.virtual_stages > 1) {
+    if (!plan.valid_for(job.model.num_layers, job.global_batch)) {
+      throw std::invalid_argument("simulate_iteration: invalid interleaved plan " + plan.str());
+    }
+    return simulate_interleaved(topo, job, mapping, plan, opt);
+  }
+  return simulate_flat(topo, job, mapping, plan, opt);
 }
 
 }  // namespace pipette::sim

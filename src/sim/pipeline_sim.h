@@ -1,10 +1,11 @@
-// Discrete-event simulation of one training iteration under 3D parallelism.
+// Discrete-event simulation of one training iteration under a TrainPlan.
 // This is the repository's stand-in for "run it on the real cluster": the
 // 1F1B (memory-efficient) schedule of the paper's Fig. 2b, the memory-unaware
-// schedule of Fig. 2a, per-op jitter, true heterogeneous link bandwidths, and
-// the hierarchical data-parallel gradient sync. All latency estimators are
-// judged against this simulator, exactly as the paper judges them against
-// Megatron-LM runs.
+// schedule of Fig. 2a, Megatron's interleaved virtual-stage 1F1B, per-op
+// jitter, true heterogeneous link bandwidths, recompute-inflated backward
+// costs, and the hierarchical (ZeRO-aware) data-parallel gradient sync. All
+// latency estimators are judged against this simulator, exactly as the paper
+// judges them against Megatron-LM runs.
 #pragma once
 
 #include <cstdint>
@@ -13,17 +14,15 @@
 #include "cluster/topology.h"
 #include "model/transformer.h"
 #include "parallel/mapping.h"
+#include "parallel/train_plan.h"
 #include "sim/stage_costs.h"
 
 namespace pipette::sim {
 
-enum class ScheduleKind {
-  kMemoryEfficient1F1B,  ///< interleave fwd/bwd (Fig. 2b) — the de facto standard
-  kMemoryUnaware,        ///< all forwards then all backwards (Fig. 2a)
-};
+/// The plan's schedule axis doubles as the simulator's schedule selector.
+using ScheduleKind = parallel::PipeSchedule;
 
 struct SimOptions {
-  ScheduleKind schedule = ScheduleKind::kMemoryEfficient1F1B;
   double jitter_sigma = 0.015;  ///< multiplicative per-op noise
   std::uint64_t seed = 7;       ///< jitter stream; results are deterministic in it
   CostOptions costs;
@@ -33,10 +32,21 @@ struct SimOptions {
 struct PipeOp {
   bool fwd = true;
   int microbatch = 0;  // 0-based
+  int chunk = 0;       // virtual-stage chunk (always 0 for flat schedules)
 };
 
-/// The per-stage op order for either schedule; exposed for tests.
+/// The per-stage op order for the flat schedules (k1F1B, kMemoryUnaware);
+/// exposed for tests. kInterleaved1F1B falls back to k1F1B here — use
+/// interleaved_stage_schedule for the chunked order.
 std::vector<PipeOp> stage_schedule(ScheduleKind kind, int pp, int stage, int num_microbatches);
+
+/// Megatron's interleaved 1F1B order for GPU position `position` of a
+/// pp-deep pipeline with `v` model chunks per GPU: warmup of
+/// min(total, 2*(pp-position-1) + (v-1)*pp) forwards, steady
+/// one-forward-one-backward, then the backward drain. Forward i processes
+/// chunk (i mod pp*v)/pp of microbatch (i div pp*v)*pp + i mod pp; backwards
+/// walk the chunks in reverse. Requires num_microbatches % pp == 0.
+std::vector<PipeOp> interleaved_stage_schedule(int pp, int v, int position, int num_microbatches);
 
 struct IterationBreakdown {
   double total_s = 0.0;          ///< iteration latency (what the paper plots)
@@ -47,9 +57,10 @@ struct IterationBreakdown {
   int critical_stage = 0;        ///< stage whose DP sync finished last
 };
 
-/// Simulates one iteration. `micro_batch` must divide global_batch / dp.
+/// Simulates one iteration of `plan`. `plan.pc` must equal `mapping.config()`
+/// and the batch geometry must divide.
 IterationBreakdown simulate_iteration(const cluster::Topology& topo, const model::TrainingJob& job,
-                                      const parallel::Mapping& mapping, int micro_batch,
-                                      const SimOptions& opt);
+                                      const parallel::Mapping& mapping,
+                                      const parallel::TrainPlan& plan, const SimOptions& opt);
 
 }  // namespace pipette::sim

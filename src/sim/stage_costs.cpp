@@ -14,32 +14,46 @@ double gemm_efficiency(const cluster::ClusterSpec& spec, double per_gpu_layer_fl
 }
 
 StageCosts stage_costs(const cluster::Topology& topo, const model::TrainingJob& job,
-                       const parallel::Mapping& m, int micro_batch, int stage, int dpr,
-                       const CostOptions& opt) {
+                       const parallel::Mapping& m, const parallel::TrainPlan& plan, int vstage,
+                       int dpr, const CostOptions& opt) {
   const auto& mcfg = job.model;
-  const auto& pc = m.config();
-  const int layers = parallel::layers_of_stage(mcfg.num_layers, pc.pp, stage);
+  const auto& pc = plan.pc;
+  const int micro_batch = plan.micro_batch;
+  const int total = plan.total_stages();
+  const int position = vstage % pc.pp;  // physical GPU rank along the pipeline
+  const int layers = parallel::layers_of_stage(mcfg.num_layers, total, vstage);
 
   const double layer_flops = model::layer_fwd_flops(mcfg, micro_batch) / pc.tp;
   const double eff = gemm_efficiency(topo.spec(), layer_flops);
   const double flops_per_s = topo.spec().gpu_peak_flops * eff;
 
   double fwd_flops = layers * layer_flops;
-  if (stage == pc.pp - 1) fwd_flops += model::logits_fwd_flops(mcfg, micro_batch) / pc.tp;
+  if (vstage == total - 1) fwd_flops += model::logits_fwd_flops(mcfg, micro_batch) / pc.tp;
   const double fwd_compute = fwd_flops / flops_per_s + layers * opt.kernel_launch_s;
   // Backward also accumulates fp32 main gradients for the stage's parameter
   // shard every microbatch — an HBM-bound read-modify-write that penalizes
   // configurations holding many parameters per GPU.
   const double grad_accum =
-      static_cast<double>(stage_parameters(mcfg, pc.pp, stage)) / pc.tp * 8.0 /
+      static_cast<double>(stage_parameters(mcfg, total, vstage)) / pc.tp * 8.0 /
       topo.spec().hbm_bandwidth_Bps;
-  const double bwd_compute = 2.0 * fwd_flops / flops_per_s + grad_accum + layers * opt.kernel_launch_s;
+  // Activation recomputation re-executes forward work inside the backward
+  // pass: the whole chunk forward (full) or just the attention cores
+  // (selective). Plans without recomputation add exactly 0.0.
+  double recompute_s = 0.0;
+  if (plan.recompute == parallel::Recompute::kFull) {
+    recompute_s = layers * layer_flops / flops_per_s + layers * opt.kernel_launch_s;
+  } else if (plan.recompute == parallel::Recompute::kSelective) {
+    recompute_s = layers * (model::layer_attention_core_flops(mcfg, micro_batch) / pc.tp) /
+                  flops_per_s;
+  }
+  const double bwd_compute =
+      2.0 * fwd_flops / flops_per_s + grad_accum + layers * opt.kernel_launch_s + recompute_s;
 
   // Tensor-parallel all-reduces: 2 per layer in forward, 2 in backward, each
   // of one b*s*h fp16 tensor, ring over the TP group's slowest true link.
   double tp_fwd = 0.0, tp_bwd = 0.0;
   if (pc.tp > 1) {
-    const auto group = parallel::tp_group_gpus(m, stage, dpr);
+    const auto group = parallel::tp_group_gpus(m, position, dpr);
     double min_bw = std::numeric_limits<double>::infinity();
     double max_lat = 0.0;
     for (int g1 : group) {
@@ -67,6 +81,19 @@ StageCosts stage_costs(const cluster::Topology& topo, const model::TrainingJob& 
   return c;
 }
 
+double activation_bytes_per_layer(const model::TransformerConfig& mcfg, int micro_batch, int tp,
+                                  parallel::Recompute recompute) {
+  switch (recompute) {
+    case parallel::Recompute::kSelective:
+      return model::layer_activation_bytes_selective(mcfg, micro_batch, tp);
+    case parallel::Recompute::kFull:
+      return model::layer_activation_bytes_checkpoint(mcfg, micro_batch, tp);
+    case parallel::Recompute::kNone:
+      break;
+  }
+  return model::layer_activation_bytes(mcfg, micro_batch, tp);
+}
+
 std::int64_t stage_parameters(const model::TransformerConfig& mcfg, int pp, int stage) {
   const int layers = parallel::layers_of_stage(mcfg.num_layers, pp, stage);
   std::int64_t params = static_cast<std::int64_t>(layers) * model::layer_parameters(mcfg);
@@ -83,6 +110,25 @@ std::int64_t stage_parameters(const model::TransformerConfig& mcfg, int pp, int 
 double dp_gradient_bytes(const model::TransformerConfig& mcfg, const parallel::ParallelConfig& pc,
                          int stage) {
   return static_cast<double>(stage_parameters(mcfg, pc.pp, stage)) / pc.tp * 4.0;  // fp32 grads
+}
+
+double dp_sync_bytes(const model::TransformerConfig& mcfg, const parallel::TrainPlan& plan,
+                     int position) {
+  double bytes;
+  if (plan.schedule == parallel::PipeSchedule::kInterleaved1F1B && plan.virtual_stages > 1) {
+    bytes = 0.0;
+    for (int chunk = 0; chunk < plan.virtual_stages; ++chunk) {
+      bytes += static_cast<double>(stage_parameters(mcfg, plan.total_stages(),
+                                                    chunk * plan.pc.pp + position)) /
+               plan.pc.tp * 4.0;
+    }
+  } else {
+    bytes = dp_gradient_bytes(mcfg, plan.pc, position);
+  }
+  // ZeRO-1 replaces the gradient all-reduce (2 volumes) with a fp32-gradient
+  // reduce-scatter (1 volume) plus an fp16-parameter all-gather (0.5): 0.75x.
+  if (plan.zero1) bytes *= 0.75;
+  return bytes;
 }
 
 }  // namespace pipette::sim

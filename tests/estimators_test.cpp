@@ -26,13 +26,14 @@ cluster::Topology mid_cluster(int nodes = 4, std::uint64_t seed = 2024) {
 TEST(ComputeProfile, TracksGroundTruthCosts) {
   const auto topo = mid_cluster();
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::TrainPlan plan{{4, 2, 4}, 4};
+  const auto& pc = plan.pc;
   estimators::ComputeProfileOptions opt;
-  const auto prof = estimators::profile_compute(topo, job, pc, 4, opt);
+  const auto prof = estimators::profile_compute(topo, job, plan, opt);
   ASSERT_EQ(prof.stage_fwd_s.size(), 4u);
   const auto mapping = parallel::Mapping::megatron_default(pc);
   for (int x = 0; x < pc.pp; ++x) {
-    const auto truth = sim::stage_costs(topo, job, mapping, 4, x, 0, opt.costs);
+    const auto truth = sim::stage_costs(topo, job, mapping, plan, x, 0, opt.costs);
     EXPECT_NEAR(prof.stage_fwd_s[static_cast<std::size_t>(x)] / truth.fwd_compute_s, 1.0, 0.05);
     EXPECT_NEAR(prof.stage_bwd_s[static_cast<std::size_t>(x)] / truth.bwd_compute_s, 1.0, 0.05);
   }
@@ -60,17 +61,18 @@ TEST_P(PipetteModelAccuracy, EstimateWithinTolerance) {
   const auto [pp, tp, dp, micro] = GetParam();
   const auto topo = mid_cluster(4);
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const parallel::ParallelConfig pc{pp, tp, dp};
+  const parallel::TrainPlan plan{{pp, tp, dp}, micro};
+  const auto& pc = plan.pc;
   ASSERT_EQ(pc.ways(), 32);
 
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-  estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
   const auto mapping = parallel::Mapping::megatron_default(pc);
 
   const double est = model.estimate(mapping);
-  const double actual = sim::simulate_iteration(topo, job, mapping, micro, {}).total_s;
+  const double actual = sim::simulate_iteration(topo, job, mapping, plan, {}).total_s;
   EXPECT_NEAR(est / actual, 1.0, 0.15) << "est " << est << " actual " << actual;
 }
 
@@ -90,17 +92,16 @@ TEST(PipetteModel, MoreAccurateThanAmpOnHeterogeneousCluster) {
   std::vector<double> est_ppt, est_amp, actual;
   for (const auto& pc : parallel::enumerate_parallel_configs(32, 8, 36, {})) {
     for (int micro : parallel::micro_batch_options(128, pc, {})) {
-      if (!sim::fits_in_memory(topo.spec(), job, pc, micro,
-                               sim::ScheduleKind::kMemoryEfficient1F1B,
-                               estimators::kMemoryUniverseSeed)) {
+      const parallel::TrainPlan plan{pc, micro};
+      if (!sim::fits_in_memory(topo.spec(), job, plan, estimators::kMemoryUniverseSeed)) {
         continue;
       }
-      const auto prof = estimators::profile_compute(topo, job, pc, micro, {});
-      estimators::PipetteLatencyModel model(job, pc, micro, prof, &profiled.bw, links);
+      const auto prof = estimators::profile_compute(topo, job, plan, {});
+      estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
       const auto mapping = parallel::Mapping::megatron_default(pc);
       est_ppt.push_back(model.estimate(mapping));
-      est_amp.push_back(estimators::amp_latency_estimate(job, pc, micro, prof, links));
-      actual.push_back(sim::simulate_iteration(topo, job, mapping, micro, {}).total_s);
+      est_amp.push_back(estimators::amp_latency_estimate(job, plan, prof, links));
+      actual.push_back(sim::simulate_iteration(topo, job, mapping, plan, {}).total_s);
       break;  // one microbatch size per config keeps the test fast
     }
   }
@@ -115,11 +116,12 @@ TEST(PipetteModel, MoreAccurateThanAmpOnHeterogeneousCluster) {
 TEST(PipetteModel, TermsRespondToMapping) {
   const auto topo = mid_cluster(4);
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::TrainPlan plan{{4, 2, 4}, 2};
+  const auto& pc = plan.pc;
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
   const auto good = parallel::Mapping::megatron_default(pc);
   // Scatter a TP group across nodes: the mapping-aware TP term must punish it.
@@ -133,10 +135,10 @@ TEST(PipetteModel, BubbleAndStragglerScales) {
   const model::TrainingJob job{model::gpt_1_1b(), 256};
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const parallel::ParallelConfig pc{8, 2, 2};
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
-  const auto m = parallel::Mapping::megatron_default(pc);
+  const parallel::TrainPlan plan{{8, 2, 2}, 2};
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
+  const auto m = parallel::Mapping::megatron_default(plan.pc);
   // T_straggler = (pp-1) * max block; T_bubble >= pp * max block.
   EXPECT_GT(model.bubble_term(m), model.straggler_term(m));
   EXPECT_GT(model.dp_comm_term(m), 0.0);
@@ -149,11 +151,11 @@ TEST(AmpModel, UnderestimatesOnHeterogeneousCluster) {
   const auto topo = mid_cluster(4, 5);
   const model::TrainingJob job{model::gpt_1_1b(), 128};
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const parallel::ParallelConfig pc{2, 1, 16};  // gradient rings span nodes
-  const auto prof = estimators::profile_compute(topo, job, pc, 1, {});
-  const double est = estimators::amp_latency_estimate(job, pc, 1, prof, links);
-  const auto mapping = parallel::Mapping::megatron_default(pc);
-  const double actual = sim::simulate_iteration(topo, job, mapping, 1, {}).total_s;
+  const parallel::TrainPlan plan{{2, 1, 16}, 1};  // gradient rings span nodes
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  const double est = estimators::amp_latency_estimate(job, plan, prof, links);
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
+  const double actual = sim::simulate_iteration(topo, job, mapping, plan, {}).total_s;
   EXPECT_LT(est, actual);
 }
 
@@ -164,22 +166,21 @@ TEST(AnalyticMemory, UnderestimatesGroundTruth) {
   const auto spec = cluster::mid_range_cluster();
   for (const auto& pc : {parallel::ParallelConfig{4, 4, 4}, parallel::ParallelConfig{8, 8, 1}}) {
     for (int micro : {1, 4}) {
-      const double analytic = estimators::analytic_memory_estimate(job, pc, micro);
+      const parallel::TrainPlan plan{pc, micro};
+      const double analytic = estimators::analytic_memory_estimate(job, plan);
       const double actual =
-          sim::simulate_peak_memory(spec, job, pc, micro,
-                                    sim::ScheduleKind::kMemoryEfficient1F1B,
-                                    estimators::kMemoryUniverseSeed)
+          sim::simulate_peak_memory(spec, job, plan, estimators::kMemoryUniverseSeed)
               .total_bytes;
-      EXPECT_LT(analytic, actual) << pc.str() << " mb" << micro;
+      EXPECT_LT(analytic, actual) << plan.str();
     }
   }
 }
 
 TEST(MlpMemory, FeatureVectorMatchesEq7) {
   const model::TrainingJob job{model::gpt_1_1b(), 256};
-  const parallel::ParallelConfig pc{4, 2, 4};
-  const auto f = estimators::MlpMemoryEstimator::features(job, pc, 8);
-  ASSERT_EQ(f.size(), 10u);  // Eq. (7) has exactly ten inputs
+  const parallel::TrainPlan plan{{4, 2, 4}, 8};
+  const auto f = estimators::MlpMemoryEstimator::features(job, plan);
+  ASSERT_EQ(f.size(), 14u);  // Eq. (7)'s ten inputs + the v2 additions
   EXPECT_DOUBLE_EQ(f[0], std::log2(32.0));       // n_gpus
   EXPECT_DOUBLE_EQ(f[1], std::log2(36.0));       // n_layers
   EXPECT_DOUBLE_EQ(f[4], 1.0);                   // log2 tp
@@ -203,15 +204,102 @@ TEST(MlpMemory, TrainsAndExtrapolates) {
   // Extrapolate to 32 GPUs (2x the profiled range) and stay in the ballpark;
   // the paper-scale 4x extrapolation runs in bench/fig7 with the full MLP.
   const model::TrainingJob job{model::gpt_1_1b(), 256};
-  const parallel::ParallelConfig pc{4, 2, 4};
-  const double pred = est.estimate_bytes(job, pc, 4);
-  const double actual = sim::simulate_peak_memory(topo.spec(), job, pc, 4,
-                                                  sim::ScheduleKind::kMemoryEfficient1F1B,
-                                                  estimators::kMemoryUniverseSeed)
-                            .total_bytes;
+  const parallel::TrainPlan plan{{4, 2, 4}, 4};
+  const double pred = est.estimate_bytes(job, plan);
+  const double actual =
+      sim::simulate_peak_memory(topo.spec(), job, plan, estimators::kMemoryUniverseSeed)
+          .total_bytes;
   EXPECT_NEAR(pred / actual, 1.0, 0.40);
 
   // The soft margin makes fits() stricter than a raw comparison.
-  EXPECT_FALSE(est.fits(job, pc, 4, pred));
-  EXPECT_TRUE(est.fits(job, pc, 4, pred * (1.0 + est.soft_margin()) * 1.01));
+  EXPECT_FALSE(est.fits(job, plan, pred));
+  EXPECT_TRUE(est.fits(job, plan, pred * (1.0 + est.soft_margin()) * 1.01));
 }
+
+namespace {
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    const std::size_t n = v.size();
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(n);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+      const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+      for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+      i = j + 1;
+    }
+    return r;
+  };
+  const auto ra = ranks(a), rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+// Fig. 5a-style agreement on the NEW plan axes: across recompute, interleaved
+// and ZeRO-1 variants of several base points, the latency model must order
+// plans consistently with the discrete-event simulator — on two different
+// cluster shapes. This is what lets the configurator search the enlarged
+// space without running every plan.
+class PlanAxisRankAgreement : public testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PlanAxisRankAgreement, EstimatorOrdersNewAxesLikeTheSimulator) {
+  const auto [tier, nodes] = GetParam();
+  const auto spec =
+      tier == "high-end" ? cluster::high_end_cluster(nodes) : cluster::mid_range_cluster(nodes);
+  cluster::Topology topo(spec, cluster::HeterogeneityOptions{}, 31 + nodes);
+  const model::TrainingJob job{model::gpt_3_1b(), 256};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+
+  std::vector<parallel::TrainPlan> plans;
+  for (const parallel::TrainPlan base :
+       {parallel::TrainPlan{{4, 2, topo.num_gpus() / 8}, 2},
+        parallel::TrainPlan{{2, 4, topo.num_gpus() / 8}, 4},
+        parallel::TrainPlan{{8, 2, topo.num_gpus() / 16}, 2}}) {
+    if (base.pc.ways() != topo.num_gpus()) continue;
+    plans.push_back(base);
+    for (const auto& v : parallel::memory_relief_variants(base, {})) plans.push_back(v);
+    parallel::TrainPlan inter = base;
+    inter.schedule = parallel::PipeSchedule::kInterleaved1F1B;
+    inter.virtual_stages = 2;
+    if (inter.valid_for(job.model.num_layers, job.global_batch)) plans.push_back(inter);
+  }
+  ASSERT_GE(plans.size(), 10u);
+
+  std::vector<double> est, act;
+  for (const auto& p : plans) {
+    const auto mapping = parallel::Mapping::megatron_default(p.pc);
+    const auto prof = estimators::profile_compute(topo, job, p, {});
+    estimators::PipetteLatencyModel model(job, p, prof, &profiled.bw, links);
+    est.push_back(model.estimate(mapping));
+    act.push_back(sim::simulate_iteration(topo, job, mapping, p, {}).total_s);
+  }
+  EXPECT_GT(spearman(est, act), 0.8)
+      << "estimator must rank recompute/interleaved/ZeRO plans like the simulator";
+  EXPECT_LT(common::mape_percent(est, act), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, PlanAxisRankAgreement,
+                         testing::Values(std::tuple{std::string("mid-range"), 4},
+                                         std::tuple{std::string("high-end"), 2}));

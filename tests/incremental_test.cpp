@@ -29,20 +29,23 @@ struct Fixture {
   cluster::ProfileResult profiled;
   estimators::LinkConstants links;
   estimators::ComputeProfile prof;
+  parallel::TrainPlan plan;
   parallel::ParallelConfig pc;
-  int micro;
 
-  Fixture(parallel::ParallelConfig cfg, int micro_batch, std::uint64_t seed = 12345)
-      : topo(cluster::mid_range_cluster(cfg.ways() / 8), cluster::HeterogeneityOptions{}, seed),
+  Fixture(parallel::TrainPlan p, std::uint64_t seed = 12345)
+      : topo(cluster::mid_range_cluster(p.pc.ways() / 8), cluster::HeterogeneityOptions{}, seed),
         job{model::gpt_3_1b(), 512},
         profiled(cluster::profile_network(topo, {})),
         links(estimators::LinkConstants::from_spec(topo.spec())),
-        prof(estimators::profile_compute(topo, job, cfg, micro_batch, {})),
-        pc(cfg),
-        micro(micro_batch) {}
+        prof(estimators::profile_compute(topo, job, p, {})),
+        plan(p),
+        pc(p.pc) {}
+
+  Fixture(parallel::ParallelConfig cfg, int micro_batch, std::uint64_t seed = 12345)
+      : Fixture(parallel::TrainPlan{cfg, micro_batch}, seed) {}
 
   estimators::PipetteLatencyModel model() const {
-    return estimators::PipetteLatencyModel(job, pc, micro, prof, &profiled.bw, links);
+    return estimators::PipetteLatencyModel(job, plan, prof, &profiled.bw, links);
   }
 };
 
@@ -187,10 +190,8 @@ TEST(IncrementalSa, ConfiguratorResultsMatchFullEvaluationEndToEnd) {
   // Recreate the winner's annealing run with the generic copy-based path.
   const auto profiled = cluster::profile_network(topo, opt.profile);
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, res.best.pc, res.best.micro_batch,
-                                                opt.compute_profile);
-  const estimators::PipetteLatencyModel model(job, res.best.pc, res.best.micro_batch, prof,
-                                              &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, res.best, opt.compute_profile);
+  const estimators::PipetteLatencyModel model(job, res.best, prof, &profiled.bw, links);
   const int gpn = topo.gpus_per_node();
   search::SaOptions sa = opt.sa;
   sa.seed = search::derive_seed(opt.sa.seed, res.best.str());
@@ -226,3 +227,64 @@ TEST(IncrementalSa, IterationCappedRunsAreDeterministic) {
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
 }
+
+// Bit-identity must hold across the whole extended plan space, not just the
+// legacy 4-tuple: for interleaved, recompute, ZeRO-1, and combined plans the
+// incremental evaluator's propose() must equal the full model's estimate on
+// the moved mapping, exactly, over randomized sweeps of all five move kinds.
+class PlanAxisEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(PlanAxisEquivalence, MatchesFullModelBitForBitOnExtendedPlans) {
+  const int which = GetParam();
+  parallel::TrainPlan plan{{4, 2, 4}, 2};
+  switch (which) {
+    case 0:
+      plan.schedule = parallel::PipeSchedule::kInterleaved1F1B;
+      plan.virtual_stages = 2;
+      break;
+    case 1:
+      plan.recompute = parallel::Recompute::kFull;
+      break;
+    case 2:
+      plan.zero1 = true;
+      break;
+    case 3:
+      plan.schedule = parallel::PipeSchedule::kInterleaved1F1B;
+      plan.virtual_stages = 4;
+      plan.recompute = parallel::Recompute::kSelective;
+      plan.zero1 = true;
+      break;
+    default:
+      plan = parallel::TrainPlan{{8, 1, 4}, 4};
+      plan.schedule = parallel::PipeSchedule::kInterleaved1F1B;
+      plan.virtual_stages = 2;
+      plan.zero1 = true;
+      break;
+  }
+  const Fixture fx(plan);
+  ASSERT_TRUE(plan.valid_for(fx.job.model.num_layers, fx.job.global_batch)) << plan.str();
+  const auto model = fx.model();
+  const int gpn = fx.topo.gpus_per_node();
+
+  parallel::Mapping committed = parallel::Mapping::megatron_default(fx.pc);
+  estimators::IncrementalLatencyEvaluator eval(model, committed, gpn);
+  ASSERT_EQ(eval.cost(), model.estimate(committed));
+
+  common::Rng rng(1234 + static_cast<std::uint64_t>(which));
+  for (int iter = 0; iter < 600; ++iter) {
+    const auto mv = search::draw_mapping_move(committed, rng, {}, gpn);
+    parallel::Mapping moved = committed;
+    parallel::apply_move(moved, mv, gpn);
+    ASSERT_EQ(eval.propose(mv), model.estimate(moved))
+        << plan.str() << " iter " << iter << " kind " << static_cast<int>(mv.kind);
+    if (rng.bernoulli(0.5)) {
+      eval.commit();
+      committed = std::move(moved);
+    } else {
+      eval.rollback();
+      ASSERT_EQ(eval.cost(), model.estimate(committed)) << plan.str() << " iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, PlanAxisEquivalence, testing::Values(0, 1, 2, 3, 4));

@@ -116,8 +116,10 @@ TEST(Integration, Fig7Shape_MemoryEstimatorAccuracy) {
   Fixture f;
   estimators::MlpMemoryOptions mopt;
   mopt.max_profile_nodes = 2;
-  mopt.hidden = {64, 64};
-  mopt.train.iters = 3000;
+  // The v2 feature vector (plan axes + seq len) needs a little more net than
+  // the 10-input original at this test scale; 96x96 extrapolates reliably.
+  mopt.hidden = {96, 96};
+  mopt.train.iters = 6000;
   mopt.profile_global_batches = {128, 256};
   const auto mlp = estimators::MlpMemoryEstimator::train_for_cluster(
       f.topo, {model::gpt_774m(), model::gpt_1_1b(), model::gpt_3_1b()}, mopt);
@@ -127,13 +129,13 @@ TEST(Integration, Fig7Shape_MemoryEstimatorAccuracy) {
     const model::TrainingJob job{mcfg, 256};
     for (const auto& pc : parallel::enumerate_parallel_configs(32, 8, mcfg.num_layers, {})) {
       for (int micro : parallel::micro_batch_options(256, pc, {})) {
-        const auto mem = sim::simulate_peak_memory(f.topo.spec(), job, pc, micro,
-                                                   sim::ScheduleKind::kMemoryEfficient1F1B,
-                                                   estimators::kMemoryUniverseSeed);
+        const parallel::TrainPlan plan{pc, micro};
+        const auto mem =
+            sim::simulate_peak_memory(f.topo.spec(), job, plan, estimators::kMemoryUniverseSeed);
         if (mem.total_bytes > f.topo.spec().gpu_memory_bytes) continue;
         actual.push_back(mem.total_bytes);
-        est_mlp.push_back(mlp.estimate_bytes(job, pc, micro));
-        est_analytic.push_back(estimators::analytic_memory_estimate(job, pc, micro));
+        est_mlp.push_back(mlp.estimate_bytes(job, plan));
+        est_analytic.push_back(estimators::analytic_memory_estimate(job, plan));
         break;  // one microbatch per config keeps this fast
       }
     }

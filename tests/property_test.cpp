@@ -77,7 +77,7 @@ class OneFOneBWindow : public testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(OneFOneBWindow, InflightNeverExceedsWindow) {
   const auto [pp, nmb] = GetParam();
   for (int stage = 0; stage < pp; ++stage) {
-    const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryEfficient1F1B, pp, stage, nmb);
+    const auto ops = sim::stage_schedule(parallel::PipeSchedule::k1F1B, pp, stage, nmb);
     int inflight = 0, peak = 0;
     for (const auto& op : ops) {
       inflight += op.fwd ? 1 : -1;
@@ -110,18 +110,19 @@ TEST_P(SimulatorSweep, AllConfigurationsSimulateSanely) {
   int count = 0;
   for (const auto& pc : parallel::enumerate_parallel_configs(16, 8, 36, {})) {
     for (int micro : parallel::micro_batch_options(job.global_batch, pc, {})) {
+      const parallel::TrainPlan plan{pc, micro};
       const auto mapping = parallel::Mapping::megatron_default(pc);
-      const auto r = sim::simulate_iteration(topo, job, mapping, micro, opt);
+      const auto r = sim::simulate_iteration(topo, job, mapping, plan, opt);
       EXPECT_GT(r.total_s, 0.0) << pc.str();
       EXPECT_TRUE(std::isfinite(r.total_s)) << pc.str();
       EXPECT_GE(r.bubble_fraction, 0.0);
       EXPECT_LT(r.bubble_fraction, 1.0);
       EXPECT_GE(r.total_s, r.last_backward_s);
 
-      const auto eff = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
-                                                 sim::ScheduleKind::kMemoryEfficient1F1B, 1);
-      const auto una = sim::simulate_peak_memory(topo.spec(), job, pc, micro,
-                                                 sim::ScheduleKind::kMemoryUnaware, 1);
+      parallel::TrainPlan unaware = plan;
+      unaware.schedule = parallel::PipeSchedule::kMemoryUnaware;
+      const auto eff = sim::simulate_peak_memory(topo.spec(), job, plan, 1);
+      const auto una = sim::simulate_peak_memory(topo.spec(), job, unaware, 1);
       EXPECT_LE(eff.activation_bytes, una.activation_bytes * 1.0001) << pc.str();
       ++count;
     }
@@ -137,10 +138,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorSweep, testing::Values(11, 22, 33));
 TEST(EstimatorProperty, MonotoneInBandwidth) {
   cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 9);
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::TrainPlan plan{{4, 2, 4}, 2};
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
 
   auto fast = topo.true_matrix();
   cluster::BandwidthMatrix slow(fast.num_gpus());
@@ -149,8 +150,8 @@ TEST(EstimatorProperty, MonotoneInBandwidth) {
       if (g1 != g2) slow.set(g1, g2, fast.at(g1, g2) * 0.5);
     }
   }
-  estimators::PipetteLatencyModel m_fast(job, pc, 2, prof, &fast, links);
-  estimators::PipetteLatencyModel m_slow(job, pc, 2, prof, &slow, links);
+  estimators::PipetteLatencyModel m_fast(job, plan, prof, &fast, links);
+  estimators::PipetteLatencyModel m_slow(job, plan, prof, &slow, links);
   EXPECT_GT(m_slow.estimate(mapping), m_fast.estimate(mapping));
 }
 
@@ -159,14 +160,15 @@ TEST(EstimatorProperty, MonotoneInBandwidth) {
 TEST(EstimatorProperty, PpTermGrowsWithMessageSize) {
   cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 9);
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::TrainPlan plan1{{4, 2, 4}, 1};
+  const parallel::TrainPlan plan4{{4, 2, 4}, 4};
   const auto bw = topo.true_matrix();
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto mapping = parallel::Mapping::megatron_default(pc);
-  const auto prof1 = estimators::profile_compute(topo, job, pc, 1, {});
-  const auto prof4 = estimators::profile_compute(topo, job, pc, 4, {});
-  estimators::PipetteLatencyModel m1(job, pc, 1, prof1, &bw, links);
-  estimators::PipetteLatencyModel m4(job, pc, 4, prof4, &bw, links);
+  const auto mapping = parallel::Mapping::megatron_default(plan1.pc);
+  const auto prof1 = estimators::profile_compute(topo, job, plan1, {});
+  const auto prof4 = estimators::profile_compute(topo, job, plan4, {});
+  estimators::PipetteLatencyModel m1(job, plan1, prof1, &bw, links);
+  estimators::PipetteLatencyModel m4(job, plan4, prof4, &bw, links);
   EXPECT_LT(m1.pp_comm_term(mapping), m4.pp_comm_term(mapping));
 }
 
@@ -218,4 +220,108 @@ TEST(ProfileStability, DriftStaysWithinClamp) {
       EXPECT_NEAR(measured / now, 1.0, 0.35);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-space enumeration invariants (the satellite properties of the TrainPlan
+// refactor): every enumerated point is unique, factorizes the cluster
+// exactly, honours the full-round constraint, and fixed_micro_batch pins the
+// microbatch across the entire space.
+class PlanEnumeration : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlanEnumeration, UniquenessDivisibilityAndFullRounds) {
+  const auto [num_gpus, global_batch] = GetParam();
+  parallel::ConfigConstraints c;
+  const auto plans = parallel::enumerate_base_plans(num_gpus, 8, 48, global_batch, c);
+  ASSERT_FALSE(plans.empty());
+  std::set<std::uint64_t> hashes;
+  for (const auto& p : plans) {
+    EXPECT_TRUE(hashes.insert(p.hash()).second) << "duplicate plan " << p.str();
+    EXPECT_EQ(p.pc.ways(), num_gpus) << p.str();
+    EXPECT_EQ(global_batch % p.pc.dp, 0) << p.str();
+    const int mini = global_batch / p.pc.dp;
+    EXPECT_EQ(mini % p.micro_batch, 0) << p.str();
+    const int nmb = parallel::num_microbatches(global_batch, p.pc, p.micro_batch);
+    EXPECT_GE(nmb, p.pc.pp) << p.str() << " violates the full-round constraint";
+    EXPECT_TRUE(p.valid_for(48, global_batch)) << p.str();
+    if (p.schedule == parallel::PipeSchedule::kInterleaved1F1B) {
+      EXPECT_EQ(48 % p.total_stages(), 0) << p.str();
+      EXPECT_EQ(nmb % p.pc.pp, 0) << p.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PlanEnumeration,
+                         testing::Values(std::tuple{16, 128}, std::tuple{32, 256},
+                                         std::tuple{64, 256}, std::tuple{128, 512}));
+
+TEST(PlanEnumeration, FixedMicroBatchPinsTheWholeSpace) {
+  parallel::ConfigConstraints c;
+  c.fixed_micro_batch = 4;
+  for (const auto& p : parallel::enumerate_base_plans(64, 8, 48, 512, c)) {
+    EXPECT_EQ(p.micro_batch, 4) << p.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved schedule invariants: every (chunk, microbatch) pair runs
+// exactly one forward and one backward on every GPU position, warmup depth
+// follows Megatron's formula, and the schedule covers all virtual stages.
+class InterleavedSchedule : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(InterleavedSchedule, EachChunkMicrobatchOnceAndAllChunksCovered) {
+  const auto [pp, v, nmb] = GetParam();
+  ASSERT_EQ(nmb % pp, 0);
+  for (int position = 0; position < pp; ++position) {
+    const auto ops = sim::interleaved_stage_schedule(pp, v, position, nmb);
+    ASSERT_EQ(ops.size(), static_cast<std::size_t>(2 * v * nmb));
+    std::vector<int> fwd(static_cast<std::size_t>(v * nmb), 0);
+    std::vector<int> bwd(static_cast<std::size_t>(v * nmb), 0);
+    std::set<int> chunks;
+    int inflight = 0, peak = 0;
+    for (const auto& op : ops) {
+      ASSERT_GE(op.chunk, 0);
+      ASSERT_LT(op.chunk, v);
+      ASSERT_GE(op.microbatch, 0);
+      ASSERT_LT(op.microbatch, nmb);
+      chunks.insert(op.chunk);
+      (op.fwd ? fwd : bwd)[static_cast<std::size_t>(op.chunk * nmb + op.microbatch)]++;
+      inflight += op.fwd ? 1 : -1;
+      peak = std::max(peak, inflight);
+      ASSERT_GE(inflight, 0);
+    }
+    EXPECT_EQ(inflight, 0) << "schedule did not drain";
+    EXPECT_EQ(static_cast<int>(chunks.size()), v) << "not all virtual stages covered";
+    for (int s = 0; s < v * nmb; ++s) {
+      EXPECT_EQ(fwd[static_cast<std::size_t>(s)], 1) << "position " << position;
+      EXPECT_EQ(bwd[static_cast<std::size_t>(s)], 1) << "position " << position;
+    }
+    const int warmup = std::min(2 * (pp - position - 1) + (v - 1) * pp, v * nmb);
+    EXPECT_EQ(peak, std::min(warmup + 1, v * nmb)) << "position " << position;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, InterleavedSchedule,
+                         testing::Values(std::tuple{2, 2, 4}, std::tuple{2, 2, 8},
+                                         std::tuple{4, 2, 8}, std::tuple{4, 3, 16},
+                                         std::tuple{8, 2, 16}, std::tuple{8, 4, 32}));
+
+// The interleaved simulator agrees with the schedule: it runs to completion
+// (no deadlock) on every enumerated interleaved plan of a small cluster and
+// the iteration is never faster than the busiest GPU's work.
+TEST(InterleavedSchedule, SimulatorRunsEveryEnumeratedInterleavedPlan) {
+  cluster::Topology topo(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{}, 3);
+  const model::TrainingJob job{model::gpt_3_1b(), 64};
+  int count = 0;
+  for (const auto& p :
+       parallel::enumerate_base_plans(16, 8, job.model.num_layers, job.global_batch, {})) {
+    if (p.schedule != parallel::PipeSchedule::kInterleaved1F1B) continue;
+    const auto mapping = parallel::Mapping::megatron_default(p.pc);
+    const auto r = sim::simulate_iteration(topo, job, mapping, p, {});
+    EXPECT_GT(r.total_s, 0.0) << p.str();
+    EXPECT_TRUE(std::isfinite(r.total_s)) << p.str();
+    EXPECT_GE(r.total_s, r.max_stage_busy_s * 0.999) << p.str();
+    ++count;
+  }
+  EXPECT_GT(count, 3);
 }

@@ -170,11 +170,12 @@ TEST(MappingSearch, OptimizeMappingImprovesHeterogeneousPlacement) {
   // find a strictly better estimate than the default order.
   cluster::Topology topo(cluster::mid_range_cluster(16), cluster::HeterogeneityOptions{}, 12345);
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  const parallel::ParallelConfig pc{8, 2, 8};
+  const parallel::TrainPlan plan{{8, 2, 8}, 2};
+  const auto& pc = plan.pc;
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
 
   auto m = parallel::Mapping::megatron_default(pc);
   const double before = model.estimate(m);
@@ -191,11 +192,12 @@ TEST(MappingSearch, OptimizeMappingImprovesHeterogeneousPlacement) {
 TEST(MappingSearch, SaStatsAreConsistent) {
   cluster::Topology topo(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{}, 6);
   const model::TrainingJob job{model::gpt_774m(), 64};
-  const parallel::ParallelConfig pc{2, 2, 4};
+  const parallel::TrainPlan plan{{2, 2, 4}, 2};
+  const auto& pc = plan.pc;
   const auto profiled = cluster::profile_network(topo, {});
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
-  const auto prof = estimators::profile_compute(topo, job, pc, 2, {});
-  estimators::PipetteLatencyModel model(job, pc, 2, prof, &profiled.bw, links);
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
   auto m = parallel::Mapping::megatron_default(pc);
   search::SaOptions opt;
   opt.max_iters = 3000;

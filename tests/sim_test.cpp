@@ -51,7 +51,7 @@ TEST(Collectives, P2pUsesLinkClass) {
 
 TEST(StageSchedule, OneFOneBWarmupPattern) {
   // pp=3, nmb=6, stage 0: warmup 2 forwards, steady 1F1B, drain 2 backwards.
-  const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryEfficient1F1B, 3, 0, 6);
+  const auto ops = sim::stage_schedule(parallel::PipeSchedule::k1F1B, 3, 0, 6);
   ASSERT_EQ(ops.size(), 12u);
   EXPECT_TRUE(ops[0].fwd);
   EXPECT_TRUE(ops[1].fwd);
@@ -63,14 +63,14 @@ TEST(StageSchedule, OneFOneBWarmupPattern) {
 }
 
 TEST(StageSchedule, LastStageStrictlyAlternates) {
-  const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryEfficient1F1B, 3, 2, 6);
+  const auto ops = sim::stage_schedule(parallel::PipeSchedule::k1F1B, 3, 2, 6);
   for (std::size_t i = 0; i < ops.size(); ++i) {
     EXPECT_EQ(ops[i].fwd, i % 2 == 0);
   }
 }
 
 TEST(StageSchedule, MemoryUnawareAllForwardThenBackward) {
-  const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryUnaware, 3, 1, 4);
+  const auto ops = sim::stage_schedule(parallel::PipeSchedule::kMemoryUnaware, 3, 1, 4);
   ASSERT_EQ(ops.size(), 8u);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(ops[static_cast<std::size_t>(i)].fwd);
   for (int i = 4; i < 8; ++i) EXPECT_FALSE(ops[static_cast<std::size_t>(i)].fwd);
@@ -79,7 +79,7 @@ TEST(StageSchedule, MemoryUnawareAllForwardThenBackward) {
 
 TEST(StageSchedule, EveryMicrobatchAppearsExactlyOncePerDirection) {
   for (int stage = 0; stage < 4; ++stage) {
-    const auto ops = sim::stage_schedule(sim::ScheduleKind::kMemoryEfficient1F1B, 4, stage, 8);
+    const auto ops = sim::stage_schedule(parallel::PipeSchedule::k1F1B, 4, stage, 8);
     std::vector<int> fwd(8, 0), bwd(8, 0);
     for (const auto& op : ops) {
       (op.fwd ? fwd : bwd)[static_cast<std::size_t>(op.microbatch)]++;
@@ -97,8 +97,8 @@ TEST(StageCosts, TensorParallelismSplitsComputeAddsComm) {
   const auto m1 = parallel::Mapping::megatron_default({1, 1, 32});
   const auto m8 = parallel::Mapping::megatron_default({1, 8, 4});
   sim::CostOptions opt;
-  const auto c1 = sim::stage_costs(t, job, m1, 4, 0, 0, opt);
-  const auto c8 = sim::stage_costs(t, job, m8, 4, 0, 0, opt);
+  const auto c1 = sim::stage_costs(t, job, m1, {{1, 1, 32}, 4}, 0, 0, opt);
+  const auto c8 = sim::stage_costs(t, job, m8, {{1, 8, 4}, 4}, 0, 0, opt);
   EXPECT_GT(c1.compute_s, c8.compute_s);
   EXPECT_DOUBLE_EQ(c1.tp_comm_s, 0.0);
   EXPECT_GT(c8.tp_comm_s, 0.0);
@@ -132,11 +132,11 @@ TEST(PipelineSim, ThroughputBoundOnHomogeneousCluster) {
   // and 1F1B must be within ~2x of it for a well-fed pipeline.
   auto t = cluster::Topology::homogeneous(cluster::mid_range_cluster(4));
   const auto job = job_774m(256);
-  const parallel::ParallelConfig pc{4, 2, 4};
-  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const parallel::TrainPlan plan{{4, 2, 4}, 2};
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
   sim::SimOptions opt;
   opt.jitter_sigma = 0.0;
-  const auto r = sim::simulate_iteration(t, job, mapping, 2, opt);
+  const auto r = sim::simulate_iteration(t, job, mapping, plan, opt);
   EXPECT_GE(r.total_s, r.max_stage_busy_s);
   EXPECT_LT(r.total_s, 2.0 * r.max_stage_busy_s);
   EXPECT_GE(r.bubble_fraction, 0.0);
@@ -145,12 +145,12 @@ TEST(PipelineSim, ThroughputBoundOnHomogeneousCluster) {
 
 TEST(PipelineSim, MoreMicrobatchesAmortizeBubbles) {
   auto t = cluster::Topology::homogeneous(cluster::mid_range_cluster(4));
-  const parallel::ParallelConfig pc{8, 1, 4};
-  const auto mapping = parallel::Mapping::megatron_default(pc);
+  const parallel::TrainPlan plan{{8, 1, 4}, 2};
+  const auto mapping = parallel::Mapping::megatron_default(plan.pc);
   sim::SimOptions opt;
   opt.jitter_sigma = 0.0;
-  const auto few = sim::simulate_iteration(t, {model::gpt_774m(), 64}, mapping, 2, opt);
-  const auto many = sim::simulate_iteration(t, {model::gpt_774m(), 512}, mapping, 2, opt);
+  const auto few = sim::simulate_iteration(t, {model::gpt_774m(), 64}, mapping, plan, opt);
+  const auto many = sim::simulate_iteration(t, {model::gpt_774m(), 512}, mapping, plan, opt);
   EXPECT_GT(few.bubble_fraction, many.bubble_fraction);
 }
 
@@ -159,10 +159,10 @@ TEST(PipelineSim, DpSyncCostsTime) {
   const auto job = job_774m(128);
   sim::SimOptions opt;
   const auto with_dp = sim::simulate_iteration(
-      t, job, parallel::Mapping::megatron_default({4, 1, 8}), 2, opt);
+      t, job, parallel::Mapping::megatron_default({4, 1, 8}), {{4, 1, 8}, 2}, opt);
   EXPECT_GT(with_dp.dp_sync_s, 0.0);
   const auto no_dp = sim::simulate_iteration(
-      t, job, parallel::Mapping::megatron_default({4, 8, 1}), 2, opt);
+      t, job, parallel::Mapping::megatron_default({4, 8, 1}), {{4, 8, 1}, 2}, opt);
   EXPECT_DOUBLE_EQ(no_dp.dp_sync_s, 0.0);
 }
 
@@ -170,13 +170,14 @@ TEST(PipelineSim, DeterministicInSeedAndSensitiveToIt) {
   auto t = mid4();
   const auto job = job_774m();
   const auto mapping = parallel::Mapping::megatron_default({4, 2, 4});
+  const parallel::TrainPlan plan{{4, 2, 4}, 4};
   sim::SimOptions a, b;
   a.seed = b.seed = 123;
-  EXPECT_DOUBLE_EQ(sim::simulate_iteration(t, job, mapping, 4, a).total_s,
-                   sim::simulate_iteration(t, job, mapping, 4, b).total_s);
+  EXPECT_DOUBLE_EQ(sim::simulate_iteration(t, job, mapping, plan, a).total_s,
+                   sim::simulate_iteration(t, job, mapping, plan, b).total_s);
   b.seed = 124;
-  EXPECT_NE(sim::simulate_iteration(t, job, mapping, 4, a).total_s,
-            sim::simulate_iteration(t, job, mapping, 4, b).total_s);
+  EXPECT_NE(sim::simulate_iteration(t, job, mapping, plan, a).total_s,
+            sim::simulate_iteration(t, job, mapping, plan, b).total_s);
 }
 
 TEST(PipelineSim, MemoryUnawareSlowerWithExposedComm) {
@@ -188,10 +189,10 @@ TEST(PipelineSim, MemoryUnawareSlowerWithExposedComm) {
   const auto mapping = parallel::Mapping::megatron_default({8, 1, 4});
   sim::SimOptions opt;
   opt.jitter_sigma = 0.0;
-  opt.schedule = sim::ScheduleKind::kMemoryEfficient1F1B;
-  const auto efficient = sim::simulate_iteration(t, job, mapping, 1, opt);
-  opt.schedule = sim::ScheduleKind::kMemoryUnaware;
-  const auto unaware = sim::simulate_iteration(t, job, mapping, 1, opt);
+  parallel::TrainPlan plan{{8, 1, 4}, 1};
+  const auto efficient = sim::simulate_iteration(t, job, mapping, plan, opt);
+  plan.schedule = parallel::PipeSchedule::kMemoryUnaware;
+  const auto unaware = sim::simulate_iteration(t, job, mapping, plan, opt);
   EXPECT_LE(unaware.total_s, efficient.total_s * 1.02);
 }
 
@@ -199,26 +200,27 @@ TEST(PipelineSim, RejectsBadBatchGeometry) {
   auto t = mid4();
   const auto mapping = parallel::Mapping::megatron_default({4, 2, 4});
   sim::SimOptions opt;
-  EXPECT_THROW(sim::simulate_iteration(t, {model::gpt_774m(), 100}, mapping, 3, opt),
-               std::invalid_argument);
+  EXPECT_THROW(
+      sim::simulate_iteration(t, {model::gpt_774m(), 100}, mapping, {{4, 2, 4}, 3}, opt),
+      std::invalid_argument);
 }
 
 TEST(PipelineSim, RejectsMappingLargerThanCluster) {
   auto t = mid4();  // 32 GPUs
   const auto mapping = parallel::Mapping::megatron_default({8, 2, 16});  // 256 workers
   sim::SimOptions opt;
-  EXPECT_THROW(sim::simulate_iteration(t, {model::gpt_774m(), 256}, mapping, 2, opt),
-               std::invalid_argument);
+  EXPECT_THROW(
+      sim::simulate_iteration(t, {model::gpt_774m(), 256}, mapping, {{8, 2, 16}, 2}, opt),
+      std::invalid_argument);
 }
 
 TEST(MemorySim, OneFOneBBeatsMemoryUnaware) {
   const auto spec = cluster::mid_range_cluster();
   const model::TrainingJob job{model::gpt_3_1b(), 256};
-  const parallel::ParallelConfig pc{4, 4, 4};
-  const auto eff = sim::simulate_peak_memory(spec, job, pc, 4,
-                                             sim::ScheduleKind::kMemoryEfficient1F1B, 1);
-  const auto una = sim::simulate_peak_memory(spec, job, pc, 4,
-                                             sim::ScheduleKind::kMemoryUnaware, 1);
+  parallel::TrainPlan plan{{4, 4, 4}, 4};
+  const auto eff = sim::simulate_peak_memory(spec, job, plan, 1);
+  plan.schedule = parallel::PipeSchedule::kMemoryUnaware;
+  const auto una = sim::simulate_peak_memory(spec, job, plan, 1);
   EXPECT_LT(eff.activation_bytes, una.activation_bytes);
   EXPECT_LT(eff.total_bytes, una.total_bytes);
 }
@@ -226,19 +228,17 @@ TEST(MemorySim, OneFOneBBeatsMemoryUnaware) {
 TEST(MemorySim, MonotoneInMicrobatchAndTp) {
   const auto spec = cluster::mid_range_cluster();
   const model::TrainingJob job{model::gpt_3_1b(), 256};
-  const auto kind = sim::ScheduleKind::kMemoryEfficient1F1B;
-  const auto m2 = sim::simulate_peak_memory(spec, job, {4, 4, 8}, 2, kind, 1);
-  const auto m8 = sim::simulate_peak_memory(spec, job, {4, 4, 8}, 8, kind, 1);
+  const auto m2 = sim::simulate_peak_memory(spec, job, {{4, 4, 8}, 2}, 1);
+  const auto m8 = sim::simulate_peak_memory(spec, job, {{4, 4, 8}, 8}, 1);
   EXPECT_LT(m2.total_bytes, m8.total_bytes);
-  const auto tp2 = sim::simulate_peak_memory(spec, job, {4, 2, 16}, 2, kind, 1);
+  const auto tp2 = sim::simulate_peak_memory(spec, job, {{4, 2, 16}, 2}, 1);
   EXPECT_GT(tp2.total_bytes, m2.total_bytes);  // fewer shards -> more per GPU
 }
 
 TEST(MemorySim, BreakdownSumsToTotal) {
   const auto spec = cluster::high_end_cluster();
   const model::TrainingJob job{model::gpt_11_1b(), 512};
-  const auto b = sim::simulate_peak_memory(spec, job, {8, 8, 2}, 8,
-                                           sim::ScheduleKind::kMemoryEfficient1F1B, 1);
+  const auto b = sim::simulate_peak_memory(spec, job, {{8, 8, 2}, 8}, 1);
   EXPECT_NEAR(b.total_bytes,
               b.weights_optimizer_bytes + b.activation_bytes + b.framework_bytes,
               b.total_bytes * 1e-9);
@@ -248,11 +248,10 @@ TEST(MemorySim, BreakdownSumsToTotal) {
 TEST(MemorySim, DeterministicPerConfigSeed) {
   const auto spec = cluster::mid_range_cluster();
   const model::TrainingJob job{model::gpt_1_1b(), 128};
-  const auto kind = sim::ScheduleKind::kMemoryEfficient1F1B;
-  const auto a = sim::simulate_peak_memory(spec, job, {2, 2, 8}, 4, kind, 42);
-  const auto b = sim::simulate_peak_memory(spec, job, {2, 2, 8}, 4, kind, 42);
+  const auto a = sim::simulate_peak_memory(spec, job, {{2, 2, 8}, 4}, 42);
+  const auto b = sim::simulate_peak_memory(spec, job, {{2, 2, 8}, 4}, 42);
   EXPECT_DOUBLE_EQ(a.total_bytes, b.total_bytes);
-  const auto c = sim::simulate_peak_memory(spec, job, {2, 2, 8}, 4, kind, 43);
+  const auto c = sim::simulate_peak_memory(spec, job, {{2, 2, 8}, 4}, 43);
   EXPECT_NE(a.total_bytes, c.total_bytes);
 }
 
@@ -260,10 +259,10 @@ TEST(MemorySim, FitsInMemoryBoundary) {
   const auto spec = cluster::mid_range_cluster();
   // A giant memory-unaware configuration of GPT-3.1B cannot fit in 32 GB.
   const model::TrainingJob big{model::gpt_3_1b(), 512};
-  EXPECT_FALSE(sim::fits_in_memory(spec, big, {1, 1, 1}, 8,
-                                   sim::ScheduleKind::kMemoryUnaware, 1));
+  parallel::TrainPlan giant{{1, 1, 1}, 8};
+  giant.schedule = parallel::PipeSchedule::kMemoryUnaware;
+  EXPECT_FALSE(sim::fits_in_memory(spec, big, giant, 1));
   // A small model with full sharding fits easily.
   const model::TrainingJob small{model::gpt_774m(), 128};
-  EXPECT_TRUE(sim::fits_in_memory(spec, small, {4, 8, 4}, 1,
-                                  sim::ScheduleKind::kMemoryEfficient1F1B, 1));
+  EXPECT_TRUE(sim::fits_in_memory(spec, small, {{4, 8, 4}, 1}, 1));
 }
