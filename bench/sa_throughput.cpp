@@ -4,10 +4,28 @@
 // identical trajectory (same seed, same rng stream, bit-identical costs), so
 // the `match` column doubles as an end-to-end equivalence check.
 //
-//   --fast       CI budget: fewer iterations, skips the 256/512-GPU shapes
-//   --iters N    override the full-evaluation iteration count
-//   --seed N     heterogeneity universe seed (default 2024)
-//   --csv PATH   mirror the table to CSV
+// The mixed-move workload draws all five kinds with span-bounded wide moves
+// (migrate/reverse endpoints within --span positions, node_reverse within
+// --nspan node labels) — the configuration the incremental evaluator is
+// designed for; --span 0 restores the paper's unbounded draws. Beyond the
+// headline rate the bench reports a per-move-kind rate breakdown, a
+// dirtied-entries-per-move histogram over the mixed stream, and a
+// deterministic multi-chain annealing measurement (aggregate proposals/sec
+// of --chains derive_seed-keyed chains on a --threads pool, cross-checked
+// for bit-identity against a serial run of the same replica set).
+//
+//   --fast            CI budget: fewer iterations, skips the 256/512-GPU shapes
+//   --iters N         override the full-evaluation iteration count
+//   --seed N          heterogeneity universe seed (default 2024)
+//   --csv PATH        mirror the table to CSV (+ a _kinds.csv breakdown)
+//   --span N          wide-move span bound (default 4; 0 = unbounded)
+//   --nspan N         node_reverse span bound (default 1; 0 = unbounded)
+//   --chains N        multi-chain replica count (default 8)
+//   --threads N       pool size for the multi-chain run (default 8)
+//   --min-speedup32 X fail (exit 3) if any 32-GPU mixed speedup drops below X
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <limits>
@@ -19,7 +37,9 @@
 #include "cluster/topology.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "engine/thread_pool.h"
 #include "estimators/compute_profile.h"
+#include "estimators/incremental_latency.h"
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
 #include "search/mapping_search.h"
@@ -33,11 +53,27 @@ struct ShapeCase {
   int micro;
 };
 
+constexpr const char* kKindName[5] = {"migrate", "swap", "reverse", "node_swap", "node_reverse"};
+
+/// Histogram bucket upper bounds for dirtied decomposition entries per move
+/// (the last bucket is 65+).
+constexpr std::array<int, 5> kDirtBucketHi = {4, 8, 16, 32, 64};
+
+std::string fmt_hist(const std::array<long, 6>& h, long total) {
+  std::string out;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (i) out += "/";
+    out += std::to_string(total > 0 ? (100 * h[i] + total / 2) / total : 0);
+  }
+  return out;  // percent per bucket: <=4/<=8/<=16/<=32/<=64/65+
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  if (const auto unknown = cli.first_unknown({"fast", "iters", "seed", "csv"})) {
+  if (const auto unknown = cli.first_unknown({"fast", "iters", "seed", "csv", "span", "nspan",
+                                              "chains", "threads", "min-speedup32"})) {
     std::cerr << "unknown flag --" << *unknown << "\n";
     return 1;
   }
@@ -46,6 +82,12 @@ int main(int argc, char** argv) {
   const long full_iters = cli.get_int("iters", fast ? 4000 : 20000);
   const long inc_iters = full_iters * (fast ? 25 : 10);
   const std::string csv = cli.get_string("csv", "");
+  const double min_speedup32 = cli.get_double("min-speedup32", 0.0);
+  const int chains = std::max(1, cli.get_int("chains", 8));
+  const int threads = std::max(1, cli.get_int("threads", 8));
+  search::MoveSet moves;
+  moves.wide_span = cli.get_int("span", 4);
+  moves.node_span = cli.get_int("nspan", 1);
 
   std::vector<ShapeCase> cases = {
       {{4, 2, 4}, 2}, {{2, 8, 2}, 2}, {{8, 1, 4}, 2}, {{4, 4, 2}, 2},  // 32 GPUs
@@ -59,9 +101,18 @@ int main(int argc, char** argv) {
 
   const model::TrainingJob job{model::gpt_3_1b(), 512};
   // The two paths run different iteration counts (the incremental one needs
-  // more for a clean rate measurement), so each gets its own column.
-  common::Table table({"shape", "gpus", "full iters", "full s", "full mv/s", "incr iters",
-                       "incr s", "incr mv/s", "speedup", "match"});
+  // more for a clean rate measurement), so each is timed over its own run.
+  // vs_seed additionally scales by the measured seed-model/hoisted-model
+  // estimate() cost ratio (3282/2296 ns per call on pp4-tp2-dp4/32 GPUs, see
+  // BENCH_sa_throughput.json) for a rough comparison against the pre-PR-2
+  // allocating hot path.
+  const double seed_model_factor = 3282.0 / 2296.0;
+  common::Table table({"shape", "gpus", "full mv/s", "incr mv/s", "speedup", "vs seed", "match",
+                       "dirt hist %", "mc mv/s", "mc scale", "mc det"});
+  common::Table kinds_table({"shape", "kind", "mv/s", "mean dirt"});
+
+  engine::ThreadPool pool(threads);
+  double min_speedup_32gpu = std::numeric_limits<double>::infinity();
 
   for (const auto& c : cases) {
     const cluster::Topology topo(cluster::mid_range_cluster(c.pc.ways() / 8),
@@ -84,44 +135,137 @@ int main(int argc, char** argv) {
     parallel::Mapping m_full = parallel::Mapping::megatron_default(c.pc);
     const auto res_full = search::simulated_annealing(
         m_full, [&model](const parallel::Mapping& s) { return model.estimate(s); },
-        [gpn](parallel::Mapping& s, common::Rng& rng) {
-          parallel::apply_move(s, search::draw_mapping_move(s, rng, {}, gpn), gpn);
+        [gpn, &moves](parallel::Mapping& s, common::Rng& rng) {
+          parallel::apply_move(s, search::draw_mapping_move(s, rng, moves, gpn), gpn);
         },
         opt);
 
     // Trajectory check at the same iteration count, then a longer run for a
     // clean rate measurement of the incremental path.
     parallel::Mapping m_inc = parallel::Mapping::megatron_default(c.pc);
-    const auto res_inc_match = search::optimize_mapping(m_inc, model, gpn, opt);
+    const auto res_inc_match = search::optimize_mapping(m_inc, model, gpn, opt, moves);
     const bool match =
         res_inc_match.best_cost == res_full.best_cost && m_inc.raw() == m_full.raw();
 
     opt.max_iters = inc_iters;
     parallel::Mapping m_rate = parallel::Mapping::megatron_default(c.pc);
-    const auto res_inc = search::optimize_mapping(m_rate, model, gpn, opt);
+    const auto res_inc = search::optimize_mapping(m_rate, model, gpn, opt, moves);
+
+    // Per-move-kind rate breakdown: anneal with a single kind enabled (same
+    // span bounds), so each rate is a bulk measurement without per-move
+    // clock reads.
+    std::array<double, 5> kind_rate{};
+    for (int k = 0; k < 5; ++k) {
+      search::MoveSet one;
+      one.migrate = k == 0;
+      one.swap = k == 1;
+      one.reverse = k == 2;
+      one.node_swap = k == 3;
+      one.node_reverse = k == 4;
+      one.wide_span = moves.wide_span;
+      one.node_span = moves.node_span;
+      search::SaOptions kopt = opt;
+      kopt.max_iters = inc_iters / 5;
+      parallel::Mapping mk = parallel::Mapping::megatron_default(c.pc);
+      const auto kres = search::optimize_mapping(mk, model, gpn, kopt, one);
+      kind_rate[static_cast<std::size_t>(k)] =
+          static_cast<double>(kres.iters) / std::max(1e-9, kres.wall_s);
+    }
+
+    // Dirtied-entries histogram over the mixed move stream (untimed pass
+    // driving the evaluator directly so last_dirty() is visible).
+    std::array<long, 6> dirt_hist{};
+    const long probes = std::min<long>(inc_iters, 20000);
+    {
+      std::array<double, 5> kind_dirt_sum{};
+      std::array<long, 5> kind_count{};
+      estimators::IncrementalLatencyEvaluator eval(
+          model, parallel::Mapping::megatron_default(c.pc), gpn);
+      common::Rng rng(search::derive_seed(seed, c.pc.str()));
+      for (long i = 0; i < probes; ++i) {
+        const auto mv = search::draw_mapping_move(eval.mapping(), rng, moves, gpn);
+        eval.propose(mv);
+        const int dirt = eval.last_dirty().total();
+        std::size_t b = 0;
+        while (b < kDirtBucketHi.size() && dirt > kDirtBucketHi[b]) ++b;
+        ++dirt_hist[b];
+        kind_dirt_sum[static_cast<std::size_t>(mv.kind)] += dirt;
+        ++kind_count[static_cast<std::size_t>(mv.kind)];
+        if (rng.bernoulli(0.5)) {
+          eval.commit();
+        } else {
+          eval.rollback();
+        }
+      }
+      for (int k = 0; k < 5; ++k) {
+        const auto ks = static_cast<std::size_t>(k);
+        const double mean = kind_count[ks] > 0 ? kind_dirt_sum[ks] / kind_count[ks] : 0.0;
+        kinds_table.add_row({c.pc.str(), kKindName[ks], common::fmt_count(kind_rate[ks]),
+                             common::fmt_fixed(mean, 1)});
+      }
+    }
+
+    // Deterministic multi-chain annealing: `chains` derive_seed-keyed
+    // replicas on the pool, canonical best-of merge. Aggregate proposals/sec
+    // is the multi-chain throughput; a serial run of the identical replica
+    // set must reproduce the merged result bit for bit.
+    search::SaOptions mopt = opt;
+    mopt.max_iters = std::max<long>(1, inc_iters / chains);
+    parallel::Mapping m_mc = parallel::Mapping::megatron_default(c.pc);
+    const auto t_mc = std::chrono::steady_clock::now();
+    const auto res_mc =
+        search::optimize_mapping_multichain(m_mc, model, gpn, mopt, {chains, &pool}, moves);
+    const double mc_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_mc).count();
+    parallel::Mapping m_mc1 = parallel::Mapping::megatron_default(c.pc);
+    const auto res_mc1 =
+        search::optimize_mapping_multichain(m_mc1, model, gpn, mopt, {chains, nullptr}, moves);
+    const bool mc_det = res_mc.best_cost == res_mc1.best_cost && m_mc.raw() == m_mc1.raw();
 
     const double full_rate = static_cast<double>(res_full.iters) / res_full.wall_s;
     const double inc_rate = static_cast<double>(res_inc.iters) / res_inc.wall_s;
-    table.add_row({c.pc.str(), std::to_string(c.pc.ways()), std::to_string(res_full.iters),
-                   common::fmt_fixed(res_full.wall_s, 3), common::fmt_count(full_rate),
-                   std::to_string(res_inc.iters), common::fmt_fixed(res_inc.wall_s, 3),
-                   common::fmt_count(inc_rate), common::fmt_fixed(inc_rate / full_rate, 1) + "x",
-                   match ? "yes" : "NO"});
+    const double mc_rate = static_cast<double>(res_mc.iters) / mc_wall;
+    const double speedup = inc_rate / full_rate;
+    if (c.pc.ways() == 32) min_speedup_32gpu = std::min(min_speedup_32gpu, speedup);
+
+    table.add_row({c.pc.str(), std::to_string(c.pc.ways()), common::fmt_count(full_rate),
+                   common::fmt_count(inc_rate), common::fmt_fixed(speedup, 1) + "x",
+                   common::fmt_fixed(speedup * seed_model_factor, 1) + "x",
+                   match ? "yes" : "NO", fmt_hist(dirt_hist, probes),
+                   common::fmt_count(mc_rate), common::fmt_fixed(mc_rate / inc_rate, 2) + "x",
+                   mc_det ? "yes" : "NO"});
     if (!match) {
       std::cerr << "MISMATCH on " << c.pc.str()
                 << ": incremental and full-evaluation SA diverged\n";
       return 2;
     }
+    if (!mc_det) {
+      std::cerr << "MISMATCH on " << c.pc.str()
+                << ": multi-chain annealing is schedule-dependent\n";
+      return 2;
+    }
   }
 
   table.print(std::cout);
+  std::cout << "\nper-move-kind incremental rates (span=" << moves.wide_span
+            << ", nspan=" << moves.node_span << "):\n";
+  kinds_table.print(std::cout);
+  std::cout << "dirt hist buckets: % of moves with <=4/<=8/<=16/<=32/<=64/65+ dirtied entries\n";
   if (!csv.empty()) {
-    if (table.write_csv(csv)) {
-      std::cout << "(csv written to " << csv << ")\n";
+    const std::size_t dot = csv.find_last_of('.');
+    const std::string kcsv =
+        (dot == std::string::npos ? csv : csv.substr(0, dot)) + "_kinds.csv";
+    if (table.write_csv(csv) && kinds_table.write_csv(kcsv)) {
+      std::cout << "(csv written to " << csv << " and " << kcsv << ")\n";
     } else {
       std::cout << "(failed to write csv to " << csv << ")\n";
       return 1;
     }
+  }
+  if (min_speedup32 > 0.0 && min_speedup_32gpu < min_speedup32) {
+    std::cerr << "REGRESSION: 32-GPU mixed-move speedup " << min_speedup_32gpu
+              << "x fell below the stored floor " << min_speedup32 << "x\n";
+    return 3;
   }
   return 0;
 }

@@ -183,8 +183,8 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
       // Seeded from the candidate itself, not its rank, so serial and
       // parallel schedules anneal each candidate identically.
       sa.seed = search::derive_seed(opt_.sa.seed, s.cand.str());
-      const auto sa_res =
-          search::optimize_mapping(mapping, model, topo.gpus_per_node(), sa, opt_.moves);
+      const auto sa_res = search::optimize_mapping_multichain(
+          mapping, model, topo.gpus_per_node(), sa, {opt_.sa_chains, opt_.executor}, opt_.moves);
       auto& slot = sa_slots[static_cast<std::size_t>(i)];
       slot.best_cost = sa_res.best_cost;
       slot.mapping = std::move(mapping);

@@ -29,6 +29,14 @@ struct PipetteOptions {
   int sa_top_k = 6;
   search::SaOptions sa;
   search::MoveSet moves;
+  /// Independent SA chains per candidate (search::optimize_mapping_multichain),
+  /// merged canonically — lowest best cost, ties to the lowest chain index.
+  /// 1 reproduces the single-chain path bit for bit. Chain seeds derive from
+  /// the candidate seed and the chain index, so any executor and thread
+  /// count returns the same mapping; the chains fan out across `executor`
+  /// (the pool's parallel_for is caller-participating, so nesting under the
+  /// per-candidate fan-out is deadlock-free).
+  int sa_chains = 1;
   cluster::ProfileOptions profile;
   estimators::ComputeProfileOptions compute_profile;
   parallel::ConfigConstraints constraints;

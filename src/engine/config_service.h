@@ -6,7 +6,12 @@
 // Determinism: with an iteration-capped SA budget (SaOptions::max_iters set,
 // generous time limit), results are bit-identical for any thread count —
 // candidate scoring merges in canonical order and SA seeds derive from the
-// candidate, not the schedule (see PipetteOptions::executor).
+// candidate, not the schedule (see PipetteOptions::executor). This extends
+// to multi-chain annealing (PipetteOptions::sa_chains > 1): chain seeds
+// derive from the candidate seed and the chain index, chains ride the same
+// caller-participating pool as the per-candidate fan-out, and the best-of
+// merge is canonical — so a request's dedicated mapping is a pure function
+// of (topology fingerprint, job, options), never of pool size.
 #pragma once
 
 #include <future>

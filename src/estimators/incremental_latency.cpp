@@ -21,6 +21,7 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   const int n = cur_.num_workers();
   const int num_gpus = model.bw_->num_gpus();
   num_nodes_ = std::max(1, (num_gpus + model.links_.gpus_per_node - 1) / model.links_.gpus_per_node);
+  num_groups_ = pp_ * tp_;
   pair_stride_ = num_nodes_ * num_nodes_;
   rounds_ = static_cast<double>(model.nmb_) / pc.pp;
   flow_bytes_ = model.pp_msg_bytes_ / pc.tp;
@@ -40,10 +41,16 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
       }
     }
   }
-  node_of_gpu_.resize(static_cast<std::size_t>(num_gpus));
-  for (int g = 0; g < num_gpus; ++g) {
+  // Both lookups must cover every GPU id a node-granular move can produce
+  // (whole move-node blocks, which may extend past the worker count when the
+  // final block is partial).
+  const int move_nodes = std::max(1, (n + move_gpn_ - 1) / move_gpn_);
+  const int gpu_ids = std::max(num_gpus, move_nodes * move_gpn_);
+  node_of_gpu_.resize(static_cast<std::size_t>(gpu_ids));
+  for (int g = 0; g < gpu_ids; ++g) {
     node_of_gpu_[static_cast<std::size_t>(g)] = g / model.links_.gpus_per_node;
   }
+  inv_pos_.assign(static_cast<std::size_t>(gpu_ids), -1);
 
   layers_.resize(static_cast<std::size_t>(pp_));
   c_.resize(static_cast<std::size_t>(pp_));
@@ -66,11 +73,12 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
 
   const int cells = pp_ * dp_;
   const int hops = std::max(0, pp_ - 1);
-  const int groups = pp_ * tp_;
+  const int groups = num_groups_;
   const int flows = hops * dp_ * tp_;
   tp_term_.assign(static_cast<std::size_t>(cells), 0.0);
   block_.assign(static_cast<std::size_t>(pp_), 0.0);
   hop_.assign(static_cast<std::size_t>(hops * dp_), 0.0);
+  path_.assign(static_cast<std::size_t>(dp_), 0.0);
   flow_pair_.assign(static_cast<std::size_t>(flows), -1);
   pair_count_.assign(static_cast<std::size_t>(hops) * static_cast<std::size_t>(pair_stride_), 0);
   g_min_intra_.assign(static_cast<std::size_t>(groups), 0.0);
@@ -79,8 +87,12 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   g_num_nodes_.assign(static_cast<std::size_t>(groups), 0);
   g_nodes_.assign(static_cast<std::size_t>(groups * dp_), 0);
   node_flows_.assign(static_cast<std::size_t>(num_nodes_), 0);
-  g_flows_key_.assign(static_cast<std::size_t>(groups), -1);
-  g_t_memo_.assign(static_cast<std::size_t>(groups), 0.0);
+  g_term_.assign(static_cast<std::size_t>(groups), 0.0);
+  g_flows_.assign(static_cast<std::size_t>(groups), -1);
+  node_groups_.assign(static_cast<std::size_t>(num_nodes_) * static_cast<std::size_t>(groups), 0);
+  node_groups_len_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  node_group_pos_.assign(static_cast<std::size_t>(groups) * static_cast<std::size_t>(num_nodes_),
+                         -1);
 
   stamp_cell_.assign(static_cast<std::size_t>(cells), 0);
   stamp_stage_.assign(static_cast<std::size_t>(pp_), 0);
@@ -88,16 +100,28 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   stamp_flow_.assign(static_cast<std::size_t>(flows), 0);
   stamp_col_.assign(static_cast<std::size_t>(hops * dp_), 0);
   stamp_pair_.assign(pair_count_.size(), 0);
+  stamp_path_.assign(static_cast<std::size_t>(dp_), 0);
+  stamp_term_.assign(static_cast<std::size_t>(groups), 0);
+  stamp_node_.assign(static_cast<std::size_t>(num_nodes_), 0);
   dirty_cells_.reserve(static_cast<std::size_t>(cells));
   dirty_stages_.reserve(static_cast<std::size_t>(pp_));
   dirty_groups_.reserve(static_cast<std::size_t>(groups));
   dirty_flows_.reserve(static_cast<std::size_t>(flows));
   dirty_cols_.reserve(static_cast<std::size_t>(hops * dp_));
+  dirty_paths_.reserve(static_cast<std::size_t>(dp_));
+  dirty_terms_.reserve(static_cast<std::size_t>(groups));
+  changed_nodes_.reserve(static_cast<std::size_t>(num_nodes_));
   changed_pairs_.reserve(static_cast<std::size_t>(2 * std::max(1, flows)));
   touched_pos_.reserve(static_cast<std::size_t>(n));
+  undo_gpu_.reserve(static_cast<std::size_t>(n));
+  new_gpu_.reserve(static_cast<std::size_t>(n));
   undo_tp_.resize(static_cast<std::size_t>(cells));
   undo_block_.resize(static_cast<std::size_t>(pp_));
   undo_hop_.resize(static_cast<std::size_t>(hops * dp_));
+  undo_path_.resize(static_cast<std::size_t>(dp_));
+  undo_term_.resize(static_cast<std::size_t>(groups));
+  undo_term_flows_.resize(static_cast<std::size_t>(groups));
+  undo_flow_pair_.resize(static_cast<std::size_t>(std::max(1, flows)));
   pair_deltas_.reserve(static_cast<std::size_t>(2 * std::max(1, flows)));
   undo_g_min_intra_.resize(static_cast<std::size_t>(groups));
   undo_g_min_inter_.resize(static_cast<std::size_t>(groups));
@@ -107,6 +131,11 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   scratch_gpu_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_node_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_counts_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  scratch_row_.resize(static_cast<std::size_t>(groups));
+  // The relabel-aware node-move kernel treats a node move as a label
+  // permutation σ of the cost model's node blocks — valid only when the move
+  // blocks coincide with them.
+  node_sigma_ok_ = move_gpn_ == model.links_.gpus_per_node;
 
   full_recompute();
 }
@@ -116,8 +145,10 @@ void IncrementalLatencyEvaluator::recompute_tp_cell(int stage, int dpr) {
   // (same pair order, so the same mins); for tp < 2 the ring term is zero
   // either way.
   const auto* bw = model_->bw_;
+  const int* perm = cur_.raw().data();
+  const int wbase = (dpr * pp_ + stage) * tp_;  // members are consecutive in y
   for (int y = 0; y < tp_; ++y) {
-    const int g = cur_.gpu_of(stage, y, dpr);
+    const int g = perm[wbase + y];
     scratch_gpu_[static_cast<std::size_t>(y)] = g;
     scratch_node_[static_cast<std::size_t>(y)] = node_of_gpu_[static_cast<std::size_t>(g)];
   }
@@ -155,10 +186,14 @@ void IncrementalLatencyEvaluator::reprice_hop_column(int hop, int dpr) {
   const double intra_lat = model_->links_.intra_latency_s;
   const double inter_lat = model_->links_.inter_latency_s;
   const int base = (hop * dp_ + dpr) * tp_;
+  // Worker positions of the column's flow endpoints: (dpr, hop, y) and
+  // (dpr, hop + 1, y) are tp_ apart and consecutive in y.
+  const int* perm = cur_.raw().data();
+  const int wbase = (dpr * pp_ + hop) * tp_;
   double h = 0.0;
   for (int y = 0; y < tp_; ++y) {
-    const int g1 = cur_.gpu_of(hop, y, dpr);
-    const int g2 = cur_.gpu_of(hop + 1, y, dpr);
+    const int g1 = perm[wbase + y];
+    const int g2 = perm[wbase + tp_ + y];
     const int pair = flow_pair_[static_cast<std::size_t>(base + y)];
     double fwd, bwd;
     if (pair < 0) {
@@ -175,13 +210,19 @@ void IncrementalLatencyEvaluator::reprice_hop_column(int hop, int dpr) {
   hop_[static_cast<std::size_t>(hop * dp_ + dpr)] = h;
 }
 
+void IncrementalLatencyEvaluator::recompute_path(int dpr) {
+  // hop_ is [hop*dp + dpr]: replica dpr's column starts at dpr with stride
+  // dp_. Same fixed blocking as the full model's pp_comm_term fold.
+  path_[static_cast<std::size_t>(dpr)] = detail::blocked_sum(hop_.data() + dpr, pp_ - 1, dp_);
+}
+
 void IncrementalLatencyEvaluator::recompute_group(int stage, int tpr) {
   const int gidx = stage * tp_ + tpr;
-  for (int z = 0; z < dp_; ++z) {
-    const int g = cur_.gpu_of(stage, tpr, z);
-    scratch_gpu_[static_cast<std::size_t>(z)] = g;
-    scratch_node_[static_cast<std::size_t>(z)] = node_of_gpu_[static_cast<std::size_t>(g)];
-  }
+  // Bandwidth mins first (also hoists the members into scratch_gpu_/_node_),
+  // then the census from the hoisted nodes. The two halves are independent,
+  // so sharing the min scan with the σ kernel keeps one copy of the pair
+  // order the bit-identity contract depends on.
+  recompute_group_mins(stage, tpr);
   int* nodes = &g_nodes_[static_cast<std::size_t>(gidx * dp_)];
   int num = 0;
   for (int z = 0; z < dp_; ++z) {
@@ -192,6 +233,25 @@ void IncrementalLatencyEvaluator::recompute_group(int stage, int tpr) {
   for (int i = 0; i < num; ++i) {
     max_same = std::max(max_same, scratch_counts_[static_cast<std::size_t>(nodes[i])]);
     scratch_counts_[static_cast<std::size_t>(nodes[i])] = 0;
+  }
+  g_max_same_[static_cast<std::size_t>(gidx)] = max_same;
+  g_num_nodes_[static_cast<std::size_t>(gidx)] = num;
+}
+
+void IncrementalLatencyEvaluator::recompute_group_mins(int stage, int tpr) {
+  // Re-derives only the profiled bandwidth mins of group (stage, tpr),
+  // hoisting the members (positions stride pp_·tp_ in z) into scratch. This
+  // is the whole group reprice for the σ kernel — a node move permutes node
+  // labels, so the census is relabelled in place by the caller — and the
+  // first half of recompute_group, so both paths share the exact pair order
+  // and stay bit-identical to the full model.
+  const int gidx = stage * tp_ + tpr;
+  const int* perm = cur_.raw().data();
+  const int wstride = pp_ * tp_;
+  for (int z = 0, w = stage * tp_ + tpr; z < dp_; ++z, w += wstride) {
+    const int g = perm[w];
+    scratch_gpu_[static_cast<std::size_t>(z)] = g;
+    scratch_node_[static_cast<std::size_t>(z)] = node_of_gpu_[static_cast<std::size_t>(g)];
   }
   const auto* bw = model_->bw_;
   double min_intra = std::numeric_limits<double>::infinity();
@@ -211,75 +271,147 @@ void IncrementalLatencyEvaluator::recompute_group(int stage, int tpr) {
   }
   g_min_intra_[static_cast<std::size_t>(gidx)] = min_intra;
   g_min_inter_[static_cast<std::size_t>(gidx)] = min_inter;
-  g_max_same_[static_cast<std::size_t>(gidx)] = max_same;
-  g_num_nodes_[static_cast<std::size_t>(gidx)] = num;
-  g_flows_key_[static_cast<std::size_t>(gidx)] = -1;  // invalidate the memo
+  g_flows_[static_cast<std::size_t>(gidx)] = -1;  // force a term re-derivation
 }
 
-void IncrementalLatencyEvaluator::add_group_flows(int gidx, int delta) {
-  const int num = g_num_nodes_[static_cast<std::size_t>(gidx)];
+void IncrementalLatencyEvaluator::swap_node_side(int a, int b) {
+  if (a == b) return;
+  const auto as = static_cast<std::size_t>(a), bs = static_cast<std::size_t>(b);
+  std::swap(node_flows_[as], node_flows_[bs]);
+  const int la = node_groups_len_[as], lb = node_groups_len_[bs];
+  int* ra = &node_groups_[as * static_cast<std::size_t>(num_groups_)];
+  int* rb = &node_groups_[bs * static_cast<std::size_t>(num_groups_)];
+  for (int i = 0; i < la; ++i) {
+    node_group_pos_[static_cast<std::size_t>(ra[i]) * static_cast<std::size_t>(num_nodes_) + as] =
+        -1;
+  }
+  for (int i = 0; i < lb; ++i) {
+    node_group_pos_[static_cast<std::size_t>(rb[i]) * static_cast<std::size_t>(num_nodes_) + bs] =
+        -1;
+  }
+  for (int i = 0; i < la; ++i) scratch_row_[static_cast<std::size_t>(i)] = ra[i];
+  for (int i = 0; i < lb; ++i) ra[i] = rb[i];
+  for (int i = 0; i < la; ++i) rb[i] = scratch_row_[static_cast<std::size_t>(i)];
+  node_groups_len_[as] = lb;
+  node_groups_len_[bs] = la;
+  for (int i = 0; i < lb; ++i) {
+    node_group_pos_[static_cast<std::size_t>(ra[i]) * static_cast<std::size_t>(num_nodes_) + as] =
+        i;
+  }
+  for (int i = 0; i < la; ++i) {
+    node_group_pos_[static_cast<std::size_t>(rb[i]) * static_cast<std::size_t>(num_nodes_) + bs] =
+        i;
+  }
+}
+
+void IncrementalLatencyEvaluator::apply_node_sigma() {
+  using parallel::MoveKind;
+  if (pending_move_.kind == MoveKind::kNodeSwap) {
+    swap_node_side(pending_move_.a, pending_move_.b);
+  } else {
+    const int lo = std::min(pending_move_.a, pending_move_.b);
+    const int hi = std::max(pending_move_.a, pending_move_.b);
+    for (int i = 0; lo + i < hi - i; ++i) swap_node_side(lo + i, hi - i);
+  }
+}
+
+void IncrementalLatencyEvaluator::recompute_group_term(int gidx) {
+  const auto gi = static_cast<std::size_t>(gidx);
+  const int num = g_num_nodes_[gi];
+  const int* nodes = &g_nodes_[gi * static_cast<std::size_t>(dp_)];
+  int flows = 1;
+  for (int i = 0; i < num; ++i) {
+    flows = std::max(flows, node_flows_[static_cast<std::size_t>(nodes[i])]);
+  }
+  // The term is a pure function of the group stats and the sharing factor;
+  // when the factor is unchanged (and the stats were not invalidated, which
+  // resets g_flows_ to -1), the cached term is still exact.
+  if (g_flows_[gi] == flows) return;
+  const double msg = msg_[static_cast<std::size_t>(gidx / tp_)];
+  double t = 0.0;
+  if (g_max_same_[gi] > 1) {
+    const auto ni = static_cast<double>(g_max_same_[gi]);
+    t += 4.0 * (ni - 1.0) * msg / (ni * g_min_intra_[gi]);
+  }
+  if (num > 1) {
+    const auto nn = static_cast<double>(num);
+    t += 2.0 * (nn - 1.0) * msg / (nn * g_min_inter_[gi] / flows);
+  }
+  g_flows_[gi] = flows;
+  g_term_[gi] = t;
+}
+
+void IncrementalLatencyEvaluator::update_group_flows(int gidx, const int* nodes, int num,
+                                                     int delta) {
+  const auto gi = static_cast<std::size_t>(gidx);
   if (num < 2) return;  // only node-crossing rings occupy a NIC
-  const int* nodes = &g_nodes_[static_cast<std::size_t>(gidx * dp_)];
-  for (int i = 0; i < num; ++i) node_flows_[static_cast<std::size_t>(nodes[i])] += delta;
+  for (int i = 0; i < num; ++i) {
+    const int n = nodes[i];
+    const auto ns = static_cast<std::size_t>(n);
+    if (stamp_node_[ns] != epoch_) {
+      stamp_node_[ns] = epoch_;
+      changed_nodes_.push_back({n, node_flows_[ns]});
+    }
+    node_flows_[ns] += delta;
+    if (delta > 0) {
+      node_group_pos_[gi * static_cast<std::size_t>(num_nodes_) + ns] = node_groups_len_[ns];
+      node_groups_[ns * static_cast<std::size_t>(num_groups_) +
+                   static_cast<std::size_t>(node_groups_len_[ns]++)] = gidx;
+    } else {
+      const int pos = node_group_pos_[gi * static_cast<std::size_t>(num_nodes_) + ns];
+      const int last = --node_groups_len_[ns];
+      const int moved =
+          node_groups_[ns * static_cast<std::size_t>(num_groups_) + static_cast<std::size_t>(last)];
+      node_groups_[ns * static_cast<std::size_t>(num_groups_) + static_cast<std::size_t>(pos)] =
+          moved;
+      node_group_pos_[static_cast<std::size_t>(moved) * static_cast<std::size_t>(num_nodes_) + ns] =
+          pos;
+      node_group_pos_[gi * static_cast<std::size_t>(num_nodes_) + ns] = -1;
+    }
+  }
+}
+
+void IncrementalLatencyEvaluator::mark_term_dirty(int gidx) {
+  const auto gi = static_cast<std::size_t>(gidx);
+  if (stamp_term_[gi] == epoch_) return;
+  stamp_term_[gi] = epoch_;
+  undo_term_[dirty_terms_.size()] = g_term_[gi];
+  undo_term_flows_[dirty_terms_.size()] = g_flows_[gi];
+  dirty_terms_.push_back(gidx);
 }
 
 double IncrementalLatencyEvaluator::reduce() const {
-  // Fold the cached tables in the exact order PipetteLatencyModel::estimate
-  // uses: per-stage blocks in stage order, hop sums in hop order, and the
-  // same max/add/divide expressions, so the result is bit-identical.
-  double sum_blocks = 0.0;
+  // Fold the cached decomposition exactly as PipetteLatencyModel::estimate
+  // does: stage blocks with the shared fixed blocking (detail::blocked_sum),
+  // cached per-replica path sums (same blocking), and the same max/add/divide
+  // expressions, so the result is bit-identical. Everything priced here was
+  // already recomputed along the dirty paths — this is O(pp + dp + pp·tp)
+  // cached reads.
   double max_block = 0.0;
   for (int x = 0; x < pp_; ++x) {
-    const double b = block_[static_cast<std::size_t>(x)];
-    sum_blocks += b;
-    max_block = std::max(max_block, b);
+    max_block = std::max(max_block, block_[static_cast<std::size_t>(x)]);
   }
+  const double sum_blocks = detail::blocked_sum(block_.data(), pp_);
   double pp_comm = 0.0;
   for (int z = 0; z < dp_; ++z) {
-    double path = 0.0;
-    for (int e = 0; e + 1 < pp_; ++e) path += hop_[static_cast<std::size_t>(e * dp_ + z)];
-    pp_comm = std::max(pp_comm, path);
+    pp_comm = std::max(pp_comm, path_[static_cast<std::size_t>(z)]);
   }
   const double bubble = std::max(sum_blocks + ppcomm_scale_ * pp_comm, pp_ * max_block);
   const double straggler = (pp_ - 1) * max_block * fill_scale_;
   double dp_comm = 0.0;
   if (dp_ >= 2) {
-    for (int stage = 0; stage < pp_; ++stage) {
-      const double msg = msg_[static_cast<std::size_t>(stage)];
-      for (int y = 0; y < tp_; ++y) {
-        const auto gidx = static_cast<std::size_t>(stage * tp_ + y);
-        const int num = g_num_nodes_[gidx];
-        const int* nodes = &g_nodes_[gidx * static_cast<std::size_t>(dp_)];
-        int flows = 1;
-        for (int i = 0; i < num; ++i) {
-          flows = std::max(flows, node_flows_[static_cast<std::size_t>(nodes[i])]);
-        }
-        // The ring term depends on the (rarely changing) sharing factor and
-        // the group stats; memoize on the factor, recompute on stats change.
-        double t;
-        if (g_flows_key_[gidx] == flows) {
-          t = g_t_memo_[gidx];
-        } else {
-          t = 0.0;
-          if (g_max_same_[gidx] > 1) {
-            const auto ni = static_cast<double>(g_max_same_[gidx]);
-            t += 4.0 * (ni - 1.0) * msg / (ni * g_min_intra_[gidx]);
-          }
-          if (num > 1) {
-            const auto nn = static_cast<double>(num);
-            t += 2.0 * (nn - 1.0) * msg / (nn * g_min_inter_[gidx] / flows);
-          }
-          g_flows_key_[gidx] = flows;
-          g_t_memo_[gidx] = t;
-        }
-        dp_comm = std::max(dp_comm, t);
-      }
+    for (int g = 0; g < num_groups_; ++g) {
+      dp_comm = std::max(dp_comm, g_term_[static_cast<std::size_t>(g)]);
     }
   }
   return bubble * rounds_ + straggler + dp_comm;
 }
 
 void IncrementalLatencyEvaluator::full_recompute() {
+  std::fill(inv_pos_.begin(), inv_pos_.end(), -1);
+  for (int p = 0; p < cur_.num_workers(); ++p) {
+    inv_pos_[static_cast<std::size_t>(cur_.gpu_at(p))] = p;
+  }
   for (int x = 0; x < pp_; ++x) {
     for (int z = 0; z < dp_; ++z) recompute_tp_cell(x, z);
     recompute_block(x);
@@ -299,47 +431,103 @@ void IncrementalLatencyEvaluator::full_recompute() {
   for (int e = 0; e + 1 < pp_; ++e) {
     for (int z = 0; z < dp_; ++z) reprice_hop_column(e, z);
   }
+  for (int z = 0; z < dp_; ++z) {
+    path_[static_cast<std::size_t>(z)] = pp_ > 1 ? detail::blocked_sum(hop_.data() + z, pp_ - 1, dp_) : 0.0;
+  }
   std::fill(node_flows_.begin(), node_flows_.end(), 0);
+  std::fill(node_groups_len_.begin(), node_groups_len_.end(), 0);
+  std::fill(node_group_pos_.begin(), node_group_pos_.end(), -1);
   for (int x = 0; x < pp_; ++x) {
     for (int y = 0; y < tp_; ++y) {
       recompute_group(x, y);
-      add_group_flows(x * tp_ + y, +1);
+      const int gidx = x * tp_ + y;
+      update_group_flows(gidx, &g_nodes_[static_cast<std::size_t>(gidx * dp_)],
+                         g_num_nodes_[static_cast<std::size_t>(gidx)], +1);
     }
   }
+  for (int g = 0; g < num_groups_; ++g) recompute_group_term(g);
+  changed_nodes_.clear();
   cost_ = reduce();
   pending_ = false;
 }
 
+void IncrementalLatencyEvaluator::collect_node_block(int node, int delta_nodes) {
+  const int base = node * move_gpn_;
+  const int delta = delta_nodes * move_gpn_;
+  for (int o = 0; o < move_gpn_; ++o) {
+    const int g = base + o;
+    const int p = inv_pos_[static_cast<std::size_t>(g)];
+    if (p < 0) continue;
+    touched_pos_.push_back(p);
+    undo_gpu_.push_back(g);
+    new_gpu_.push_back(g + delta);
+  }
+}
+
 void IncrementalLatencyEvaluator::apply_and_collect(const parallel::MappingMoveDesc& mv) {
-  // Equivalent to parallel::touched_positions + parallel::apply_move but in
-  // one pass (node moves pay the per-element node division once, not twice).
+  // Equivalent to parallel::touched_positions + parallel::apply_move, but
+  // node moves walk the affected node blocks through the maintained inverse
+  // permutation — O(touched), no whole-permutation scan, no divisions — and
+  // every path records the pre-move GPUs so rollback is a plain write-back.
   using parallel::MoveKind;
   touched_pos_.clear();
+  undo_gpu_.clear();
   switch (mv.kind) {
     case MoveKind::kSwap:
       if (mv.a != mv.b) {
         touched_pos_.push_back(mv.a);
         touched_pos_.push_back(mv.b);
+        undo_gpu_.push_back(cur_.gpu_at(mv.a));
+        undo_gpu_.push_back(cur_.gpu_at(mv.b));
+        cur_.swap(mv.a, mv.b);
+        inv_pos_[static_cast<std::size_t>(cur_.gpu_at(mv.a))] = mv.a;
+        inv_pos_[static_cast<std::size_t>(cur_.gpu_at(mv.b))] = mv.b;
       }
-      cur_.swap(mv.a, mv.b);
       break;
     case MoveKind::kMigrate:
     case MoveKind::kReverse: {
       const int lo = std::min(mv.a, mv.b), hi = std::max(mv.a, mv.b);
-      for (int p = lo; p <= hi && lo != hi; ++p) touched_pos_.push_back(p);
+      if (lo == hi) break;
+      for (int p = lo; p <= hi; ++p) {
+        touched_pos_.push_back(p);
+        undo_gpu_.push_back(cur_.gpu_at(p));
+      }
       if (mv.kind == MoveKind::kMigrate) {
         cur_.migrate(mv.a, mv.b);
       } else {
         cur_.reverse(mv.a, mv.b);
       }
+      for (int p = lo; p <= hi; ++p) {
+        inv_pos_[static_cast<std::size_t>(cur_.gpu_at(p))] = p;
+      }
       break;
     }
     case MoveKind::kNodeSwap:
-      cur_.swap_nodes(mv.a, mv.b, move_gpn_, touched_pos_);
+    case MoveKind::kNodeReverse: {
+      new_gpu_.clear();
+      if (mv.kind == MoveKind::kNodeSwap) {
+        if (mv.a != mv.b) {
+          collect_node_block(mv.a, mv.b - mv.a);
+          collect_node_block(mv.b, mv.a - mv.b);
+        }
+      } else {
+        const int lo = std::min(mv.a, mv.b), hi = std::max(mv.a, mv.b);
+        for (int node = lo; node <= hi; ++node) {
+          const int d = lo + hi - 2 * node;
+          if (d != 0) collect_node_block(node, d);
+        }
+      }
+      // Clear stale inverse entries first: with partial node blocks the old
+      // and new GPU id sets need not coincide.
+      for (std::size_t i = 0; i < touched_pos_.size(); ++i) {
+        inv_pos_[static_cast<std::size_t>(undo_gpu_[i])] = -1;
+      }
+      for (std::size_t i = 0; i < touched_pos_.size(); ++i) {
+        cur_.set_gpu_at(touched_pos_[i], new_gpu_[i]);
+        inv_pos_[static_cast<std::size_t>(new_gpu_[i])] = touched_pos_[i];
+      }
       break;
-    case MoveKind::kNodeReverse:
-      cur_.reverse_nodes(mv.a, mv.b, move_gpn_, touched_pos_);
-      break;
+    }
   }
 }
 
@@ -347,7 +535,26 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   assert(!pending_ && "propose() requires a commit() or rollback() first");
   pending_ = true;
   pending_move_ = mv;
+  pending_sigma_ = false;
+  // Clear the previous proposal's dirty lists up front: a no-op proposal
+  // must leave them empty too, so its rollback restores nothing.
+  dirty_cells_.clear();
+  dirty_stages_.clear();
+  dirty_groups_.clear();
+  dirty_flows_.clear();
+  dirty_cols_.clear();
+  dirty_paths_.clear();
+  dirty_terms_.clear();
+  changed_nodes_.clear();
+  changed_pairs_.clear();
+  pair_deltas_.clear();
   apply_and_collect(mv);
+  if (touched_pos_.empty()) {
+    // Self-inverse draw (a == b): the mapping is unchanged, so the cost is
+    // too.
+    pending_cost_ = cost_;
+    return pending_cost_;
+  }
 
   if (++epoch_ == 0) {  // stamp wrap-around: invalidate all stamps once
     std::fill(stamp_cell_.begin(), stamp_cell_.end(), 0u);
@@ -356,15 +563,11 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
     std::fill(stamp_flow_.begin(), stamp_flow_.end(), 0u);
     std::fill(stamp_col_.begin(), stamp_col_.end(), 0u);
     std::fill(stamp_pair_.begin(), stamp_pair_.end(), 0u);
+    std::fill(stamp_path_.begin(), stamp_path_.end(), 0u);
+    std::fill(stamp_term_.begin(), stamp_term_.end(), 0u);
+    std::fill(stamp_node_.begin(), stamp_node_.end(), 0u);
     epoch_ = 1;
   }
-  dirty_cells_.clear();
-  dirty_stages_.clear();
-  dirty_groups_.clear();
-  dirty_flows_.clear();
-  dirty_cols_.clear();
-  changed_pairs_.clear();
-  pair_deltas_.clear();
   // tp < 2 leaves every TP term at zero and every block at C forever, and
   // dp < 2 zeroes the whole DP term — skip the respective bookkeeping.
   const bool track_cells = tp_ >= 2;
@@ -388,7 +591,7 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       const int gidx = x * tp_ + y;
       if (stamp_group_[static_cast<std::size_t>(gidx)] != epoch_) {
         stamp_group_[static_cast<std::size_t>(gidx)] = epoch_;
-        dirty_groups_.push_back({gidx, x, y});
+        dirty_groups_.push_back({gidx, x, y, false});
       }
     }
     // The flow into this worker's stage and the flow out of it, both for
@@ -397,14 +600,14 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       const int fl = ((x - 1) * dp_ + z) * tp_ + y;
       if (stamp_flow_[static_cast<std::size_t>(fl)] != epoch_) {
         stamp_flow_[static_cast<std::size_t>(fl)] = epoch_;
-        dirty_flows_.push_back({fl, x - 1, z, y});
+        dirty_flows_.push_back({fl, x - 1, z, p - tp_});
       }
     }
     if (x + 1 < pp_) {
       const int fl = (x * dp_ + z) * tp_ + y;
       if (stamp_flow_[static_cast<std::size_t>(fl)] != epoch_) {
         stamp_flow_[static_cast<std::size_t>(fl)] = epoch_;
-        dirty_flows_.push_back({fl, x, z, y});
+        dirty_flows_.push_back({fl, x, z, p});
       }
     }
   }
@@ -422,12 +625,16 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
 
   // Pipeline flows: refresh each touched flow's ordered node pair and the
   // per-(hop, pair) sharing counts, then reprice exactly the columns that
-  // hold a touched flow or a flow whose sharing count changed.
-  for (const DirtyFlow& df : dirty_flows_) {
-    const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop, df.tpr, df.dpr))];
-    const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop + 1, df.tpr, df.dpr))];
+  // hold a touched flow or a flow whose sharing count changed, and refold
+  // exactly the per-replica path sums holding a repriced column.
+  const int* perm = cur_.raw().data();
+  for (std::size_t fi = 0; fi < dirty_flows_.size(); ++fi) {
+    const DirtyFlow& df = dirty_flows_[fi];
+    const int n1 = node_of_gpu_[static_cast<std::size_t>(perm[df.w1])];
+    const int n2 = node_of_gpu_[static_cast<std::size_t>(perm[df.w1 + tp_])];
     const int new_pair = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
     const int old_pair = flow_pair_[static_cast<std::size_t>(df.idx)];
+    undo_flow_pair_[fi] = old_pair;
     const int col = df.hop * dp_ + df.dpr;
     if (stamp_col_[static_cast<std::size_t>(col)] != epoch_) {
       stamp_col_[static_cast<std::size_t>(col)] = epoch_;
@@ -472,23 +679,90 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
     undo_hop_[i] = hop_[static_cast<std::size_t>(dirty_cols_[i].idx)];
     reprice_hop_column(dirty_cols_[i].hop, dirty_cols_[i].dpr);
-  }
-
-  for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
-    const DirtyGroup& dg = dirty_groups_[i];
-    const auto gidx = static_cast<std::size_t>(dg.gidx);
-    undo_g_min_intra_[i] = g_min_intra_[gidx];
-    undo_g_min_inter_[i] = g_min_inter_[gidx];
-    undo_g_max_same_[i] = g_max_same_[gidx];
-    undo_g_num_nodes_[i] = g_num_nodes_[gidx];
-    for (int j = 0; j < g_num_nodes_[gidx]; ++j) {
-      undo_g_nodes_[i * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)] =
-          g_nodes_[gidx * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)];
+    const int z = dirty_cols_[i].dpr;
+    if (stamp_path_[static_cast<std::size_t>(z)] != epoch_) {
+      stamp_path_[static_cast<std::size_t>(z)] = epoch_;
+      undo_path_[dirty_paths_.size()] = path_[static_cast<std::size_t>(z)];
+      dirty_paths_.push_back(z);
     }
-    add_group_flows(dg.gidx, -1);
-    recompute_group(dg.stage, dg.tpr);
-    add_group_flows(dg.gidx, +1);
   }
+  for (int z : dirty_paths_) recompute_path(z);
+
+  // DP rings: recompute the stats of the groups the move touched. Node moves
+  // take the relabel-aware kernel: the move is a label permutation σ, so the
+  // node-side state permutes wholesale, every census is relabelled in place,
+  // each ring's NIC-sharing factor is invariant, and only the bandwidth mins
+  // are re-derived. String moves take the generic path: a group's NIC
+  // occupancy (node_flows_) moves only when its member-node census changed,
+  // and a moved count dirties other rings' terms only when it did not cancel
+  // out within the proposal — the node→groups index then marks exactly the
+  // rings sharing that node.
+  using parallel::MoveKind;
+  const bool sigma_move =
+      node_sigma_ok_ && track_groups &&
+      (mv.kind == MoveKind::kNodeSwap || mv.kind == MoveKind::kNodeReverse);
+  pending_sigma_ = sigma_move;
+  if (sigma_move) {
+    apply_node_sigma();
+    const int s_lo = std::min(mv.a, mv.b), s_hi = std::max(mv.a, mv.b);
+    const bool is_swap = mv.kind == MoveKind::kNodeSwap;
+    for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
+      DirtyGroup& dg = dirty_groups_[i];
+      const auto gidx = static_cast<std::size_t>(dg.gidx);
+      undo_g_min_intra_[i] = g_min_intra_[gidx];
+      undo_g_min_inter_[i] = g_min_inter_[gidx];
+      undo_g_max_same_[i] = g_max_same_[gidx];
+      const int num = g_num_nodes_[gidx];
+      undo_g_num_nodes_[i] = num;
+      int* nodes = &g_nodes_[gidx * static_cast<std::size_t>(dp_)];
+      int* old_nodes = &undo_g_nodes_[i * static_cast<std::size_t>(dp_)];
+      for (int j = 0; j < num; ++j) {
+        const int n = nodes[j];
+        old_nodes[j] = n;
+        if (is_swap) {
+          nodes[j] = n == s_lo ? s_hi : (n == s_hi ? s_lo : n);
+        } else if (n >= s_lo && n <= s_hi) {
+          nodes[j] = s_lo + s_hi - n;
+        }
+      }
+      mark_term_dirty(dg.gidx);
+      recompute_group_mins(dg.stage, dg.tpr);
+      dg.census_changed = false;  // σ already moved the node-side state
+    }
+  } else {
+    for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
+      DirtyGroup& dg = dirty_groups_[i];
+      const auto gidx = static_cast<std::size_t>(dg.gidx);
+      undo_g_min_intra_[i] = g_min_intra_[gidx];
+      undo_g_min_inter_[i] = g_min_inter_[gidx];
+      undo_g_max_same_[i] = g_max_same_[gidx];
+      const int old_num = g_num_nodes_[gidx];
+      undo_g_num_nodes_[i] = old_num;
+      const int* cur_nodes = &g_nodes_[gidx * static_cast<std::size_t>(dp_)];
+      int* old_nodes = &undo_g_nodes_[i * static_cast<std::size_t>(dp_)];
+      for (int j = 0; j < old_num; ++j) old_nodes[j] = cur_nodes[j];
+      mark_term_dirty(dg.gidx);  // saves the committed term before any change
+      recompute_group(dg.stage, dg.tpr);
+      const int new_num = g_num_nodes_[gidx];
+      bool census_changed = new_num != old_num;
+      for (int j = 0; !census_changed && j < new_num; ++j) {
+        census_changed = cur_nodes[j] != old_nodes[j];
+      }
+      dg.census_changed = census_changed;
+      if (census_changed) {
+        update_group_flows(dg.gidx, old_nodes, old_num, -1);
+        update_group_flows(dg.gidx, cur_nodes, new_num, +1);
+      }
+    }
+  }
+  for (const ChangedNode& cn : changed_nodes_) {
+    if (node_flows_[static_cast<std::size_t>(cn.node)] == cn.old_count) continue;  // net no-op
+    const int* groups = &node_groups_[static_cast<std::size_t>(cn.node) *
+                                      static_cast<std::size_t>(num_groups_)];
+    const int len = node_groups_len_[static_cast<std::size_t>(cn.node)];
+    for (int i = 0; i < len; ++i) mark_term_dirty(groups[i]);
+  }
+  for (int gidx : dirty_terms_) recompute_group_term(gidx);
 
   pending_cost_ = reduce();
   return pending_cost_;
@@ -502,7 +776,15 @@ void IncrementalLatencyEvaluator::commit() {
 
 void IncrementalLatencyEvaluator::rollback() {
   assert(pending_ && "rollback() without a pending propose()");
-  parallel::apply_move(cur_, parallel::inverse_move(pending_move_), move_gpn_);
+  // The pre-move GPUs were recorded per touched position, so undoing the
+  // mapping is a plain write-back (plus the inverse-permutation fix-up).
+  for (int p : touched_pos_) {
+    inv_pos_[static_cast<std::size_t>(cur_.gpu_at(p))] = -1;
+  }
+  for (std::size_t i = 0; i < touched_pos_.size(); ++i) {
+    cur_.set_gpu_at(touched_pos_[i], undo_gpu_[i]);
+    inv_pos_[static_cast<std::size_t>(undo_gpu_[i])] = touched_pos_[i];
+  }
   for (std::size_t i = 0; i < dirty_cells_.size(); ++i) {
     tp_term_[static_cast<std::size_t>(dirty_cells_[i].idx)] = undo_tp_[i];
   }
@@ -512,37 +794,58 @@ void IncrementalLatencyEvaluator::rollback() {
   for (const PairDelta& pd : pair_deltas_) {
     pair_count_[static_cast<std::size_t>(pd.idx)] -= pd.delta;
   }
-  for (const DirtyFlow& df : dirty_flows_) {
-    // The committed pair id is a pure function of the (already restored)
-    // mapping, so recompute it instead of keeping a per-flow undo slot.
-    const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop, df.tpr, df.dpr))];
-    const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(df.hop + 1, df.tpr, df.dpr))];
-    flow_pair_[static_cast<std::size_t>(df.idx)] = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
+  for (std::size_t fi = 0; fi < dirty_flows_.size(); ++fi) {
+    flow_pair_[static_cast<std::size_t>(dirty_flows_[fi].idx)] = undo_flow_pair_[fi];
   }
   for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
     hop_[static_cast<std::size_t>(dirty_cols_[i].idx)] = undo_hop_[i];
   }
+  for (std::size_t i = 0; i < dirty_paths_.size(); ++i) {
+    path_[static_cast<std::size_t>(dirty_paths_[i])] = undo_path_[i];
+  }
   for (std::size_t i = 0; i < dirty_groups_.size(); ++i) {
     const DirtyGroup& dg = dirty_groups_[i];
     const auto gidx = static_cast<std::size_t>(dg.gidx);
-    add_group_flows(dg.gidx, -1);  // drop the proposed contribution
+    int* cur_nodes = &g_nodes_[gidx * static_cast<std::size_t>(dp_)];
+    if (dg.census_changed) {  // drop the proposed contribution
+      update_group_flows(dg.gidx, cur_nodes, g_num_nodes_[gidx], -1);
+    }
     g_min_intra_[gidx] = undo_g_min_intra_[i];
     g_min_inter_[gidx] = undo_g_min_inter_[i];
     g_max_same_[gidx] = undo_g_max_same_[i];
     g_num_nodes_[gidx] = undo_g_num_nodes_[i];
     for (int j = 0; j < g_num_nodes_[gidx]; ++j) {
-      g_nodes_[gidx * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)] =
-          undo_g_nodes_[i * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)];
+      cur_nodes[j] = undo_g_nodes_[i * static_cast<std::size_t>(dp_) + static_cast<std::size_t>(j)];
     }
-    g_flows_key_[gidx] = -1;  // the memo may hold the proposed-state term
-    add_group_flows(dg.gidx, +1);  // restore the committed contribution
+    if (dg.census_changed) {  // restore the committed contribution
+      update_group_flows(dg.gidx, cur_nodes, g_num_nodes_[gidx], +1);
+    }
   }
+  for (std::size_t i = 0; i < dirty_terms_.size(); ++i) {
+    const auto gidx = static_cast<std::size_t>(dirty_terms_[i]);
+    g_term_[gidx] = undo_term_[i];
+    g_flows_[gidx] = undo_term_flows_[i];
+  }
+  // σ is an involution: re-applying it restores the permuted node side.
+  if (pending_sigma_) apply_node_sigma();
   pending_ = false;
 }
 
 void IncrementalLatencyEvaluator::reset(const std::vector<int>& raw_perm) {
   cur_.set_raw(raw_perm);
   full_recompute();
+}
+
+IncrementalLatencyEvaluator::DirtyStats IncrementalLatencyEvaluator::last_dirty() const {
+  DirtyStats s;
+  s.cells = static_cast<int>(dirty_cells_.size());
+  s.stages = static_cast<int>(dirty_stages_.size());
+  s.flows = static_cast<int>(dirty_flows_.size());
+  s.cols = static_cast<int>(dirty_cols_.size());
+  s.paths = static_cast<int>(dirty_paths_.size());
+  s.groups = static_cast<int>(dirty_groups_.size());
+  s.terms = static_cast<int>(dirty_terms_.size());
+  return s;
 }
 
 }  // namespace pipette::estimators

@@ -11,13 +11,18 @@
 //     with the NIC-sharing flow counts per (hop, ordered node pair) kept
 //     incrementally so untouched columns are never repriced,
 //   * per (stage, tp-rank) DP ring: the member-node census and min profiled
-//     bandwidths, plus per-node crossing-ring counts, with the final ring
-//     term memoized on its NIC-sharing factor.
+//     bandwidths, plus per-node crossing-ring counts and a node→groups
+//     reverse index, so a ring term is recomputed only when its own stats or
+//     its NIC-sharing factor changed.
 //
-// The dirtied entries are recomputed with the full model's exact expressions
-// and reduced in its exact order, so every returned cost is bit-identical to
-// model.estimate(mapping) — a property tests/incremental_test.cpp enforces
-// over randomized sweeps of all five move kinds.
+// The final reduction is itself incremental: per-replica pipeline path sums
+// and per-group DP ring terms are cached, so reduce() folds O(pp + dp +
+// pp·tp) already-priced doubles instead of re-deriving them. The sums are
+// bracketed with the fixed blocking of detail::blocked_sum, and
+// PipetteLatencyModel::estimate folds with the same blocking — so every
+// returned cost stays bit-identical to model.estimate(mapping), a property
+// tests/incremental_test.cpp enforces over randomized sweeps of all five
+// move kinds.
 //
 // Protocol: propose(move) applies the move tentatively and returns the total
 // iteration latency; exactly one of commit()/rollback() must follow before
@@ -36,6 +41,20 @@ namespace pipette::estimators {
 
 class IncrementalLatencyEvaluator {
  public:
+  /// Sizes of the dirty sets the last propose() touched — the bench's
+  /// dirtied-entries histogram reads this; all counts are free byproducts of
+  /// the dirty lists.
+  struct DirtyStats {
+    int cells = 0;   ///< TP cells repriced
+    int stages = 0;  ///< stage blocks refolded
+    int flows = 0;   ///< pipeline flows re-paired
+    int cols = 0;    ///< hop columns repriced
+    int paths = 0;   ///< per-replica path sums refolded
+    int groups = 0;  ///< DP rings whose stats were recomputed
+    int terms = 0;   ///< DP ring terms re-derived (stats or sharing factor)
+    int total() const { return cells + stages + flows + cols + paths + groups + terms; }
+  };
+
   /// `model` must outlive the evaluator; `start` becomes the committed state.
   /// `gpus_per_node` defines the node blocks for node-granular moves (the
   /// cost-side node math always uses the model's own link constants).
@@ -63,18 +82,44 @@ class IncrementalLatencyEvaluator {
   /// used when annealing restores its best snapshot).
   void reset(const std::vector<int>& raw_perm);
 
+  /// Dirty-set sizes of the last propose() (valid until the next propose).
+  DirtyStats last_dirty() const;
+
  private:
   void full_recompute();
   void apply_and_collect(const parallel::MappingMoveDesc& mv);
+  /// Appends the live workers of node block `node` to the touched/undo/new
+  /// scratch, relabelled by `delta_nodes` blocks (node-move collection).
+  void collect_node_block(int node, int delta_nodes);
   void recompute_tp_cell(int stage, int dpr);
   void recompute_block(int stage);
   void reprice_hop_column(int hop, int dpr);
+  /// Refolds replica `dpr`'s cached hop column with the shared blocking.
+  void recompute_path(int dpr);
   void recompute_group(int stage, int tpr);
+  /// Reprices only the bandwidth mins of group (stage, tpr) — the node-move
+  /// (σ) kernel path, where the member-node census is a pure relabel and is
+  /// updated in place instead of being re-derived.
+  void recompute_group_mins(int stage, int tpr);
+  /// Exchanges the whole node-side state of labels `a` and `b`: flow counts,
+  /// group lists, and position slots (one transposition of the relabel σ).
+  void swap_node_side(int a, int b);
+  /// Applies the pending node move's label permutation σ to the node-side
+  /// state (an involution: the same call undoes it on rollback).
+  void apply_node_sigma();
+  /// Re-derives group `gidx`'s DP ring term from its cached stats and the
+  /// current NIC-sharing factor; skips the arithmetic when neither changed.
+  void recompute_group_term(int gidx);
   /// Adds (`delta` = +1) or removes (-1) a crossing ring's per-node flow
-  /// contribution for group `gidx`.
-  void add_group_flows(int gidx, int delta);
-  /// Folds the cached tables into Eq. (3), mirroring the full model's
-  /// reduction order exactly.
+  /// contribution for group `gidx` over the explicit member-node list
+  /// (`nodes`, `num` entries), maintaining the node→groups reverse index and
+  /// recording each touched node's pre-change count. The explicit list lets
+  /// propose/rollback replay the committed membership from the undo buffer.
+  void update_group_flows(int gidx, const int* nodes, int num, int delta);
+  /// Marks group `gidx`'s ring term dirty (dedup by stamp), saving its undo.
+  void mark_term_dirty(int gidx);
+  /// Folds the cached decomposition into Eq. (3): O(pp + dp + pp·tp) reads,
+  /// bracketed exactly like PipetteLatencyModel::estimate.
   double reduce() const;
 
   const PipetteLatencyModel* model_;
@@ -82,6 +127,7 @@ class IncrementalLatencyEvaluator {
   int pp_ = 1, tp_ = 1, dp_ = 1;
   int move_gpn_ = 8;       ///< node-block width for applying node moves
   int num_nodes_ = 1;      ///< nodes of the profiled fabric
+  int num_groups_ = 1;     ///< pp · tp (DP rings)
   int pair_stride_ = 1;    ///< num_nodes_² (ordered node pairs per hop)
   double rounds_ = 1.0;    ///< n_mb / pp of Eq. (3)
   double flow_bytes_ = 0.0;  ///< per-TP-rank pipeline flow (pp_msg / tp)
@@ -100,9 +146,11 @@ class IncrementalLatencyEvaluator {
   std::vector<double> shared_sum_;  ///< k sequential additions of flow_bytes_
 
   // Cached cost decomposition.
+  std::vector<int> inv_pos_;     ///< gpu -> worker position (-1 when unused)
   std::vector<double> tp_term_;  ///< [stage*dp + dpr] T_TP of the cell
   std::vector<double> block_;    ///< [stage] C + max_z T_TP
   std::vector<double> hop_;      ///< [hop*dp + dpr] slowest fwd+bwd of the hop
+  std::vector<double> path_;     ///< [dpr] blocked sum of the replica's hops
   std::vector<int> flow_pair_;   ///< [(hop*dp + dpr)*tp + tpr] ordered node
                                  ///< pair id of the flow, -1 when intra-node
   std::vector<int> pair_count_;  ///< [hop*pair_stride + pair] sharing flows
@@ -110,10 +158,15 @@ class IncrementalLatencyEvaluator {
   std::vector<int> g_max_same_, g_num_nodes_;
   std::vector<int> g_nodes_;     ///< [gidx*dp + i] distinct member nodes
   std::vector<int> node_flows_;  ///< crossing rings resident per node
-  // Per-group memo of the DP ring term keyed on its NIC-sharing factor;
-  // filled lazily inside the (const) reduction, invalidated on recompute.
-  mutable std::vector<int> g_flows_key_;
-  mutable std::vector<double> g_t_memo_;
+  std::vector<double> g_term_;   ///< [gidx] cached DP ring term of Eq. (6)
+  std::vector<int> g_flows_;     ///< [gidx] sharing factor the term was
+                                 ///< derived at; -1 after a stats change
+  // node→groups reverse index: which crossing rings have a member on a node
+  // (exactly the rings add_group_flows credits). Lets a node_flows_ change
+  // dirty only the ring terms it can actually move.
+  std::vector<int> node_groups_;      ///< [node*num_groups + i] group ids
+  std::vector<int> node_groups_len_;  ///< [node]
+  std::vector<int> node_group_pos_;   ///< [gidx*num_nodes + node] slot or -1
 
   double cost_ = 0.0;          ///< committed cost
   double pending_cost_ = 0.0;  ///< proposed cost
@@ -122,14 +175,19 @@ class IncrementalLatencyEvaluator {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> stamp_cell_, stamp_stage_, stamp_group_;
   std::vector<std::uint32_t> stamp_flow_, stamp_col_, stamp_pair_;
+  std::vector<std::uint32_t> stamp_path_, stamp_term_, stamp_node_;
   struct DirtyCell {
     int idx, stage, dpr;
   };
   struct DirtyGroup {
     int gidx, stage, tpr;
+    /// True when the recompute changed the member-node census, i.e. the
+    /// node_flows_ contribution was actually moved (and must be moved back
+    /// on rollback).
+    bool census_changed;
   };
   struct DirtyFlow {
-    int idx, hop, dpr, tpr;
+    int idx, hop, dpr, w1;  ///< w1: worker position of the upstream endpoint
   };
   struct DirtyCol {
     int idx, hop, dpr;
@@ -139,6 +197,12 @@ class IncrementalLatencyEvaluator {
   std::vector<DirtyGroup> dirty_groups_;
   std::vector<DirtyFlow> dirty_flows_;
   std::vector<DirtyCol> dirty_cols_;
+  std::vector<int> dirty_paths_;  ///< dpr values
+  std::vector<int> dirty_terms_;  ///< gidx values
+  struct ChangedNode {
+    int node, old_count;  ///< pre-change count: net no-ops propagate nothing
+  };
+  std::vector<ChangedNode> changed_nodes_;
   struct ChangedPair {
     int idx, hop, pair;
   };
@@ -147,8 +211,18 @@ class IncrementalLatencyEvaluator {
   // Undo logs for rollback (preallocated; parallel to the dirty lists).
   bool pending_ = false;
   parallel::MappingMoveDesc pending_move_;
+  /// True when the pending proposal used the relabel-aware node-move kernel:
+  /// the node-side state was permuted by σ (not rebuilt), and rollback must
+  /// re-apply the involution. Requires the move node blocks to coincide with
+  /// the cost model's node blocks (node_sigma_ok_).
+  bool pending_sigma_ = false;
+  bool node_sigma_ok_ = false;
   std::vector<int> touched_pos_;
-  std::vector<double> undo_tp_, undo_block_, undo_hop_;
+  std::vector<int> undo_gpu_;  ///< pre-move GPU of each touched position
+  std::vector<int> new_gpu_;   ///< node-move scratch: post-move GPUs
+  std::vector<double> undo_tp_, undo_block_, undo_hop_, undo_path_, undo_term_;
+  std::vector<int> undo_term_flows_;
+  std::vector<int> undo_flow_pair_;  ///< parallel to dirty_flows_
   struct PairDelta {
     int idx, delta;
   };
@@ -156,8 +230,8 @@ class IncrementalLatencyEvaluator {
   std::vector<double> undo_g_min_intra_, undo_g_min_inter_;
   std::vector<int> undo_g_max_same_, undo_g_num_nodes_, undo_g_nodes_;
 
-  // Recompute scratch (member GPU/node hoists).
-  std::vector<int> scratch_gpu_, scratch_node_, scratch_counts_;
+  // Recompute scratch (member GPU/node hoists; one node-list row for σ).
+  std::vector<int> scratch_gpu_, scratch_node_, scratch_counts_, scratch_row_;
 };
 
 }  // namespace pipette::estimators

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "parallel/parallel_config.h"
 #include "sim/stage_costs.h"
@@ -88,9 +89,15 @@ double PipetteLatencyModel::pp_comm_term(const parallel::Mapping& m) const {
   // boundary message (interleaving's v-fold message count is applied by the
   // caller through ppcomm_scale_).
   const double flow_bytes = pp_msg_bytes_ / pc_.tp;
+  // One replica's hop terms are materialized and folded with the shared
+  // fixed blocking (detail::blocked_sum) so the incremental evaluator can
+  // cache per-column terms and refold only dirty paths bit-identically.
+  static thread_local std::vector<double> scratch_hops_;
+  if (scratch_hops_.size() < static_cast<std::size_t>(pc_.pp - 1)) {
+    scratch_hops_.resize(static_cast<std::size_t>(pc_.pp - 1));
+  }
   double worst = 0.0;
   for (int z = 0; z < pc_.dp; ++z) {
-    double path = 0.0;
     for (int x = 0; x + 1 < pc_.pp; ++x) {
       double hop = 0.0;
       for (int y = 0; y < pc_.tp; ++y) {
@@ -119,9 +126,9 @@ double PipetteLatencyModel::pp_comm_term(const parallel::Mapping& m) const {
         }
         hop = std::max(hop, fwd + bwd);
       }
-      path += hop;
+      scratch_hops_[static_cast<std::size_t>(x)] = hop;
     }
-    worst = std::max(worst, path);
+    worst = std::max(worst, detail::blocked_sum(scratch_hops_.data(), pc_.pp - 1));
   }
   return worst;
 }
@@ -132,16 +139,22 @@ double PipetteLatencyModel::bubble_term(const parallel::Mapping& m) const {
   // (sum of all stage blocks plus the path communication — v messages per
   // hop when interleaved), but can never beat the bottleneck stage's busy
   // time.
-  double sum_blocks = 0.0;
+  // Stage blocks are folded with the shared fixed blocking (see
+  // detail::blocked_sum) — the bracketing the incremental evaluator reuses.
+  static thread_local std::vector<double> scratch_blocks_;
+  if (scratch_blocks_.size() < static_cast<std::size_t>(pc_.pp)) {
+    scratch_blocks_.resize(static_cast<std::size_t>(pc_.pp));
+  }
   double max_block = 0.0;
   for (int x = 0; x < pc_.pp; ++x) {
     const double c = profile_.stage_fwd_s[static_cast<std::size_t>(x)] +
                      profile_.stage_bwd_s[static_cast<std::size_t>(x)];
     double block = c;
     for (int z = 0; z < pc_.dp; ++z) block = std::max(block, c + tp_time(m, x, z));
-    sum_blocks += block;
+    scratch_blocks_[static_cast<std::size_t>(x)] = block;
     max_block = std::max(max_block, block);
   }
+  const double sum_blocks = detail::blocked_sum(scratch_blocks_.data(), pc_.pp);
   return std::max(sum_blocks + ppcomm_scale_ * pp_comm_term(m), pc_.pp * max_block);
 }
 

@@ -37,6 +37,30 @@ inline double ring_allreduce(double bytes, int n, double bw, double latency) {
   return sim::ring_allreduce_time(bytes, n, bw, latency);
 }
 
+/// Width of the fixed summation blocking shared by the full model and the
+/// incremental evaluator. Must be a power of two.
+inline constexpr int kReduceBlock = 4;
+
+/// Fixed-blocking left fold: elements are summed left-to-right inside
+/// kReduceBlock-wide blocks (each block folded from 0.0), and the block sums
+/// are added left-to-right, the (possibly partial) tail block last. Both
+/// PipetteLatencyModel::estimate and IncrementalLatencyEvaluator::reduce
+/// bracket their stage-block and pipeline-path sums with exactly this tree,
+/// which is what lets the evaluator cache per-entry terms and refold only
+/// dirty rows while staying bit-identical to the full model. `stride` walks
+/// strided rows of a 2-D table (e.g. one replica's hop column).
+inline double blocked_sum(const double* v, int n, int stride = 1) {
+  double total = 0.0;
+  int i = 0;
+  while (i < n) {
+    const int end = i + kReduceBlock < n ? i + kReduceBlock : n;
+    double blk = 0.0;
+    for (; i < end; ++i) blk += v[i * stride];
+    total += blk;
+  }
+  return total;
+}
+
 }  // namespace detail
 
 /// Cluster geometry and spec constants the models need besides the matrix.

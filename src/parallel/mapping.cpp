@@ -35,10 +35,15 @@ void Mapping::swap(int i, int j) {
 }
 
 void Mapping::migrate(int from, int to) {
+  // Remove-at-from / reinsert-at-to equals a one-step rotation of the span
+  // [min, max] — O(span) instead of the erase/insert O(n) tail shift, which
+  // matters once SA draws span-bounded wide moves.
   if (from == to) return;
-  const int v = perm_[static_cast<std::size_t>(from)];
-  perm_.erase(perm_.begin() + from);
-  perm_.insert(perm_.begin() + to, v);
+  if (from < to) {
+    std::rotate(perm_.begin() + from, perm_.begin() + from + 1, perm_.begin() + to + 1);
+  } else {
+    std::rotate(perm_.begin() + to, perm_.begin() + from, perm_.begin() + from + 1);
+  }
 }
 
 void Mapping::reverse(int i, int j) {
@@ -64,33 +69,6 @@ void Mapping::reverse_nodes(int n1, int n2, int gpus_per_node) {
     const int node = g / gpus_per_node;
     if (node >= n1 && node <= n2) {
       g = (n1 + n2 - node) * gpus_per_node + g % gpus_per_node;
-    }
-  }
-}
-
-void Mapping::swap_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched) {
-  if (n1 == n2) return;
-  for (std::size_t p = 0; p < perm_.size(); ++p) {
-    const int g = perm_[p];
-    const int node = g / gpus_per_node;
-    if (node == n1) {
-      perm_[p] = g + (n2 - n1) * gpus_per_node;
-      touched.push_back(static_cast<int>(p));
-    } else if (node == n2) {
-      perm_[p] = g + (n1 - n2) * gpus_per_node;
-      touched.push_back(static_cast<int>(p));
-    }
-  }
-}
-
-void Mapping::reverse_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched) {
-  if (n1 > n2) std::swap(n1, n2);
-  for (std::size_t p = 0; p < perm_.size(); ++p) {
-    const int g = perm_[p];
-    const int node = g / gpus_per_node;
-    if (node >= n1 && node <= n2 && n1 + n2 != 2 * node) {
-      perm_[p] = g + (n1 + n2 - 2 * node) * gpus_per_node;
-      touched.push_back(static_cast<int>(p));
     }
   }
 }

@@ -55,17 +55,16 @@ class Mapping {
   /// symmetric bidirectional bandwidths).
   void reverse_nodes(int n1, int n2, int gpus_per_node);
 
-  /// Single-pass variants that also append every changed worker position to
-  /// `touched` — the incremental evaluator's hot path, which would otherwise
-  /// pay the per-element node division twice (once to collect, once to move).
-  void swap_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched);
-  void reverse_nodes(int n1, int n2, int gpus_per_node, std::vector<int>& touched);
-
   /// True iff the permutation is a bijection onto [0, num_workers).
   bool is_valid_permutation() const;
 
   const std::vector<int>& raw() const { return perm_; }
   void set_raw(std::vector<int> perm);
+
+  /// Unchecked single-element write for incremental move kernels (the
+  /// evaluator's O(touched) node-move apply/rollback paths). The caller must
+  /// restore the bijection across its batch of writes; nothing is validated.
+  void set_gpu_at(int widx, int gpu) { perm_[static_cast<std::size_t>(widx)] = gpu; }
 
   bool operator==(const Mapping&) const = default;
 

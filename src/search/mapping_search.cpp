@@ -1,6 +1,26 @@
 #include "search/mapping_search.h"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
 namespace pipette::search {
+
+namespace {
+
+/// Second endpoint of a span-bounded wide move: uniform within `span` of
+/// `first`, clamped to [0, n). With span == 0 the draw is uniform over all of
+/// [0, n) — the historical (and paper's) unbounded behaviour, consuming the
+/// identical rng stream.
+int draw_second_endpoint(common::Rng& rng, int first, int n, int span) {
+  if (span <= 0) return rng.uniform_int(0, n - 1);
+  const int lo = std::max(0, first - span);
+  const int hi = std::min(n - 1, first + span);
+  return rng.uniform_int(lo, hi);
+}
+
+}  // namespace
 
 parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
                                             const MoveSet& moves, int gpus_per_node) {
@@ -23,7 +43,7 @@ parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::
       case 0: {
         if (!moves.migrate) break;
         const int from = rng.uniform_int(0, n - 1);
-        const int to = rng.uniform_int(0, n - 1);
+        const int to = draw_second_endpoint(rng, from, n, moves.wide_span);
         return {MoveKind::kMigrate, from, to};
       }
       case 1: {
@@ -35,7 +55,7 @@ parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::
       case 2: {
         if (!moves.reverse) break;
         const int i = rng.uniform_int(0, n - 1);
-        const int j = rng.uniform_int(0, n - 1);
+        const int j = draw_second_endpoint(rng, i, n, moves.wide_span);
         return {MoveKind::kReverse, i, j};
       }
       case 3: {
@@ -47,7 +67,7 @@ parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::
       default: {
         if (!moves.node_reverse || nodes < 2) break;
         const int n1 = rng.uniform_int(0, nodes - 1);
-        const int n2 = rng.uniform_int(0, nodes - 1);
+        const int n2 = draw_second_endpoint(rng, n1, nodes, moves.node_span);
         return {MoveKind::kNodeReverse, n1, n2};
       }
     }
@@ -93,6 +113,45 @@ SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatency
   const SaResult res = simulated_annealing_incremental(prob, opt);
   m = eval.mapping();  // restore_best left the evaluator on the best mapping
   return res;
+}
+
+SaResult optimize_mapping_multichain(parallel::Mapping& m,
+                                     const estimators::PipetteLatencyModel& model,
+                                     int gpus_per_node, const SaOptions& opt,
+                                     const MultiChainOptions& mc, const MoveSet& moves) {
+  if (mc.chains <= 1) return optimize_mapping(m, model, gpus_per_node, opt, moves);
+  const auto t_start = std::chrono::steady_clock::now();
+  struct ChainSlot {
+    SaResult res;
+    parallel::Mapping mapping;
+  };
+  std::vector<ChainSlot> slots(static_cast<std::size_t>(mc.chains), ChainSlot{{}, m});
+  common::SerialExecutor serial;
+  common::Executor& exec = mc.executor ? *mc.executor : serial;
+  exec.parallel_for(mc.chains, [&](int i) {
+    ChainSlot& slot = slots[static_cast<std::size_t>(i)];
+    SaOptions copt = opt;
+    // Chain 0 keeps the caller's stream (the single-chain trajectory is
+    // always in the set); higher chains get index-keyed streams, so the
+    // replica set is a pure function of (seed, chains) — never of the
+    // schedule.
+    if (i > 0) copt.seed = derive_seed(opt.seed, "mc-chain-" + std::to_string(i));
+    slot.res = optimize_mapping(slot.mapping, model, gpus_per_node, copt, moves);
+  });
+  // Canonical merge: lowest best cost, ties to the lowest chain index.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i].res.best_cost < slots[best].res.best_cost) best = i;
+  }
+  SaResult out = slots[best].res;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i == best) continue;
+    out.iters += slots[i].res.iters;
+    out.accepted += slots[i].res.accepted;
+  }
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  m = std::move(slots[best].mapping);
+  return out;
 }
 
 }  // namespace pipette::search

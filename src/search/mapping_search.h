@@ -7,6 +7,7 @@
 // O(touched groups) instead of a full model re-evaluation.
 #pragma once
 
+#include "common/executor.h"
 #include "estimators/incremental_latency.h"
 #include "estimators/latency_models.h"
 #include "parallel/mapping.h"
@@ -26,6 +27,15 @@ struct MoveSet {
   bool reverse = true;
   bool node_swap = true;
   bool node_reverse = true;
+  /// Span bound for the wide string moves: when > 0, a migrate/reverse's
+  /// second endpoint is drawn within `wide_span` positions of the first, so
+  /// a proposal dirties O(wide_span) decomposition entries instead of an
+  /// expected third of them — the structural fix for the incremental
+  /// evaluator's wide-move cost (see bench/sa_throughput). 0 keeps the
+  /// paper's unbounded draws and the historical rng stream bit for bit.
+  int wide_span = 0;
+  /// Same bound for node_reverse, in node labels. 0 = unbounded.
+  int node_span = 0;
 };
 
 /// Draws one uniformly-chosen enabled move for `m` without applying it.
@@ -47,5 +57,31 @@ MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const Mo
 /// iteration cap — matches the copy-based full-evaluation path exactly.
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
                           int gpus_per_node, const SaOptions& opt, const MoveSet& moves = {});
+
+/// Deterministic multi-chain annealing: `chains` independent replicas of the
+/// same problem, each on its own IncrementalLatencyEvaluator.
+struct MultiChainOptions {
+  /// Replica count. 1 reproduces optimize_mapping (same seed, same stream,
+  /// same result) bit for bit.
+  int chains = 1;
+  /// Executor the replicas fan out across (not owned; typically an
+  /// engine::ThreadPool). Null anneals them serially. The outcome is the
+  /// same either way — see below.
+  common::Executor* executor = nullptr;
+};
+
+/// Runs `mc.chains` independent SA chains from `m` and keeps the best result
+/// under a canonical merge (lowest best cost; ties resolve to the lowest
+/// chain index). Chain 0 consumes `opt.seed` unchanged — so the single-chain
+/// trajectory is always a member of the replica set — and chain i > 0 draws
+/// from derive_seed(opt.seed, "mc-chain-i"). Seeds depend only on the chain
+/// index and the merge only on the slot contents, so under an iteration cap
+/// every executor and thread count produces the identical mapping and cost.
+/// The returned SaResult carries the winning chain's costs with iters and
+/// accepted summed across the replica set.
+SaResult optimize_mapping_multichain(parallel::Mapping& m,
+                                     const estimators::PipetteLatencyModel& model,
+                                     int gpus_per_node, const SaOptions& opt,
+                                     const MultiChainOptions& mc, const MoveSet& moves = {});
 
 }  // namespace pipette::search

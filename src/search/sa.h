@@ -36,6 +36,22 @@ struct SaResult {
   double wall_s = 0.0;
 };
 
+namespace detail {
+
+/// The Metropolis rule shared by both annealers: accept improvements, else
+/// accept with probability exp(-delta / temp). One uniform draw is consumed
+/// exactly when delta > 0, and exp() is skipped where it is exactly 0.0
+/// (argument far past the subnormal range, where u < 0.0 can never hold) —
+/// the decision and the rng stream are bit-identical to the plain rule.
+inline bool metropolis_accept(double delta, double temp, common::Rng& rng) {
+  if (delta <= 0.0) return true;
+  const double u = rng.uniform();
+  const double arg = -delta / temp;
+  return arg > -760.0 && u < std::exp(arg);
+}
+
+}  // namespace detail
+
 /// Minimizes `cost(state)` by repeatedly applying `mutate(state, rng)` to a
 /// copy and accepting by the Metropolis rule. On return `state` holds the
 /// best solution found. State must be copyable.
@@ -44,7 +60,11 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   using clock = std::chrono::steady_clock;
   const auto t_start = clock::now();
   // Iteration-capped (deterministic) runs leave time_limit_s at infinity and
-  // should not pay for wall-clock reads in the loop at all.
+  // should not pay for wall-clock reads in the loop at all; timed runs batch
+  // the deadline check to the iters_per_temp block boundary (the temperature
+  // step) instead of paying a steady_clock read per iteration, with a
+  // 256-iteration backstop so an unusually large iters_per_temp cannot
+  // overshoot the deadline unboundedly.
   const bool timed = std::isfinite(opt.time_limit_s);
 
   common::Rng rng(opt.seed);
@@ -59,7 +79,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
   int since_temp_step = 0;
   while (res.iters < opt.max_iters) {
-    if (timed && (res.iters & 63) == 0) {
+    if (timed && (since_temp_step == 0 || (res.iters & 255) == 0)) {
       const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
       if (elapsed >= opt.time_limit_s) break;
     }
@@ -67,7 +87,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
     mutate(cand, rng);
     const double c = cost(cand);
     const double delta = c - cur_cost;
-    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+    if (detail::metropolis_accept(delta, temp, rng)) {
       current = std::move(cand);
       cur_cost = c;
       ++res.accepted;
@@ -89,9 +109,11 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   return res;
 }
 
-/// Incremental simulated annealing: instead of copying the state and paying a
-/// full cost evaluation per proposal, the problem object mutates itself in
-/// place and can cheaply undo a rejected move. `Problem` must expose:
+/// Incremental simulated annealing: the timed-deadline check is batched to
+/// the temperature-step boundary exactly like simulated_annealing above.
+/// Instead of copying the state and paying a full cost evaluation per
+/// proposal, the problem object mutates itself in place and can cheaply undo
+/// a rejected move. `Problem` must expose:
 ///
 ///   double cost() const;            // cost of the committed state
 ///   double propose(common::Rng&);   // draw + apply one move, return new cost
@@ -121,13 +143,13 @@ SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
   double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
   int since_temp_step = 0;
   while (res.iters < opt.max_iters) {
-    if (timed && (res.iters & 63) == 0) {
+    if (timed && (since_temp_step == 0 || (res.iters & 255) == 0)) {
       const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
       if (elapsed >= opt.time_limit_s) break;
     }
     const double c = prob.propose(rng);
     const double delta = c - cur_cost;
-    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+    if (detail::metropolis_accept(delta, temp, rng)) {
       prob.commit();
       cur_cost = c;
       ++res.accepted;

@@ -288,3 +288,98 @@ TEST_P(PlanAxisEquivalence, MatchesFullModelBitForBitOnExtendedPlans) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Axes, PlanAxisEquivalence, testing::Values(0, 1, 2, 3, 4));
+
+// Span-bounded wide moves take the same delta kernels; the bit-identity
+// contract must hold under the bounded draw distribution too (it exercises
+// different span statistics, the σ node kernel, and the no-op fast path).
+class SpanBoundedEquivalence : public testing::TestWithParam<parallel::ParallelConfig> {};
+
+TEST_P(SpanBoundedEquivalence, MatchesFullModelBitForBitUnderBoundedDraws) {
+  const Fixture fx(GetParam(), 2);
+  const auto model = fx.model();
+  const int gpn = fx.topo.gpus_per_node();
+  search::MoveSet moves;
+  moves.wide_span = 4;
+  moves.node_span = 1;
+
+  parallel::Mapping committed = parallel::Mapping::megatron_default(fx.pc);
+  estimators::IncrementalLatencyEvaluator eval(model, committed, gpn);
+  common::Rng rng(4242 + static_cast<std::uint64_t>(fx.pc.ways()));
+  for (int iter = 0; iter < 1000; ++iter) {
+    const auto mv = search::draw_mapping_move(committed, rng, moves, gpn);
+    parallel::Mapping moved = committed;
+    parallel::apply_move(moved, mv, gpn);
+    ASSERT_EQ(eval.propose(mv), model.estimate(moved))
+        << "iter " << iter << " kind " << static_cast<int>(mv.kind);
+    if (rng.bernoulli(0.5)) {
+      eval.commit();
+      committed = std::move(moved);
+    } else {
+      eval.rollback();
+      ASSERT_EQ(eval.mapping().raw(), committed.raw());
+      ASSERT_EQ(eval.cost(), model.estimate(committed)) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SpanBoundedEquivalence,
+                         testing::Values(parallel::ParallelConfig{4, 2, 4},
+                                         parallel::ParallelConfig{2, 8, 2},
+                                         parallel::ParallelConfig{8, 1, 4},
+                                         parallel::ParallelConfig{4, 4, 2},
+                                         parallel::ParallelConfig{2, 2, 8},
+                                         parallel::ParallelConfig{16, 2, 2}));
+
+TEST(ReductionOrder, BlockedSumMatchesReferenceBracketing) {
+  // The full model and the evaluator share detail::blocked_sum's bracketing:
+  // kReduceBlock-wide blocks folded left-to-right from 0.0, block sums added
+  // left-to-right, partial tail last. Lock the bracketing against an
+  // independently written reference so neither side can drift.
+  common::Rng rng(5);
+  for (int n = 0; n <= 24; ++n) {
+    std::vector<double> v(static_cast<std::size_t>(std::max(1, n)));
+    for (auto& x : v) x = rng.uniform(0.1, 100.0);
+    double reference = 0.0;
+    for (int b = 0; b < n; b += estimators::detail::kReduceBlock) {
+      double blk = 0.0;
+      for (int i = b; i < std::min(n, b + estimators::detail::kReduceBlock); ++i) {
+        blk += v[static_cast<std::size_t>(i)];
+      }
+      reference += blk;
+    }
+    ASSERT_EQ(estimators::detail::blocked_sum(v.data(), n), reference) << "n=" << n;
+  }
+}
+
+TEST(ReductionOrder, BlockedSumStrideWalksRows) {
+  // Strided access (one replica's hop column of the [hop][dp] table) must
+  // fold the same values as a dense copy of that column.
+  common::Rng rng(6);
+  const int n = 15, stride = 4;
+  std::vector<double> table(static_cast<std::size_t>(n * stride));
+  for (auto& x : table) x = rng.uniform(0.1, 10.0);
+  for (int z = 0; z < stride; ++z) {
+    std::vector<double> dense;
+    for (int i = 0; i < n; ++i) dense.push_back(table[static_cast<std::size_t>(i * stride + z)]);
+    ASSERT_EQ(estimators::detail::blocked_sum(table.data() + z, n, stride),
+              estimators::detail::blocked_sum(dense.data(), n));
+  }
+}
+
+TEST(ReductionOrder, FullModelUsesTheBlockedBracketing) {
+  // Re-derive one estimate() by hand from the model's public terms with the
+  // shared helper; the full model must match it exactly, proving it did not
+  // keep a legacy linear fold anywhere the evaluator brackets.
+  const Fixture fx({4, 2, 4}, 2);
+  const auto model = fx.model();
+  parallel::Mapping m = parallel::Mapping::megatron_default(fx.pc);
+  common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    search::random_mapping_move(m, rng, {}, fx.topo.gpus_per_node());
+    const double nmb = parallel::num_microbatches(fx.job.global_batch, fx.pc, fx.plan.micro_batch);
+    const double rounds = nmb / fx.pc.pp;
+    const double by_terms =
+        model.bubble_term(m) * rounds + model.straggler_term(m) + model.dp_comm_term(m);
+    ASSERT_EQ(model.estimate(m), by_terms);
+  }
+}

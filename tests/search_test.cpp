@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "cluster/profiler.h"
+#include "engine/thread_pool.h"
 #include "estimators/compute_profile.h"
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
@@ -207,4 +210,165 @@ TEST(MappingSearch, SaStatsAreConsistent) {
   EXPECT_GE(res.accepted, 0);
   EXPECT_LE(res.accepted, res.iters);
   EXPECT_GT(res.wall_s, 0.0);
+}
+
+namespace {
+
+/// Shared model fixture for the span/multi-chain tests below.
+struct SearchFixture {
+  cluster::Topology topo;
+  model::TrainingJob job;
+  cluster::ProfileResult profiled;
+  estimators::LinkConstants links;
+  parallel::TrainPlan plan;
+  estimators::ComputeProfile prof;
+  estimators::PipetteLatencyModel model;
+
+  explicit SearchFixture(parallel::ParallelConfig pc, std::uint64_t seed = 2024)
+      : topo(cluster::mid_range_cluster(pc.ways() / 8), cluster::HeterogeneityOptions{}, seed),
+        job{model::gpt_3_1b(), 512},
+        profiled(cluster::profile_network(topo, {})),
+        links(estimators::LinkConstants::from_spec(topo.spec())),
+        plan{pc, 2},
+        prof(estimators::profile_compute(topo, job, plan, {})),
+        model(job, plan, prof, &profiled.bw, links) {}
+};
+
+}  // namespace
+
+TEST(MappingSearch, SpanBoundedDrawsRespectTheBounds) {
+  const parallel::ParallelConfig pc{4, 2, 4};
+  parallel::Mapping m = parallel::Mapping::megatron_default(pc);
+  common::Rng rng(99);
+  search::MoveSet moves;
+  moves.wide_span = 3;
+  moves.node_span = 1;
+  const int gpn = 8;
+  bool saw_migrate = false, saw_reverse = false, saw_node_reverse = false;
+  for (int i = 0; i < 4000; ++i) {
+    const auto mv = search::draw_mapping_move(m, rng, moves, gpn);
+    switch (mv.kind) {
+      case parallel::MoveKind::kMigrate:
+      case parallel::MoveKind::kReverse:
+        EXPECT_LE(std::abs(mv.a - mv.b), moves.wide_span) << "wide move span violated";
+        (mv.kind == parallel::MoveKind::kMigrate ? saw_migrate : saw_reverse) = true;
+        break;
+      case parallel::MoveKind::kNodeReverse:
+        EXPECT_LE(std::abs(mv.a - mv.b), moves.node_span) << "node span violated";
+        saw_node_reverse = true;
+        break;
+      default:
+        break;  // swap and node_swap are unbounded by design
+    }
+  }
+  EXPECT_TRUE(saw_migrate);
+  EXPECT_TRUE(saw_reverse);
+  EXPECT_TRUE(saw_node_reverse);
+}
+
+TEST(MappingSearch, UnboundedSpanReproducesHistoricalStream) {
+  // wide_span = 0 must consume the identical rng stream as the historical
+  // (paper) draw — the knob cannot perturb existing trajectories.
+  const parallel::ParallelConfig pc{4, 2, 4};
+  parallel::Mapping m = parallel::Mapping::megatron_default(pc);
+  common::Rng rng_a(7), rng_b(7);
+  const search::MoveSet defaults;  // wide_span == 0, node_span == 0
+  for (int i = 0; i < 2000; ++i) {
+    const auto mv = search::draw_mapping_move(m, rng_a, defaults, 8);
+    const auto mv2 = search::draw_mapping_move(m, rng_b, defaults, 8);
+    ASSERT_EQ(mv.kind, mv2.kind);
+    ASSERT_EQ(mv.a, mv2.a);
+    ASSERT_EQ(mv.b, mv2.b);
+  }
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(MultiChain, SingleChainIsBitIdenticalToOptimizeMapping) {
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 11;
+
+  parallel::Mapping single = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_single = search::optimize_mapping(single, fx.model, 8, opt);
+
+  parallel::Mapping multi = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_multi = search::optimize_mapping_multichain(multi, fx.model, 8, opt, {1, nullptr});
+
+  EXPECT_EQ(res_single.best_cost, res_multi.best_cost);
+  EXPECT_EQ(res_single.iters, res_multi.iters);
+  EXPECT_EQ(res_single.accepted, res_multi.accepted);
+  EXPECT_EQ(single.raw(), multi.raw());
+}
+
+TEST(MultiChain, DeterministicAcrossThreadCounts) {
+  // The replica set is keyed by derive_seed(seed, chain index) and merged
+  // canonically, so 1, 4, and 16 pool threads (and the serial executor) must
+  // produce the identical mapping and cost.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 2000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 21;
+  const int chains = 4;
+
+  parallel::Mapping ref = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_ref =
+      search::optimize_mapping_multichain(ref, fx.model, 8, opt, {chains, nullptr});
+
+  for (int threads : {1, 4, 16}) {
+    engine::ThreadPool pool(threads);
+    parallel::Mapping m = parallel::Mapping::megatron_default(fx.plan.pc);
+    const auto res =
+        search::optimize_mapping_multichain(m, fx.model, 8, opt, {chains, &pool});
+    EXPECT_EQ(res.best_cost, res_ref.best_cost) << threads << " threads";
+    EXPECT_EQ(res.iters, res_ref.iters) << threads << " threads";
+    EXPECT_EQ(res.accepted, res_ref.accepted) << threads << " threads";
+    EXPECT_EQ(m.raw(), ref.raw()) << threads << " threads";
+  }
+}
+
+TEST(MultiChain, NeverWorseThanChainZeroAndSumsIters) {
+  // Chain 0 runs the caller's own seed, so the merged best can only improve
+  // on the single-chain result; iters/accepted aggregate the replica set.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 1500;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 33;
+  const int chains = 3;
+
+  parallel::Mapping single = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_single = search::optimize_mapping(single, fx.model, 8, opt);
+
+  parallel::Mapping multi = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_multi =
+      search::optimize_mapping_multichain(multi, fx.model, 8, opt, {chains, nullptr});
+
+  EXPECT_LE(res_multi.best_cost, res_single.best_cost);
+  EXPECT_EQ(res_multi.iters, chains * res_single.iters);
+  EXPECT_DOUBLE_EQ(fx.model.estimate(multi), res_multi.best_cost);
+}
+
+TEST(SimulatedAnnealing, TimedRunsTerminateWithBatchedDeadlineChecks) {
+  // The deadline is only checked once per iters_per_temp block now; a timed
+  // run must still stop promptly and report a wall time past the limit.
+  std::vector<int> state(16);
+  std::iota(state.begin(), state.end(), 0);
+  std::reverse(state.begin(), state.end());
+  search::SaOptions opt;
+  opt.time_limit_s = 0.05;
+  opt.iters_per_temp = 64;
+  const auto res = search::simulated_annealing(
+      state, displacement_cost,
+      [](std::vector<int>& s, common::Rng& rng) {
+        const int i = rng.uniform_int(0, static_cast<int>(s.size()) - 1);
+        const int j = rng.uniform_int(0, static_cast<int>(s.size()) - 1);
+        std::swap(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(j)]);
+      },
+      opt);
+  EXPECT_GE(res.wall_s, opt.time_limit_s);
+  EXPECT_LT(res.wall_s, 5.0) << "timed run overshot the deadline wildly";
+  EXPECT_GT(res.iters, 0);
 }
