@@ -29,11 +29,7 @@ int main(int argc, char** argv) {
 
   auto row_of = [&](const core::ConfiguratorResult& rec, std::size_t i, std::string* cfg,
                     std::string* time, int* oom) {
-    if (i >= rec.ranking.size()) {
-      *cfg = "-";
-      *time = "-";
-      return;
-    }
+    if (i >= rec.ranking.size()) return;  // cells stay "-"
     const auto& cand = rec.ranking[i].cand;
     const auto mapping = core::default_mapping(rec.placement, cand.pc);
     const auto run = core::run_actual(topo, job, cand, mapping, sim_opt);
@@ -48,7 +44,7 @@ int main(int argc, char** argv) {
 
   int oom_vr = 0, oom_amp = 0, oom_ppt = 0;
   for (std::size_t i = 0; i < 10; ++i) {
-    std::string c1, t1, c2, t2, c3, t3;
+    std::string c1 = "-", t1 = "-", c2 = "-", t2 = "-", c3 = "-", t3 = "-";
     row_of(r_vr, i, &c1, &t1, &oom_vr);
     row_of(r_amp, i, &c2, &t2, &oom_amp);
     row_of(r_ppt, i, &c3, &t3, &oom_ppt);

@@ -1,10 +1,22 @@
 #include "core/configurator.h"
 
+#include <algorithm>
+
 namespace pipette::core {
 
 parallel::Mapping default_mapping(Placement placement, const parallel::ParallelConfig& pc) {
   return placement == Placement::kVaruna ? parallel::Mapping::varuna_default(pc)
                                          : parallel::Mapping::megatron_default(pc);
+}
+
+bool promote_winner(std::vector<RankedChoice>& ranking, const Candidate& best,
+                    double predicted_s) {
+  const auto it = std::find_if(ranking.begin(), ranking.end(),
+                               [&](const RankedChoice& r) { return r.cand == best; });
+  if (it == ranking.end()) return false;
+  std::rotate(ranking.begin(), it, it + 1);
+  ranking.front().predicted_s = predicted_s;
+  return true;
 }
 
 }  // namespace pipette::core

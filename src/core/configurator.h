@@ -5,12 +5,15 @@
 // mapping for the top choice.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
+#include "estimators/mlp_memory.h"
 #include "model/transformer.h"
 #include "parallel/mapping.h"
 #include "parallel/train_plan.h"
@@ -45,15 +48,55 @@ struct ConfiguratorResult {
   /// Full preference order (best first) — what Fig. 5b walks through.
   std::vector<RankedChoice> ranking;
 
-  // Overhead accounting for Table II.
-  double profile_wall_s = 0.0;   ///< simulated bandwidth-profiling cost
-  double search_wall_s = 0.0;    ///< real SA wall time
-  double mem_est_wall_s = 0.0;   ///< real memory-estimator inference time
-  double mem_train_wall_s = 0.0; ///< one-time MLP training (amortized per cluster)
+  // Overhead accounting for Table II. The *_wall_s fields are true elapsed
+  // time per phase (what a user waits); the *_cpu_s fields aggregate the
+  // per-slot durations across executor workers (what the fleet pays). Under a
+  // parallel executor cpu > wall; serially they coincide.
+  double profile_wall_s = 0.0;    ///< simulated bandwidth-profiling cost
+  double search_wall_s = 0.0;     ///< SA phase, true elapsed
+  double search_cpu_s = 0.0;      ///< SA phase, summed across workers
+  double mem_est_wall_s = 0.0;    ///< memory-filter phase, true elapsed
+  double mem_est_cpu_s = 0.0;     ///< memory-filter phase, summed across workers
+  double score_wall_s = 0.0;      ///< compute-profile + scoring phase, true elapsed
+  double score_cpu_s = 0.0;       ///< scoring phase, summed across workers
+  double mem_train_wall_s = 0.0;  ///< one-time MLP training (amortized per cluster)
+
+  /// Total configuration cost this request actually waited for.
+  double config_wall_s() const {
+    return profile_wall_s + mem_train_wall_s + mem_est_wall_s + score_wall_s + search_wall_s;
+  }
 
   int candidates_evaluated = 0;
   int candidates_rejected_oom = 0;
+
+  // Memoization introspection (Pipette only; zero elsewhere).
+  int shapes_profiled = 0;   ///< distinct compute shapes measured this request
+  int shapes_reused = 0;     ///< shapes served from the ComputeProfileCache
+  int mem_est_reused = 0;    ///< memory estimates served from a memo
+  long sa_iters = 0;         ///< SA proposals explored across all chains/rungs
+  int sa_rungs = 0;          ///< successive-halving rungs run (0 = legacy loop)
+  bool warm_started = false; ///< produced by reconfigure() reusing a prior result
+
+  // Provenance for elastic reconfiguration: what this result was computed
+  // against, and the artifacts a warm start can reuse.
+  std::uint64_t topo_fingerprint = 0;
+  std::uint64_t job_digest = 0;
+  /// The memory estimator the filter used; reconfigure() adopts it when the
+  /// resized cluster's training digest still matches.
+  std::shared_ptr<const estimators::MlpMemoryEstimator> memory_estimator;
+  /// Memory-estimate memo from the filter pass, sorted by key
+  /// (hash(job digest, plan hash) -> estimated bytes): a reconfigure() under
+  /// the same estimator skips re-estimating every surviving plan.
+  std::vector<std::pair<std::uint64_t, double>> mem_estimates;
 };
+
+/// Keeps a (possibly truncated) ranking's head consistent with the SA winner:
+/// rotates `best` to the front and stamps its annealed cost. When the winner
+/// fell outside the truncated ranking the ranking is left untouched — better
+/// headless than mislabelling the head with another candidate's SA cost.
+/// Returns true when the head was updated.
+bool promote_winner(std::vector<RankedChoice>& ranking, const Candidate& best,
+                    double predicted_s);
 
 class Configurator {
  public:

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <memory>
+#include <numeric>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
+#include "common/hashing.h"
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
 
@@ -14,6 +20,8 @@ using clock = std::chrono::steady_clock;
 double since(clock::time_point t0) {
   return std::chrono::duration<double>(clock::now() - t0).count();
 }
+
+constexpr long kUncapped = std::numeric_limits<long>::max();
 }  // namespace
 
 PipetteConfigurator::PipetteConfigurator(PipetteOptions opt) : opt_(std::move(opt)) {}
@@ -24,8 +32,44 @@ std::string PipetteConfigurator::name() const {
 
 ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
                                                   const model::TrainingJob& job) {
+  return configure_impl(topo, job, nullptr);
+}
+
+ConfiguratorResult PipetteConfigurator::reconfigure(const cluster::Topology& new_topo,
+                                                    const model::TrainingJob& job,
+                                                    const ConfiguratorResult& previous) {
+  // Empty topology diff: the fingerprint covers the spec and the attained
+  // link state of the day, so nothing the previous pass computed is stale —
+  // the previous recommendation *is* the answer, at zero marginal cost.
+  if (previous.found && previous.topo_fingerprint == new_topo.fingerprint() &&
+      previous.job_digest == model::job_digest(job)) {
+    if (!memory_ && previous.memory_estimator) memory_ = previous.memory_estimator;
+    ConfiguratorResult out = previous;
+    out.warm_started = true;
+    out.profile_wall_s = 0.0;
+    out.mem_train_wall_s = 0.0;
+    out.mem_est_wall_s = out.mem_est_cpu_s = 0.0;
+    out.score_wall_s = out.score_cpu_s = 0.0;
+    out.search_wall_s = out.search_cpu_s = 0.0;
+    out.sa_iters = 0;
+    out.sa_rungs = 0;
+    out.shapes_profiled = 0;
+    out.shapes_reused = 0;
+    out.mem_est_reused = 0;
+    return out;
+  }
+  ConfiguratorResult out = configure_impl(new_topo, job, &previous);
+  out.warm_started = true;
+  return out;
+}
+
+ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& topo,
+                                                       const model::TrainingJob& job,
+                                                       const ConfiguratorResult* warm) {
   ConfiguratorResult res;
   res.method = name();
+  res.topo_fingerprint = topo.fingerprint();
+  res.job_digest = model::job_digest(job);
 
   // Line 1: profile the actual bandwidth matrix — or reuse a snapshot the
   // engine's cluster cache already took of this fabric on this day. Like
@@ -38,10 +82,25 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     res.profile_wall_s = profiled->wall_time_s;
   }
 
-  // One-time memory estimator (trained from small-scale profiling runs).
+  // One-time memory estimator (trained from small-scale profiling runs). A
+  // warm start may adopt the previous result's estimator: the training
+  // digest clamps the node count to the profiled sub-cluster, so a resize
+  // above the clamp trains a bit-identical artifact and must not pay twice.
+  // Symmetrically, an estimator this configurator auto-trained for a
+  // *different* clamp or spec is stale here and must be retrained — only an
+  // explicitly injected opt_.memory is trusted as-is.
+  const std::uint64_t want_digest =
+      estimators::MlpMemoryEstimator::training_digest(topo.spec(), opt_.memory_training);
+  if (memory_ && !opt_.memory && memory_->training_digest() != 0 &&
+      memory_->training_digest() != want_digest) {
+    memory_ = nullptr;
+  }
   if (!memory_) {
     if (opt_.memory) {
       memory_ = opt_.memory;
+    } else if (warm && warm->memory_estimator &&
+               warm->memory_estimator->training_digest() == want_digest) {
+      memory_ = warm->memory_estimator;
     } else {
       const auto t0 = clock::now();
       memory_ = std::make_shared<const estimators::MlpMemoryEstimator>(
@@ -50,6 +109,7 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
       res.mem_train_wall_s = since(t0);
     }
   }
+  res.memory_estimator = memory_;
 
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
   const double mem_limit = topo.spec().gpu_memory_bytes;
@@ -64,16 +124,48 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
   // count stays bounded. Each base plan is independent, so this fans out
   // across the executor; kept plans land in index-addressed slots and are
   // merged in enumeration order, keeping the set schedule-independent.
+  // Estimates are memoized by (job, plan): a repeat configure() on this
+  // configurator, or a reconfigure() carrying the previous result under the
+  // same estimator, skips the MLP inference for every surviving plan (the
+  // memoized value is the inference's own output, so the filter's decisions
+  // are bit-identical either way).
   const std::vector<Candidate> bases = parallel::enumerate_base_plans(
       topo.num_gpus(), topo.gpus_per_node(), job.model.num_layers, job.global_batch,
       opt_.constraints);
 
+  if (memo_estimator_ != memory_.get()) {
+    mem_memo_.clear();
+    memo_estimator_ = memory_.get();
+  }
+  // Equal training digests mean interchangeable estimators (training is
+  // deterministic in everything the digest covers), so the memo carried by a
+  // different-instance estimator is just as valid as this one's own output.
+  const std::vector<std::pair<std::uint64_t, double>>* warm_memo = nullptr;
+  if (warm && warm->memory_estimator && memory_ && memory_->training_digest() != 0 &&
+      warm->memory_estimator->training_digest() == memory_->training_digest() &&
+      !warm->mem_estimates.empty()) {
+    warm_memo = &warm->mem_estimates;
+  }
+  auto memo_lookup = [&](std::uint64_t key) -> const double* {
+    if (const auto it = mem_memo_.find(key); it != mem_memo_.end()) return &it->second;
+    if (warm_memo) {
+      const auto it = std::lower_bound(
+          warm_memo->begin(), warm_memo->end(), key,
+          [](const std::pair<std::uint64_t, double>& e, std::uint64_t k) { return e.first < k; });
+      if (it != warm_memo->end() && it->first == key) return &it->second;
+    }
+    return nullptr;
+  };
+
   struct PlanSlot {
     std::vector<Candidate> kept;
+    std::vector<std::pair<std::uint64_t, double>> ests;
     int evaluated = 0;
     int rejected = 0;
-    double mem_wall_s = 0.0;
+    int reused = 0;
+    double wall_s = 0.0;
   };
+  const auto t_mem = clock::now();
   std::vector<PlanSlot> plan_slots(bases.size());
   exec.parallel_for(static_cast<int>(bases.size()), [&](int i) {
     PlanSlot& slot = plan_slots[static_cast<std::size_t>(i)];
@@ -85,7 +177,19 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     }
     const auto t0 = clock::now();
     const double margin = 1.0 + memory_->soft_margin();
-    const double base_est = memory_->estimate_bytes(job, base) * margin;
+    auto est_of = [&](const Candidate& plan) {
+      const std::uint64_t key = common::hash_combine(res.job_digest, plan.hash());
+      double bytes;
+      if (const double* hit = memo_lookup(key)) {
+        bytes = *hit;
+        ++slot.reused;
+      } else {
+        bytes = memory_->estimate_bytes(job, plan);
+      }
+      slot.ests.emplace_back(key, bytes);
+      return bytes;
+    };
+    const double base_est = est_of(base) * margin;
     const bool base_fits = base_est <= mem_limit;
     ++slot.evaluated;
     if (base_fits) {
@@ -101,7 +205,7 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
         bool& kept_family = variant.zero1 ? kept_zero_family : kept_plain_family;
         if (kept_family) continue;
         ++slot.evaluated;
-        if (memory_->fits(job, variant, mem_limit)) {
+        if (est_of(variant) * margin <= mem_limit) {
           slot.kept.push_back(variant);
           kept_family = true;
         } else {
@@ -109,40 +213,137 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
         }
       }
     }
-    slot.mem_wall_s = since(t0);
+    slot.wall_s = since(t0);
   });
 
   std::vector<Candidate> cands;
   for (const auto& slot : plan_slots) {
     res.candidates_evaluated += slot.evaluated;
     res.candidates_rejected_oom += slot.rejected;
-    res.mem_est_wall_s += slot.mem_wall_s;
+    res.mem_est_cpu_s += slot.wall_s;
+    res.mem_est_reused += slot.reused;
     cands.insert(cands.end(), slot.kept.begin(), slot.kept.end());
+    res.mem_estimates.insert(res.mem_estimates.end(), slot.ests.begin(), slot.ests.end());
   }
+  res.mem_est_wall_s = since(t_mem);
+  std::sort(res.mem_estimates.begin(), res.mem_estimates.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, bytes] : res.mem_estimates) mem_memo_.emplace(key, bytes);
   if (cands.empty()) return res;
+
+  // Scoring pass (line 8): profile each candidate's compute and price the
+  // Megatron-default placement. Profiles depend only on the plan's compute
+  // shape, so the shared path profiles each distinct ComputeShapeKey once —
+  // fanned out over the executor, merged and inserted into the shape cache in
+  // canonical key order — and every (dp, zero1) sibling shares the result.
+  const auto t_score = clock::now();
+  std::shared_ptr<estimators::ComputeProfileCache> ccache = opt_.compute_cache;
+  if (opt_.share_compute_profiles) {
+    const std::uint64_t ctx =
+        estimators::compute_context_digest(topo.spec(), opt_.compute_profile);
+    if (ccache) {
+      // A cache injected from outside must have been minted for this exact
+      // compute context — serving profiles measured under other options or
+      // hardware would corrupt every score silently.
+      if (ccache->context() != 0 && ccache->context() != ctx) {
+        throw std::invalid_argument(
+            "PipetteOptions::compute_cache was built for a different compute context");
+      }
+    } else {
+      if (!compute_cache_ || compute_ctx_ != ctx) {
+        compute_cache_ = std::make_shared<estimators::ComputeProfileCache>(ctx);
+        compute_ctx_ = ctx;
+      }
+      ccache = compute_cache_;
+    }
+  }
 
   struct Slot {
     double default_cost = 0.0;
-    estimators::ComputeProfile profile;
+    std::shared_ptr<const estimators::ComputeProfile> profile;
+    double wall_s = 0.0;
   };
   std::vector<Slot> slots(cands.size());
-  exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
-    Slot& slot = slots[static_cast<std::size_t>(i)];
-    const Candidate& cand = cands[static_cast<std::size_t>(i)];
-    slot.profile = estimators::profile_compute(topo, job, cand, opt_.compute_profile);
-    estimators::PipetteLatencyModel model(job, cand, slot.profile, &profiled->bw, links);
-    slot.default_cost = model.estimate(parallel::Mapping::megatron_default(cand.pc));
-  });
+  if (opt_.share_compute_profiles) {
+    std::vector<estimators::ComputeShapeKey> keys(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      keys[i] = estimators::ComputeShapeKey::of(job, cands[i]);
+    }
+    // Representative candidate per shape: the first in enumeration order (any
+    // sibling measures the identical profile; the canonical pick keeps the
+    // request's work schedule-independent).
+    std::map<estimators::ComputeShapeKey,
+             std::shared_ptr<const estimators::ComputeProfile>>
+        resolved;
+    struct ShapeWork {
+      const estimators::ComputeShapeKey* key;
+      int rep;
+      std::shared_ptr<const estimators::ComputeProfile> profile;
+      double wall_s = 0.0;
+    };
+    std::map<estimators::ComputeShapeKey, int> shape_rep;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      shape_rep.try_emplace(keys[i], static_cast<int>(i));
+    }
+    std::vector<ShapeWork> missing;
+    for (const auto& [key, rep] : shape_rep) {
+      if (auto hit = ccache->find(key)) {
+        resolved.emplace(key, std::move(hit));
+      } else {
+        missing.push_back({&key, rep, nullptr, 0.0});
+      }
+    }
+    exec.parallel_for(static_cast<int>(missing.size()), [&](int i) {
+      ShapeWork& w = missing[static_cast<std::size_t>(i)];
+      const auto t0 = clock::now();
+      w.profile = std::make_shared<const estimators::ComputeProfile>(estimators::profile_compute(
+          topo, job, cands[static_cast<std::size_t>(w.rep)], opt_.compute_profile));
+      w.wall_s = since(t0);
+    });
+    for (ShapeWork& w : missing) {  // canonical key order
+      ccache->insert(*w.key, w.profile);
+      resolved.emplace(*w.key, std::move(w.profile));
+      res.score_cpu_s += w.wall_s;
+    }
+    res.shapes_profiled = static_cast<int>(missing.size());
+    res.shapes_reused = static_cast<int>(shape_rep.size() - missing.size());
+    exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
+      Slot& slot = slots[static_cast<std::size_t>(i)];
+      const auto t0 = clock::now();
+      slot.profile = resolved.find(keys[static_cast<std::size_t>(i)])->second;
+      estimators::PipetteLatencyModel model(job, cands[static_cast<std::size_t>(i)],
+                                            *slot.profile, &profiled->bw, links);
+      slot.default_cost =
+          model.estimate(parallel::Mapping::megatron_default(cands[static_cast<std::size_t>(i)].pc));
+      slot.wall_s = since(t0);
+    });
+  } else {
+    // Unshared reference path: one profile per candidate, exactly the
+    // pre-memoization behaviour (the bit-identity tests race the two).
+    exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
+      Slot& slot = slots[static_cast<std::size_t>(i)];
+      const Candidate& cand = cands[static_cast<std::size_t>(i)];
+      const auto t0 = clock::now();
+      slot.profile = std::make_shared<const estimators::ComputeProfile>(
+          estimators::profile_compute(topo, job, cand, opt_.compute_profile));
+      estimators::PipetteLatencyModel model(job, cand, *slot.profile, &profiled->bw, links);
+      slot.default_cost = model.estimate(parallel::Mapping::megatron_default(cand.pc));
+      slot.wall_s = since(t0);
+    });
+    res.shapes_profiled = static_cast<int>(cands.size());
+  }
+  for (const auto& slot : slots) res.score_cpu_s += slot.wall_s;
+  res.score_wall_s = since(t_score);
 
   struct Scored {
     Candidate cand;
     double default_cost;
-    const estimators::ComputeProfile* profile;
+    std::shared_ptr<const estimators::ComputeProfile> profile;
   };
   std::vector<Scored> scored;
   scored.reserve(cands.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    scored.push_back({cands[i], slots[i].default_cost, &slots[i].profile});
+    scored.push_back({cands[i], slots[i].default_cost, slots[i].profile});
   }
 
   // Stable sort: equal costs keep enumeration order, so the ranking is the
@@ -155,64 +356,189 @@ ConfiguratorResult PipetteConfigurator::configure(const cluster::Topology& topo,
     res.ranking.push_back({s.cand, s.default_cost});
   }
 
-  // Lines 9-15: fine-grained worker dedication on the most promising
-  // candidates (all of them when sa_top_k == 0, as in the paper). Each SA
-  // pass runs on the incremental evaluator inside optimize_mapping —
-  // bit-identical costs to model.estimate, so the annealed mappings match
-  // full re-evaluation move for move while proposals cost O(touched groups).
+  // Lines 9-15: fine-grained worker dedication. Each SA pass runs on the
+  // incremental evaluator — bit-identical costs to model.estimate, so the
+  // annealed mappings match full re-evaluation move for move while proposals
+  // cost O(touched groups).
   res.found = true;
   res.best = scored.front().cand;
   res.predicted_s = scored.front().default_cost;
   res.mapping = parallel::Mapping::megatron_default(scored.front().cand.pc);
 
   if (opt_.use_worker_dedication) {
-    const std::size_t limit =
-        opt_.sa_top_k <= 0 ? scored.size()
-                           : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(opt_.sa_top_k));
-    struct SaSlot {
-      double best_cost = std::numeric_limits<double>::infinity();
-      std::optional<parallel::Mapping> mapping;
-      double wall_s = 0.0;
+    const auto t_sa = clock::now();
+    const int gpn = topo.gpus_per_node();
+    const int chains = std::max(1, opt_.sa_chains);
+    // Chain seeds mirror optimize_mapping_multichain exactly: chain 0 is the
+    // candidate seed (derived from the candidate itself, not its rank, so
+    // serial and parallel schedules anneal each candidate identically),
+    // chain i > 0 derives from it and the chain index.
+    auto chain_opts = [&](const Candidate& cand, int chain) {
+      search::SaOptions so = opt_.sa;
+      so.seed = search::derive_seed(opt_.sa.seed, cand.str());
+      if (chain > 0) so.seed = search::derive_seed(so.seed, "mc-chain-" + std::to_string(chain));
+      return so;
     };
-    std::vector<SaSlot> sa_slots(limit);
-    exec.parallel_for(static_cast<int>(limit), [&](int i) {
-      const auto& s = scored[static_cast<std::size_t>(i)];
-      estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
-      auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
-      search::SaOptions sa = opt_.sa;
-      // Seeded from the candidate itself, not its rank, so serial and
-      // parallel schedules anneal each candidate identically.
-      sa.seed = search::derive_seed(opt_.sa.seed, s.cand.str());
-      const auto sa_res = search::optimize_mapping_multichain(
-          mapping, model, topo.gpus_per_node(), sa, {opt_.sa_chains, opt_.executor}, opt_.moves);
-      auto& slot = sa_slots[static_cast<std::size_t>(i)];
-      slot.best_cost = sa_res.best_cost;
-      slot.mapping = std::move(mapping);
-      slot.wall_s = sa_res.wall_s;
-    });
-    double best_cost = std::numeric_limits<double>::infinity();
-    std::size_t best_i = limit;  // ties resolve to the lowest default-cost rank
-    for (std::size_t i = 0; i < limit; ++i) {
-      res.search_wall_s += sa_slots[i].wall_s;
-      if (sa_slots[i].best_cost < best_cost) {
-        best_cost = sa_slots[i].best_cost;
-        best_i = i;
+
+    std::size_t winner = 0;
+    const bool halving = opt_.sa_halving.enabled && opt_.sa.max_iters != kUncapped;
+    if (halving) {
+      const std::size_t width =
+          opt_.sa_halving.width <= 0
+              ? scored.size()
+              : std::min<std::size_t>(scored.size(),
+                                      static_cast<std::size_t>(opt_.sa_halving.width));
+      int rungs = 1;
+      while ((std::size_t{1} << (rungs - 1)) < width) ++rungs;
+      const long full = opt_.sa.max_iters;
+      long rung0 = opt_.sa_halving.rung0_iters;
+      if (rung0 <= 0) rung0 = std::max<long>(1, full >> (rungs - 1));
+
+      struct Race {
+        std::unique_ptr<estimators::PipetteLatencyModel> model;
+        std::vector<std::unique_ptr<search::ResumableMappingAnneal>> sa_chains;
+      };
+      std::vector<Race> races(width);
+      exec.parallel_for(static_cast<int>(width), [&](int i) {
+        const Scored& s = scored[static_cast<std::size_t>(i)];
+        Race& race = races[static_cast<std::size_t>(i)];
+        race.model = std::make_unique<estimators::PipetteLatencyModel>(
+            job, s.cand, *s.profile, &profiled->bw, links);
+        race.sa_chains.reserve(static_cast<std::size_t>(chains));
+        for (int c = 0; c < chains; ++c) {
+          race.sa_chains.push_back(std::make_unique<search::ResumableMappingAnneal>(
+              *race.model, parallel::Mapping::megatron_default(s.cand.pc), gpn,
+              chain_opts(s.cand, c), opt_.moves));
+        }
+      });
+      // Canonical per-candidate score: lowest chain cost, ties to the lowest
+      // chain index — the multichain merge rule.
+      auto best_chain = [&](int i) {
+        const Race& race = races[static_cast<std::size_t>(i)];
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < race.sa_chains.size(); ++c) {
+          if (race.sa_chains[c]->best_cost() < race.sa_chains[best]->best_cost()) best = c;
+        }
+        return best;
+      };
+      auto race_cost = [&](int i) {
+        return races[static_cast<std::size_t>(i)]
+            .sa_chains[best_chain(i)]
+            ->best_cost();
+      };
+
+      std::vector<int> alive(width);
+      std::iota(alive.begin(), alive.end(), 0);
+      for (int r = 0; r < rungs; ++r) {
+        // rung0 << r clamped to full, shift-before-compare so a user-set
+        // rung0_iters can never signed-overflow: the cap doubles per rung
+        // and the final rung always lands exactly on the full budget.
+        const long target = (r == rungs - 1 || rung0 > (full >> r)) ? full : rung0 << r;
+        exec.parallel_for(static_cast<int>(alive.size()) * chains, [&](int u) {
+          races[static_cast<std::size_t>(alive[static_cast<std::size_t>(u / chains)])]
+              .sa_chains[static_cast<std::size_t>(u % chains)]
+              ->run_to(target);
+        });
+        ++res.sa_rungs;
+        if (alive.size() <= 1) continue;
+        // Keep the best half plus the slack band around the leader; `alive`
+        // enters in default-cost rank order, so the stable sort resolves
+        // equal costs to the better-ranked candidate, and re-sorting the
+        // survivors restores rank order for the next rung.
+        std::stable_sort(alive.begin(), alive.end(),
+                         [&](int a, int b) { return race_cost(a) < race_cost(b); });
+        const double band = race_cost(alive.front()) * (1.0 + std::max(0.0, opt_.sa_halving.keep_slack));
+        std::size_t keep = (alive.size() + 1) / 2;
+        while (keep < alive.size() && race_cost(alive[keep]) <= band) ++keep;
+        alive.resize(keep);
+        std::sort(alive.begin(), alive.end());
+      }
+      std::stable_sort(alive.begin(), alive.end(),
+                       [&](int a, int b) { return race_cost(a) < race_cost(b); });
+      winner = static_cast<std::size_t>(alive.front());
+      const Race& wrace = races[winner];
+      const std::size_t wchain = best_chain(alive.front());
+      res.predicted_s = wrace.sa_chains[wchain]->best_cost();
+      res.best = scored[winner].cand;
+      res.mapping = wrace.sa_chains[wchain]->best_mapping();
+      for (const Race& race : races) {
+        for (const auto& chain : race.sa_chains) {
+          res.sa_iters += chain->total_iters();
+          res.search_cpu_s += chain->wall_s();
+        }
+      }
+    } else {
+      // Legacy allocation: the sa_top_k best candidates, full budget each.
+      const std::size_t limit =
+          opt_.sa_top_k <= 0
+              ? scored.size()
+              : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(opt_.sa_top_k));
+      struct SaSlot {
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::optional<parallel::Mapping> mapping;
+        double wall_s = 0.0;
+        long iters = 0;
+      };
+      std::vector<SaSlot> sa_slots(limit);
+      exec.parallel_for(static_cast<int>(limit), [&](int i) {
+        const auto& s = scored[static_cast<std::size_t>(i)];
+        estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
+        auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
+        search::SaOptions sa = chain_opts(s.cand, 0);
+        const auto sa_res = search::optimize_mapping_multichain(
+            mapping, model, gpn, sa, {opt_.sa_chains, opt_.executor}, opt_.moves);
+        auto& slot = sa_slots[static_cast<std::size_t>(i)];
+        slot.best_cost = sa_res.best_cost;
+        slot.mapping = std::move(mapping);
+        slot.wall_s = sa_res.wall_s;
+        slot.iters = sa_res.iters;
+      });
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_i = limit;  // ties resolve to the lowest default-cost rank
+      for (std::size_t i = 0; i < limit; ++i) {
+        res.search_cpu_s += sa_slots[i].wall_s;
+        res.sa_iters += sa_slots[i].iters;
+        if (sa_slots[i].best_cost < best_cost) {
+          best_cost = sa_slots[i].best_cost;
+          best_i = i;
+        }
+      }
+      if (best_i < limit) {
+        winner = best_i;
+        res.best = scored[best_i].cand;
+        res.predicted_s = sa_slots[best_i].best_cost;
+        res.mapping = std::move(*sa_slots[best_i].mapping);
       }
     }
-    if (best_i < limit) {
-      res.best = scored[best_i].cand;
-      res.predicted_s = sa_slots[best_i].best_cost;
-      res.mapping = std::move(*sa_slots[best_i].mapping);
+
+    // Elastic warm start: continue annealing the dedicated winner from the
+    // previous placement projected onto the (possibly resized) cluster. An
+    // extra derive_seed-keyed pass, merged by strict improvement — ties keep
+    // the cold-path mapping, so an unchanged search space reproduces the
+    // cold result while a genuine resize starts from the surviving structure
+    // instead of from scratch.
+    if (warm && warm->mapping) {
+      const Scored& s = scored[winner];
+      parallel::Mapping warm_m = parallel::project_mapping(*warm->mapping, s.cand.pc);
+      estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
+      search::SaOptions wopt = opt_.sa;
+      wopt.seed =
+          search::derive_seed(search::derive_seed(opt_.sa.seed, s.cand.str()), "warm-start");
+      const auto wres =
+          search::optimize_mapping(warm_m, model, gpn, wopt, opt_.moves);
+      res.sa_iters += wres.iters;
+      res.search_cpu_s += wres.wall_s;
+      if (wres.best_cost < res.predicted_s) {
+        res.predicted_s = wres.best_cost;
+        res.mapping = std::move(warm_m);
+      }
     }
+
     // Keep the ranking's head consistent with the dedicated choice. If the
     // winner fell outside a truncated ranking, leave the ranking untouched
     // rather than mislabel the head with another candidate's SA cost.
-    auto it = std::find_if(res.ranking.begin(), res.ranking.end(),
-                           [&](const RankedChoice& r) { return r.cand == res.best; });
-    if (it != res.ranking.end()) {
-      std::rotate(res.ranking.begin(), it, it + 1);
-      res.ranking.front().predicted_s = res.predicted_s;
-    }
+    promote_winner(res.ranking, res.best, res.predicted_s);
+    res.search_wall_s = since(t_sa);
   }
   return res;
 }

@@ -5,6 +5,8 @@
 // simulated annealing on the most promising ones (§IV).
 #pragma once
 
+#include <unordered_map>
+
 #include "cluster/profiler.h"
 #include "common/executor.h"
 #include "core/configurator.h"
@@ -14,28 +16,63 @@
 
 namespace pipette::core {
 
+/// Successive-halving allocation of the worker-dedication budget: instead of
+/// giving `sa_top_k` candidates the full SA budget each, rung 0 starts a wide
+/// racing set on a small iteration cap, every rung keeps the best half
+/// (stable ties to default-cost rank) and doubles the cap, and the lone
+/// survivor finishes at the full budget. Chains *resume* across rungs
+/// (search::ResumableMappingAnneal carries the mapping, temperature, and rng
+/// stream), so no move is ever replayed: total work is ~2x the full budget
+/// rather than top_k-times it, at a wider rung-0 field than any fixed top-k.
+/// Rung caps are iteration-counted and selection is canonical, so any
+/// executor and thread count reproduces the serial result bit for bit.
+struct SaHalvingOptions {
+  /// Requires an iteration-capped budget (SaOptions::max_iters finite); the
+  /// configurator silently falls back to the legacy sa_top_k loop for pure
+  /// wall-clock budgets, which cannot race deterministically. A finite
+  /// time_limit_s alongside the iteration cap is honored as a per-chain
+  /// deadline (whichever bound hits first, as everywhere else).
+  bool enabled = true;
+  /// Rung-0 racing set size, by default-placement rank; 0 races every
+  /// surviving candidate (the paper's Algorithm 1 breadth at a fraction of
+  /// its cost).
+  int width = 0;
+  /// Rung-0 iteration cap; 0 derives max_iters >> (rungs - 1) so the final
+  /// rung lands exactly on the full budget.
+  long rung0_iters = 0;
+  /// Elimination slack: a rung keeps the best half *plus* every candidate
+  /// whose annealed cost is within this fraction of the rung leader. Low-budget
+  /// rungs rank near-tied candidates almost arbitrarily (their chains have
+  /// barely cooled); the band lets genuine contenders survive to a budget
+  /// that separates them, at a small bounded work increase. 0 restores pure
+  /// halving.
+  double keep_slack = 0.03;
+};
+
 struct PipetteOptions {
   /// PPT-LF when true; PPT-L (latency estimator + memory estimator only,
   /// default placement) when false — the paper's Fig. 6 ablation.
   bool use_worker_dedication = true;
   /// Disable to reproduce the OOM-recommending behaviour of the baselines.
   bool use_memory_filter = true;
-  /// SA is run on the `sa_top_k` best candidates by default-placement score;
-  /// 0 means "every surviving candidate" (the paper's Algorithm 1 loops SA
-  /// over all of them with a 10 s budget each). Proposals are scored by the
-  /// incremental evaluator (see src/estimators/incremental_latency.h), which
-  /// multiplies the moves explored per second of budget without changing any
-  /// result.
+  /// Legacy SA allocation: SA on the `sa_top_k` best candidates by
+  /// default-placement score, full budget each; 0 means "every surviving
+  /// candidate" (the paper's Algorithm 1 loops SA over all of them with a
+  /// 10 s budget each). Used when sa_halving is disabled or the budget is
+  /// wall-clock. Proposals are scored by the incremental evaluator (see
+  /// src/estimators/incremental_latency.h) either way.
   int sa_top_k = 6;
   search::SaOptions sa;
   search::MoveSet moves;
-  /// Independent SA chains per candidate (search::optimize_mapping_multichain),
-  /// merged canonically — lowest best cost, ties to the lowest chain index.
-  /// 1 reproduces the single-chain path bit for bit. Chain seeds derive from
-  /// the candidate seed and the chain index, so any executor and thread
-  /// count returns the same mapping; the chains fan out across `executor`
-  /// (the pool's parallel_for is caller-participating, so nesting under the
-  /// per-candidate fan-out is deadlock-free).
+  /// Racing allocator for the SA budget (the default under iteration caps).
+  SaHalvingOptions sa_halving;
+  /// Independent SA chains per candidate (search::optimize_mapping_multichain
+  /// semantics), merged canonically — lowest best cost, ties to the lowest
+  /// chain index. 1 reproduces the single-chain path bit for bit. Chain seeds
+  /// derive from the candidate seed and the chain index, so any executor and
+  /// thread count returns the same mapping; the chains fan out across
+  /// `executor` (the pool's parallel_for is caller-participating, so nesting
+  /// under the per-candidate fan-out is deadlock-free).
   int sa_chains = 1;
   cluster::ProfileOptions profile;
   estimators::ComputeProfileOptions compute_profile;
@@ -55,6 +92,17 @@ struct PipetteOptions {
   /// engine::ClusterCache entry for the same fabric and day); profiled on
   /// demand when null.
   std::shared_ptr<const cluster::ProfileResult> profile_snapshot;
+  /// Share compute profiles across candidates of equal compute shape: the
+  /// scoring pass groups candidates by estimators::ComputeShapeKey, profiles
+  /// each shape once, and shares the result by shared_ptr — bit-identical to
+  /// per-candidate profiling (the profile never reads dp, ZeRO, or the
+  /// mapping) at a fraction of the cost. Disable for the unshared reference
+  /// path.
+  bool share_compute_profiles = true;
+  /// Persistent shape cache to reuse across requests (e.g. from an
+  /// engine::ClusterCache entry for the same compute context). Null memoizes
+  /// within this configurator only.
+  std::shared_ptr<estimators::ComputeProfileCache> compute_cache;
   /// Parallel executor for candidate scoring and the per-candidate SA passes
   /// (not owned; typically an engine::ThreadPool). Results are merged in
   /// canonical enumeration order and SA seeds derive from the candidate
@@ -72,14 +120,40 @@ class PipetteConfigurator final : public Configurator {
   ConfiguratorResult configure(const cluster::Topology& topo,
                                const model::TrainingJob& job) override;
 
+  /// Elastic re-configuration after a cluster resize (ROADMAP: elastic
+  /// clusters): diffs the old and new plan spaces and reuses everything that
+  /// survives — the trained memory estimator (when the clamped training
+  /// digest still matches), the memoized compute shapes, and the per-plan
+  /// memory estimates carried in `previous` — then seeds an extra SA pass for
+  /// the dedicated winner from parallel::project_mapping(previous mapping)
+  /// instead of annealing from scratch (kept only when strictly better, so an
+  /// unchanged topology reproduces the cold result). When the topology diff
+  /// is empty (same fingerprint, same job), returns `previous` unchanged with
+  /// zeroed per-request costs.
+  ConfiguratorResult reconfigure(const cluster::Topology& new_topo,
+                                 const model::TrainingJob& job,
+                                 const ConfiguratorResult& previous);
+
   /// The memory estimator in use after the first configure() call.
   std::shared_ptr<const estimators::MlpMemoryEstimator> memory_estimator() const {
     return memory_;
   }
 
  private:
+  ConfiguratorResult configure_impl(const cluster::Topology& topo, const model::TrainingJob& job,
+                                    const ConfiguratorResult* warm);
+
   PipetteOptions opt_;
   std::shared_ptr<const estimators::MlpMemoryEstimator> memory_;
+  /// Per-configurator shape cache (used when opt_.compute_cache is null),
+  /// reset when the compute context changes.
+  std::shared_ptr<estimators::ComputeProfileCache> compute_cache_;
+  std::uint64_t compute_ctx_ = 0;
+  /// Memory-estimate memo across configure() calls under one estimator
+  /// (hash(job digest, plan hash) -> bytes); cleared when the estimator
+  /// changes.
+  std::unordered_map<std::uint64_t, double> mem_memo_;
+  const void* memo_estimator_ = nullptr;
 };
 
 }  // namespace pipette::core

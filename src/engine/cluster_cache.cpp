@@ -18,35 +18,6 @@ std::uint64_t hash_profile_options(std::uint64_t h, const cluster::ProfileOption
   return h;
 }
 
-std::uint64_t hash_memory_options(std::uint64_t h, const estimators::MlpMemoryOptions& o) {
-  using common::hash_combine;
-  for (const int w : o.hidden) h = hash_combine(h, static_cast<std::uint64_t>(w));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.train.iters));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.train.batch_size));
-  h = hash_combine(h, o.train.lr);
-  h = hash_combine(h, o.train.lr_decay);
-  h = hash_combine(h, o.train.seed);
-  h = hash_combine(h, o.soft_margin);
-  h = hash_combine(h, static_cast<std::uint64_t>(o.max_profile_nodes));
-  for (const int b : o.profile_global_batches) h = hash_combine(h, static_cast<std::uint64_t>(b));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.max_tp));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.max_micro_batch));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.require_full_rounds));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.fixed_micro_batch));
-  // Plan-axis knobs change the training dataset, and the feature-vector
-  // version changes the trained net's very input layout: both must key the
-  // cached estimator so feature sets never collide.
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_interleaved));
-  for (const int v : o.constraints.virtual_stage_options) {
-    h = hash_combine(h, static_cast<std::uint64_t>(v));
-  }
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_recompute));
-  h = hash_combine(h, static_cast<std::uint64_t>(o.constraints.enable_zero1));
-  h = hash_combine(h, static_cast<std::uint64_t>(estimators::MlpMemoryEstimator::kFeatureVersion));
-  h = hash_combine(h, o.seed);
-  return h;
-}
-
 }  // namespace
 
 std::uint64_t ClusterCache::profile_key(const cluster::Topology& topo,
@@ -56,14 +27,24 @@ std::uint64_t ClusterCache::profile_key(const cluster::Topology& topo,
 
 std::uint64_t ClusterCache::memory_key(const cluster::ClusterSpec& spec,
                                        const estimators::MlpMemoryOptions& memory_opt) {
-  return hash_memory_options(cluster::spec_digest(spec), memory_opt);
+  // The estimator's own training digest: the single source of truth for what
+  // a trained artifact depends on (spec clamped to the profiled sub-cluster,
+  // every training option, the feature version).
+  return estimators::MlpMemoryEstimator::training_digest(spec, memory_opt);
 }
 
-ClusterCache::Entry ClusterCache::get_or_compute(const cluster::Topology& topo,
-                                                 const cluster::ProfileOptions& profile_opt,
-                                                 const estimators::MlpMemoryOptions& memory_opt) {
+std::uint64_t ClusterCache::compute_key(const cluster::ClusterSpec& spec,
+                                        const estimators::ComputeProfileOptions& compute_opt) {
+  return estimators::compute_context_digest(spec, compute_opt);
+}
+
+ClusterCache::Entry ClusterCache::get_or_compute(
+    const cluster::Topology& topo, const cluster::ProfileOptions& profile_opt,
+    const estimators::MlpMemoryOptions& memory_opt,
+    const estimators::ComputeProfileOptions& compute_opt) {
   std::shared_ptr<Cell<cluster::ProfileResult>> profile_cell;
   std::shared_ptr<Cell<estimators::MlpMemoryEstimator>> memory_cell;
+  Entry entry;
   {
     std::lock_guard lk(mu_);
     ++stats_.lookups;
@@ -73,9 +54,23 @@ ClusterCache::Entry ClusterCache::get_or_compute(const cluster::Topology& topo,
     if (phit && mhit) ++stats_.hits;
     profile_cell = pcell;
     memory_cell = mcell;
+    // The shape cache starts empty and fills lazily inside requests, so it
+    // is minted right here under the cache mutex.
+    auto& ccache = compute_[compute_key(topo.spec(), compute_opt)];
+    if (!ccache) {
+      ccache = std::make_shared<estimators::ComputeProfileCache>(
+          compute_key(topo.spec(), compute_opt));
+      ++stats_.compute_caches_created;
+      compute_order_.push_back(compute_key(topo.spec(), compute_opt));
+      while (static_cast<int>(compute_.size()) > opt_.max_compute_caches &&
+             compute_order_.front() != compute_key(topo.spec(), compute_opt)) {
+        compute_.erase(compute_order_.front());
+        compute_order_.pop_front();
+      }
+    }
+    entry.compute = ccache;
   }
 
-  Entry entry;
   auto fill_profile = [&] {  // caller holds profile_cell->mu
     if (!profile_cell->value) {
       profile_cell->value = std::make_shared<const cluster::ProfileResult>(
@@ -130,6 +125,11 @@ int ClusterCache::cached_profiles() const {
 int ClusterCache::cached_estimators() const {
   std::lock_guard lk(mu_);
   return static_cast<int>(estimators_.cells.size());
+}
+
+int ClusterCache::cached_compute_caches() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(compute_.size());
 }
 
 }  // namespace pipette::engine

@@ -8,9 +8,15 @@
 //   * the bandwidth profile on Topology::fingerprint() (spec + the attained
 //     link state of the current day) mixed with the profiling options — a new
 //     day or heterogeneity universe means a new profile;
-//   * the trained estimator on cluster::spec_digest() mixed with the training
-//     options — its training data is simulated from the spec alone, so it
-//     survives day drift and is shared across same-spec fabrics.
+//   * the trained estimator on MlpMemoryEstimator::training_digest() — its
+//     training data is simulated on sub-clusters of up to max_profile_nodes
+//     from the spec alone, so it survives day drift, is shared across
+//     same-spec fabrics, and survives elastic resizes above the clamp;
+//   * the compute-shape profile cache on the spec's *compute* constants mixed
+//     with the profiling options (estimators::compute_context_digest) — the
+//     measured per-stage compute never reads link state, the node count, or
+//     the day, so one shape cache serves every request, day, and resize on
+//     the same hardware generation.
 //
 // Thread-safe: concurrent first requests for the same key compute the
 // artifact exactly once (the rest block on its cell), and distinct keys
@@ -30,6 +36,7 @@
 #include <unordered_map>
 
 #include "cluster/profiler.h"
+#include "estimators/compute_profile.h"
 #include "estimators/mlp_memory.h"
 
 namespace pipette::engine {
@@ -39,11 +46,13 @@ struct ClusterCacheStats {
   int hits = 0;           ///< both artifacts already present (possibly still computing)
   int profiles_run = 0;   ///< actual profile_network invocations
   int trainings_run = 0;  ///< actual MlpMemoryEstimator trainings
+  int compute_caches_created = 0;  ///< fresh (empty) shape caches minted
 };
 
 struct ClusterCacheOptions {
-  int max_profiles = 64;    ///< distinct (fabric, day, options) snapshots kept
-  int max_estimators = 16;  ///< distinct (spec, options) trained estimators kept
+  int max_profiles = 64;        ///< distinct (fabric, day, options) snapshots kept
+  int max_estimators = 16;      ///< distinct (spec, options) trained estimators kept
+  int max_compute_caches = 16;  ///< distinct compute contexts' shape caches kept
 };
 
 class ClusterCache {
@@ -51,25 +60,34 @@ class ClusterCache {
   struct Entry {
     std::shared_ptr<const cluster::ProfileResult> profile;
     std::shared_ptr<const estimators::MlpMemoryEstimator> memory;
+    /// Shared, mutable shape cache for the compute context: requests populate
+    /// it as they profile new shapes and later requests reuse them.
+    std::shared_ptr<estimators::ComputeProfileCache> compute;
   };
 
   explicit ClusterCache(ClusterCacheOptions opt = {}) : opt_(opt) {}
 
-  /// Returns the memoized artifacts for this cluster/options pair, computing
+  /// Returns the memoized artifacts for this cluster/options tuple, computing
   /// them (profile + estimator training on the gpt zoo) on first request.
   Entry get_or_compute(const cluster::Topology& topo, const cluster::ProfileOptions& profile_opt,
-                       const estimators::MlpMemoryOptions& memory_opt);
+                       const estimators::MlpMemoryOptions& memory_opt,
+                       const estimators::ComputeProfileOptions& compute_opt = {});
 
   /// Key of the memoized bandwidth profile.
   static std::uint64_t profile_key(const cluster::Topology& topo,
                                    const cluster::ProfileOptions& profile_opt);
-  /// Key of the memoized trained estimator.
+  /// Key of the memoized trained estimator (the clamped training digest, so
+  /// resizes above max_profile_nodes share the artifact).
   static std::uint64_t memory_key(const cluster::ClusterSpec& spec,
                                   const estimators::MlpMemoryOptions& memory_opt);
+  /// Key of the memoized compute-shape cache.
+  static std::uint64_t compute_key(const cluster::ClusterSpec& spec,
+                                   const estimators::ComputeProfileOptions& compute_opt);
 
   ClusterCacheStats stats() const;
   int cached_profiles() const;
   int cached_estimators() const;
+  int cached_compute_caches() const;
 
  private:
   template <typename T>
@@ -105,6 +123,11 @@ class ClusterCache {
   mutable std::mutex mu_;  // guards the maps and stats_
   CellMap<cluster::ProfileResult> profiles_;
   CellMap<estimators::MlpMemoryEstimator> estimators_;
+  /// Shape caches are cheap to mint (they start empty and fill lazily), so
+  /// they live in a plain bounded FIFO map created under mu_ — no per-cell
+  /// compute mutex needed.
+  std::unordered_map<std::uint64_t, std::shared_ptr<estimators::ComputeProfileCache>> compute_;
+  std::deque<std::uint64_t> compute_order_;
   ClusterCacheStats stats_;
 };
 

@@ -8,8 +8,16 @@ ConfigService::ConfigService(ConfigServiceOptions opt)
 std::future<core::ConfiguratorResult> ConfigService::submit(cluster::Topology topo,
                                                             model::TrainingJob job) {
   return pool_.submit([this, topo = std::move(topo), job = std::move(job)] {
-    return configure_one(topo, job);
+    return configure_one(topo, job, nullptr);
   });
+}
+
+std::future<core::ConfiguratorResult> ConfigService::reconfigure(
+    cluster::Topology topo, model::TrainingJob job, core::ConfiguratorResult previous) {
+  return pool_.submit(
+      [this, topo = std::move(topo), job = std::move(job), previous = std::move(previous)] {
+        return configure_one(topo, job, &previous);
+      });
 }
 
 std::vector<core::ConfiguratorResult> ConfigService::sweep(
@@ -24,15 +32,18 @@ std::vector<core::ConfiguratorResult> ConfigService::sweep(
 }
 
 core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& topo,
-                                                      const model::TrainingJob& job) {
-  const ClusterCache::Entry entry =
-      cache_.get_or_compute(topo, opt_.pipette.profile, opt_.pipette.memory_training);
+                                                      const model::TrainingJob& job,
+                                                      const core::ConfiguratorResult* previous) {
+  const ClusterCache::Entry entry = cache_.get_or_compute(
+      topo, opt_.pipette.profile, opt_.pipette.memory_training, opt_.pipette.compute_profile);
   core::PipetteOptions po = opt_.pipette;
   po.memory = entry.memory;
   po.profile_snapshot = entry.profile;
+  po.compute_cache = entry.compute;
   po.executor = opt_.parallel_candidates ? &pool_ : nullptr;
   core::PipetteConfigurator configurator(std::move(po));
-  return configurator.configure(topo, job);
+  return previous ? configurator.reconfigure(topo, job, *previous)
+                  : configurator.configure(topo, job);
 }
 
 }  // namespace pipette::engine

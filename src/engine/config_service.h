@@ -31,8 +31,9 @@ struct ConfigServiceOptions {
   bool parallel_candidates = true;
   /// Bounds on the per-cluster artifact cache.
   ClusterCacheOptions cache;
-  /// Template options for every request. `memory`, `profile_snapshot`, and
-  /// `executor` are overwritten per request from the cache and pool.
+  /// Template options for every request. `memory`, `profile_snapshot`,
+  /// `compute_cache`, and `executor` are overwritten per request from the
+  /// cache and pool.
   core::PipetteOptions pipette;
 };
 
@@ -45,6 +46,15 @@ class ConfigService {
   /// configurator's exception).
   std::future<core::ConfiguratorResult> submit(cluster::Topology topo, model::TrainingJob job);
 
+  /// Enqueues an elastic re-configuration: the same request as submit(), plus
+  /// the previous result so the configurator can warm-start from it — the
+  /// trained estimator (when the clamped training digest survives the
+  /// resize), the per-plan memory estimates of surviving plans, and an SA
+  /// pass seeded from the projected previous placement. A resize event is
+  /// thus one API call: service.reconfigure(new_topo, job, old_result).
+  std::future<core::ConfiguratorResult> reconfigure(cluster::Topology topo, model::TrainingJob job,
+                                                    core::ConfiguratorResult previous);
+
   /// Submits every job against one cluster and waits for all of them;
   /// results are in job order.
   std::vector<core::ConfiguratorResult> sweep(const cluster::Topology& topo,
@@ -55,7 +65,8 @@ class ConfigService {
 
  private:
   core::ConfiguratorResult configure_one(const cluster::Topology& topo,
-                                         const model::TrainingJob& job);
+                                         const model::TrainingJob& job,
+                                         const core::ConfiguratorResult* previous);
 
   ConfigServiceOptions opt_;
   ClusterCache cache_{opt_.cache};

@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cluster/topology.h"
 #include "model/transformer.h"
 #include "parallel/parallel_config.h"
+#include "parallel/train_plan.h"
 #include "sim/stage_costs.h"
 
 namespace pipette::estimators {
@@ -38,6 +42,79 @@ struct ComputeProfileOptions {
 /// Profiles every pipeline position of `plan` for `job` on `topo`.
 ComputeProfile profile_compute(const cluster::Topology& topo, const model::TrainingJob& job,
                                const parallel::TrainPlan& plan, const ComputeProfileOptions& opt);
+
+/// The *compute shape* of a plan: exactly the TrainPlan/job fields
+/// profile_compute's output depends on. The measured per-position costs read
+/// only the model, pp (layer split), tp (FLOP shard), microbatch, schedule
+/// chunking, and recomputation — never dp, ZeRO-1, the worker mapping, or the
+/// fabric's link state (the profiled noise stream is seeded from the options
+/// alone). Two plans with equal keys therefore produce bit-identical
+/// ComputeProfiles, which is what lets the configurator profile each shape
+/// once and share the result across every (dp, zero1, mapping) sibling.
+struct ComputeShapeKey {
+  std::uint64_t model_digest = 0;
+  int pp = 1;
+  int tp = 1;
+  int micro_batch = 1;
+  parallel::PipeSchedule schedule = parallel::PipeSchedule::k1F1B;
+  int virtual_stages = 1;
+  parallel::Recompute recompute = parallel::Recompute::kNone;
+
+  static ComputeShapeKey of(const model::TrainingJob& job, const parallel::TrainPlan& plan);
+
+  /// Stable 64-bit digest over every field — for external keying and
+  /// diagnostics only; the cache itself orders on operator< and never hashes.
+  std::uint64_t hash() const;
+
+  bool operator==(const ComputeShapeKey&) const = default;
+};
+
+/// Canonical ordering: (model, pp, tp, micro, schedule, v, recompute) — the
+/// order shape-grouped scoring profiles and merges in, independent of the
+/// candidate schedule.
+bool operator<(const ComputeShapeKey& a, const ComputeShapeKey& b);
+
+/// Digest of everything *besides* the shape that determines a profile: the
+/// spec's compute constants (GEMM efficiency curve, peak FLOPs, HBM
+/// bandwidth) and the profiling options. Deliberately excludes the node
+/// count, link state, and heterogeneity day — none of them reach the
+/// compute-only costs — so one shape cache stays valid across day drift and
+/// cluster resizes on the same hardware generation.
+std::uint64_t compute_context_digest(const cluster::ClusterSpec& spec,
+                                     const ComputeProfileOptions& opt);
+
+/// Thread-safe memo of profiled compute shapes, shared between the scoring
+/// pass's candidates and — via engine::ClusterCache — across requests on the
+/// same compute context. Entries are immutable once inserted; insertion order
+/// does not affect lookups, and the configurator inserts in canonical key
+/// order anyway so any executor schedule leaves an identical cache.
+class ComputeProfileCache {
+ public:
+  /// `context` is the compute_context_digest the cached profiles are valid
+  /// under; callers that share the cache across requests verify it (0 = an
+  /// unbound private cache, never checked).
+  explicit ComputeProfileCache(std::uint64_t context = 0) : context_(context) {}
+
+  /// The bound compute context (0 when unbound).
+  std::uint64_t context() const { return context_; }
+
+  /// Returns the memoized profile for `key`, or null (counts a miss).
+  std::shared_ptr<const ComputeProfile> find(const ComputeShapeKey& key) const;
+  /// Inserts `profile` for `key` (first writer wins; re-inserting an equal
+  /// key is a no-op, which keeps concurrent requests deterministic).
+  void insert(const ComputeShapeKey& key, std::shared_ptr<const ComputeProfile> profile);
+
+  int size() const;
+  long hits() const;
+  long misses() const;
+
+ private:
+  std::uint64_t context_ = 0;
+  mutable std::mutex mu_;
+  std::map<ComputeShapeKey, std::shared_ptr<const ComputeProfile>> map_;
+  mutable long hits_ = 0;
+  mutable long misses_ = 0;
+};
 
 /// Power-law extrapolator C(micro) = a * micro^b fitted to profiled points in
 /// log space — the paper's "extrapolated latency estimation model" for

@@ -1,8 +1,10 @@
 #include "estimators/mlp_memory.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "common/hashing.h"
 #include "common/stats.h"
 
 namespace pipette::estimators {
@@ -37,8 +39,49 @@ std::vector<double> MlpMemoryEstimator::features(const model::TrainingJob& job,
           plan.zero1 ? 1.0 : 0.0};
 }
 
-MlpMemoryEstimator::MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape)
-    : reg_(std::move(reg)), margin_(margin), dataset_size_(n), train_mape_(mape) {}
+MlpMemoryEstimator::MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape,
+                                       std::uint64_t digest)
+    : reg_(std::move(reg)),
+      margin_(margin),
+      dataset_size_(n),
+      train_mape_(mape),
+      training_digest_(digest) {}
+
+std::uint64_t MlpMemoryEstimator::training_digest(const cluster::ClusterSpec& spec,
+                                                  const MlpMemoryOptions& opt) {
+  using common::hash_combine;
+  // The dataset is simulated on sub_cluster(min(num_nodes, max_profile_nodes))
+  // from the spec alone, so the digest clamps the node count: a resized fabric
+  // above the clamp trains the identical estimator and must share it.
+  cluster::ClusterSpec clamped = spec;
+  clamped.num_nodes = std::min(spec.num_nodes, opt.max_profile_nodes);
+  std::uint64_t h = cluster::spec_digest(clamped);
+  for (const int w : opt.hidden) h = hash_combine(h, static_cast<std::uint64_t>(w));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.train.iters));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.train.batch_size));
+  h = hash_combine(h, opt.train.lr);
+  h = hash_combine(h, opt.train.lr_decay);
+  h = hash_combine(h, opt.train.seed);
+  h = hash_combine(h, opt.soft_margin);
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.max_profile_nodes));
+  for (const int b : opt.profile_global_batches) h = hash_combine(h, static_cast<std::uint64_t>(b));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.max_tp));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.max_micro_batch));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.require_full_rounds));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.fixed_micro_batch));
+  // Plan-axis knobs change the training dataset, and the feature-vector
+  // version changes the trained net's very input layout: both must
+  // participate so feature sets never collide.
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.enable_interleaved));
+  for (const int v : opt.constraints.virtual_stage_options) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.enable_recompute));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.constraints.enable_zero1));
+  h = hash_combine(h, static_cast<std::uint64_t>(kFeatureVersion));
+  h = hash_combine(h, opt.seed);
+  return h;
+}
 
 MlpMemoryEstimator MlpMemoryEstimator::train_for_cluster(
     const cluster::Topology& full, const std::vector<model::TransformerConfig>& models,
@@ -107,7 +150,8 @@ MlpMemoryEstimator MlpMemoryEstimator::train_for_cluster(
   }
   const double mape = common::mape_percent(est_bytes, act_bytes);
   (void)report;
-  return MlpMemoryEstimator(std::move(reg), opt.soft_margin, static_cast<int>(rows.size()), mape);
+  return MlpMemoryEstimator(std::move(reg), opt.soft_margin, static_cast<int>(rows.size()), mape,
+                            training_digest(spec, opt));
 }
 
 double MlpMemoryEstimator::estimate_bytes(const model::TrainingJob& job,

@@ -52,6 +52,18 @@ class MlpMemoryEstimator {
                                               const std::vector<model::TransformerConfig>& models,
                                               const MlpMemoryOptions& opt);
 
+  /// Digest of everything a trained estimator depends on: the spec with
+  /// num_nodes clamped to max_profile_nodes — the dataset is simulated on
+  /// sub-clusters up to that size, so growing or shrinking the fabric above
+  /// the clamp leaves the artifact bit-identical — folded with every training
+  /// option and the feature version. Equal digests mean interchangeable
+  /// estimators; engine::ClusterCache and elastic reconfigure() key on this.
+  static std::uint64_t training_digest(const cluster::ClusterSpec& spec,
+                                       const MlpMemoryOptions& opt);
+
+  /// The digest this instance was trained under (0 for pre-digest artifacts).
+  std::uint64_t training_digest() const { return training_digest_; }
+
   /// Predicted peak bytes per GPU.
   double estimate_bytes(const model::TrainingJob& job, const parallel::TrainPlan& plan) const;
 
@@ -70,12 +82,14 @@ class MlpMemoryEstimator {
                                       const parallel::TrainPlan& plan);
 
  private:
-  explicit MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape);
+  explicit MlpMemoryEstimator(mlp::Regressor reg, double margin, int n, double mape,
+                              std::uint64_t digest);
 
   mlp::Regressor reg_;
   double margin_ = 0.07;
   int dataset_size_ = 0;
   double train_mape_ = 0.0;
+  std::uint64_t training_digest_ = 0;
 };
 
 }  // namespace pipette::estimators

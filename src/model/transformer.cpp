@@ -1,5 +1,7 @@
 #include "model/transformer.h"
 
+#include "common/hashing.h"
+
 namespace pipette::model {
 
 std::int64_t layer_parameters(const TransformerConfig& m) {
@@ -64,6 +66,23 @@ double pp_message_bytes(const TransformerConfig& m, int micro_batch) {
 
 double tp_message_bytes(const TransformerConfig& m, int micro_batch) {
   return pp_message_bytes(m, micro_batch);  // same tensor shape, fp16
+}
+
+std::uint64_t config_digest(const TransformerConfig& m) {
+  using common::hash_combine;
+  std::uint64_t h = 0x7f0full;
+  h = common::hash_string(h, m.name);
+  h = hash_combine(h, static_cast<std::uint64_t>(m.num_layers));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.hidden_size));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.num_heads));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.seq_len));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.vocab_size));
+  return h;
+}
+
+std::uint64_t job_digest(const TrainingJob& job) {
+  return common::hash_combine(config_digest(job.model),
+                              static_cast<std::uint64_t>(job.global_batch));
 }
 
 }  // namespace pipette::model

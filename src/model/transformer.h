@@ -69,4 +69,13 @@ struct TrainingJob {
   int global_batch = 512;  ///< the paper's "total minibatch size"
 };
 
+/// Stable 64-bit digest of every TransformerConfig field. Two configs with
+/// equal digests are indistinguishable to every cost/memory model, which is
+/// what the compute-profile and memory-estimate memos key on.
+std::uint64_t config_digest(const TransformerConfig& m);
+
+/// config_digest folded with the batch geometry — the memo key for anything
+/// that depends on the whole job.
+std::uint64_t job_digest(const TrainingJob& job);
+
 }  // namespace pipette::model

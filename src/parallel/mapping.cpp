@@ -157,4 +157,34 @@ void Mapping::set_raw(std::vector<int> perm) {
   }
 }
 
+Mapping project_mapping(const Mapping& old, const ParallelConfig& new_pc) {
+  const Mapping def = Mapping::megatron_default(new_pc);
+  const int n_new = def.num_workers();
+  const int n_old = old.num_workers();
+  std::vector<int> perm(static_cast<std::size_t>(n_new), -1);
+  std::vector<char> used(static_cast<std::size_t>(n_new), 0);
+  const int keep = std::min(n_old, n_new);
+  for (int w = 0; w < keep; ++w) {
+    const int g = old.gpu_at(w);
+    if (g < n_new && !used[static_cast<std::size_t>(g)]) {
+      perm[static_cast<std::size_t>(w)] = g;
+      used[static_cast<std::size_t>(g)] = 1;
+    }
+  }
+  // Backfill unplaced positions with the unused GPUs in Megatron-default
+  // order: the projection degrades gracefully toward the default as less of
+  // the old placement survives.
+  int next = 0;
+  for (int w = 0; w < n_new; ++w) {
+    if (perm[static_cast<std::size_t>(w)] >= 0) continue;
+    while (used[static_cast<std::size_t>(def.gpu_at(next))]) ++next;
+    const int g = def.gpu_at(next);
+    perm[static_cast<std::size_t>(w)] = g;
+    used[static_cast<std::size_t>(g)] = 1;
+  }
+  Mapping out(new_pc);
+  out.set_raw(std::move(perm));
+  return out;
+}
+
 }  // namespace pipette::parallel

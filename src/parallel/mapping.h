@@ -104,4 +104,14 @@ MappingMoveDesc inverse_move(const MappingMoveDesc& mv);
 void touched_positions(const Mapping& m, const MappingMoveDesc& mv, int gpus_per_node,
                        std::vector<int>& out);
 
+/// Projects an annealed mapping onto a (possibly resized) plan: worker w of
+/// the new plan keeps `old`'s GPU for w wherever that worker and GPU both
+/// still exist, and every remaining position is backfilled with the unused
+/// GPUs in Megatron-default order. Shrinks drop the removed nodes' GPUs
+/// (their workers backfill), grows extend the tail by the default order, and
+/// projecting onto `old.config()` itself returns `old` unchanged — which is
+/// what lets elastic reconfigure() seed SA from the surviving placement
+/// instead of from scratch. Always returns a valid bijection.
+Mapping project_mapping(const Mapping& old, const ParallelConfig& new_pc);
+
 }  // namespace pipette::parallel

@@ -154,4 +154,65 @@ SaResult optimize_mapping_multichain(parallel::Mapping& m,
   return out;
 }
 
+ResumableMappingAnneal::ResumableMappingAnneal(const estimators::PipetteLatencyModel& model,
+                                               const parallel::Mapping& start, int gpus_per_node,
+                                               const SaOptions& opt, const MoveSet& moves)
+    : eval_(model, start, gpus_per_node),
+      moves_(moves),
+      gpn_(gpus_per_node),
+      opt_(opt),
+      rng_(opt.seed) {
+  cur_cost_ = eval_.cost();
+  best_cost_ = cur_cost_;
+  initial_cost_ = cur_cost_;
+  best_ = eval_.mapping().raw();
+  temp_ = std::max(opt.init_temp_frac * cur_cost_, 1e-300);
+}
+
+void ResumableMappingAnneal::run_to(long target_iters) {
+  const auto t_start = std::chrono::steady_clock::now();
+  // Exactly simulated_annealing_incremental's loop body, with every
+  // loop-carried variable a member: a run split across rungs consumes the
+  // identical rng stream and trajectory as an uninterrupted run. The
+  // deadline check mirrors the generic annealer's batching and counts the
+  // chain's *cumulative* wall time across rungs, so a caller mixing a finite
+  // time_limit_s with an iteration cap still stops at whichever bound hits
+  // first (as everywhere else, a tripping wall-clock bound is inherently
+  // schedule-dependent; generous limits never trip and stay bit-exact).
+  const bool timed = std::isfinite(opt_.time_limit_s);
+  while (iters_ < target_iters) {
+    if (timed && (since_temp_step_ == 0 || (iters_ & 255) == 0)) {
+      const double elapsed =
+          wall_s_ + std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+                        .count();
+      if (elapsed >= opt_.time_limit_s) break;
+    }
+    const double c = eval_.propose(draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_));
+    const double delta = c - cur_cost_;
+    if (detail::metropolis_accept(delta, temp_, rng_)) {
+      eval_.commit();
+      cur_cost_ = c;
+      ++accepted_;
+      if (cur_cost_ < best_cost_) {
+        best_cost_ = cur_cost_;
+        best_ = eval_.mapping().raw();
+      }
+    } else {
+      eval_.rollback();
+    }
+    if (++since_temp_step_ >= opt_.iters_per_temp) {
+      temp_ *= opt_.alpha;
+      since_temp_step_ = 0;
+    }
+    ++iters_;
+  }
+  wall_s_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+}
+
+parallel::Mapping ResumableMappingAnneal::best_mapping() const {
+  parallel::Mapping m = eval_.mapping();
+  m.set_raw(best_);
+  return m;
+}
+
 }  // namespace pipette::search

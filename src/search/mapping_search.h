@@ -84,4 +84,60 @@ SaResult optimize_mapping_multichain(parallel::Mapping& m,
                                      int gpus_per_node, const SaOptions& opt,
                                      const MultiChainOptions& mc, const MoveSet& moves = {});
 
+/// A pausable SA chain over one mapping problem — the unit of work the
+/// successive-halving budget allocator races. The annealing loop, rng stream,
+/// Metropolis rule, and cost evaluation are exactly optimize_mapping's, but
+/// the whole state (current mapping + evaluator, best snapshot, temperature
+/// schedule position, rng) persists between run_to() calls: running to
+/// iteration k and then to n is bit-identical to a single uninterrupted run
+/// to n, so a chain that survives a rung *resumes* — no replayed or wasted
+/// moves — and a chain run to `opt.max_iters` reproduces optimize_mapping's
+/// result exactly (tests lock both in). Budgets are iteration-counted; a
+/// finite `opt.time_limit_s` is additionally honored as a deadline on the
+/// chain's cumulative wall time (batched checks like the generic annealer),
+/// so mixed budgets stop at whichever bound hits first — determinism holds
+/// whenever the deadline does not trip, i.e. for the generous limits
+/// iteration-capped callers use. The model must outlive the chain. Not
+/// copyable (the evaluator holds internal tables); hold by unique_ptr when
+/// racing many.
+class ResumableMappingAnneal {
+ public:
+  ResumableMappingAnneal(const estimators::PipetteLatencyModel& model,
+                         const parallel::Mapping& start, int gpus_per_node, const SaOptions& opt,
+                         const MoveSet& moves = {});
+
+  ResumableMappingAnneal(const ResumableMappingAnneal&) = delete;
+  ResumableMappingAnneal& operator=(const ResumableMappingAnneal&) = delete;
+
+  /// Advances the chain until `total_iters() == target_iters` (no-op when
+  /// already past the target).
+  void run_to(long target_iters);
+
+  long total_iters() const { return iters_; }
+  long accepted() const { return accepted_; }
+  double initial_cost() const { return initial_cost_; }
+  double best_cost() const { return best_cost_; }
+  /// Real wall time accumulated inside run_to() calls (CPU-seconds of this
+  /// chain, for the configurator's aggregate accounting).
+  double wall_s() const { return wall_s_; }
+  /// The best mapping found so far.
+  parallel::Mapping best_mapping() const;
+
+ private:
+  estimators::IncrementalLatencyEvaluator eval_;
+  MoveSet moves_;
+  int gpn_;
+  SaOptions opt_;
+  common::Rng rng_;
+  double cur_cost_ = 0.0;
+  double best_cost_ = 0.0;
+  double initial_cost_ = 0.0;
+  double temp_ = 0.0;
+  int since_temp_step_ = 0;
+  long iters_ = 0;
+  long accepted_ = 0;
+  double wall_s_ = 0.0;
+  std::vector<int> best_;
+};
+
 }  // namespace pipette::search

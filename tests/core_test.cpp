@@ -167,3 +167,214 @@ TEST(ExecuteWithOomFallback, NotFoundPropagates) {
   EXPECT_FALSE(out.success);
   EXPECT_EQ(out.attempts, 0);
 }
+
+namespace {
+
+/// Iteration-capped options so results are schedule-independent and
+/// comparable bit for bit.
+core::PipetteOptions capped_pipette(bool dedication) {
+  core::PipetteOptions opt = fast_pipette(dedication);
+  opt.sa.max_iters = 1500;
+  opt.sa.time_limit_s = 1e9;
+  return opt;
+}
+
+void expect_same_recommendation(const core::ConfiguratorResult& a,
+                                const core::ConfiguratorResult& b) {
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.predicted_s, b.predicted_s);
+  ASSERT_EQ(a.mapping.has_value(), b.mapping.has_value());
+  if (a.mapping) {
+    EXPECT_EQ(*a.mapping, *b.mapping);
+  }
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].cand, b.ranking[i].cand) << "rank " << i;
+    EXPECT_DOUBLE_EQ(a.ranking[i].predicted_s, b.ranking[i].predicted_s) << "rank " << i;
+  }
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+  EXPECT_EQ(a.candidates_rejected_oom, b.candidates_rejected_oom);
+}
+
+std::vector<core::RankedChoice> toy_ranking() {
+  return {{core::Candidate{{4, 2, 4}, 2}, 1.0},
+          {core::Candidate{{2, 4, 4}, 2}, 2.0},
+          {core::Candidate{{8, 1, 4}, 2}, 3.0}};
+}
+
+}  // namespace
+
+TEST(PromoteWinner, WinnerAlreadyAtHeadOnlyRestampsCost) {
+  auto ranking = toy_ranking();
+  EXPECT_TRUE(core::promote_winner(ranking, ranking.front().cand, 0.5));
+  EXPECT_EQ(ranking[0].cand, (core::Candidate{{4, 2, 4}, 2}));
+  EXPECT_DOUBLE_EQ(ranking[0].predicted_s, 0.5);
+  EXPECT_EQ(ranking[1].cand, (core::Candidate{{2, 4, 4}, 2}));
+  EXPECT_EQ(ranking[2].cand, (core::Candidate{{8, 1, 4}, 2}));
+}
+
+TEST(PromoteWinner, MidRankingWinnerRotatesToFrontPreservingOrder) {
+  auto ranking = toy_ranking();
+  EXPECT_TRUE(core::promote_winner(ranking, ranking[1].cand, 1.7));
+  EXPECT_EQ(ranking[0].cand, (core::Candidate{{2, 4, 4}, 2}));
+  EXPECT_DOUBLE_EQ(ranking[0].predicted_s, 1.7);
+  // The displaced entries keep their relative preference order.
+  EXPECT_EQ(ranking[1].cand, (core::Candidate{{4, 2, 4}, 2}));
+  EXPECT_DOUBLE_EQ(ranking[1].predicted_s, 1.0);
+  EXPECT_EQ(ranking[2].cand, (core::Candidate{{8, 1, 4}, 2}));
+  EXPECT_DOUBLE_EQ(ranking[2].predicted_s, 3.0);
+}
+
+TEST(PromoteWinner, TruncatedOutWinnerLeavesRankingUntouched) {
+  auto ranking = toy_ranking();
+  const auto before = ranking;
+  EXPECT_FALSE(core::promote_winner(ranking, core::Candidate{{1, 8, 4}, 2}, 0.1));
+  ASSERT_EQ(ranking.size(), before.size());
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    EXPECT_EQ(ranking[i].cand, before[i].cand) << i;
+    EXPECT_DOUBLE_EQ(ranking[i].predicted_s, before[i].predicted_s) << i;
+  }
+}
+
+TEST(PipetteConfigurator, SharedComputeProfilesAreBitIdenticalToUnshared) {
+  auto topo = small_cluster(31);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  auto shared_opt = capped_pipette(true);
+  shared_opt.share_compute_profiles = true;
+  auto unshared_opt = capped_pipette(true);
+  unshared_opt.share_compute_profiles = false;
+  // One pre-trained estimator so the arms differ only in profile sharing.
+  core::PipetteConfigurator trainer(capped_pipette(false));
+  const auto seed_res = trainer.configure(topo, job);
+  shared_opt.memory = trainer.memory_estimator();
+  unshared_opt.memory = trainer.memory_estimator();
+
+  core::PipetteConfigurator with_sharing(shared_opt);
+  core::PipetteConfigurator without_sharing(unshared_opt);
+  const auto a = with_sharing.configure(topo, job);
+  const auto b = without_sharing.configure(topo, job);
+  expect_same_recommendation(a, b);
+  EXPECT_LT(a.shapes_profiled, b.shapes_profiled)
+      << "sharing must profile fewer shapes than candidates";
+  EXPECT_EQ(seed_res.best, a.best) << "PPT-L head should also agree on this job";
+}
+
+TEST(PipetteConfigurator, SuccessiveHalvingExploresFewerMovesThanLegacy) {
+  auto topo = small_cluster(12);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  auto halve = capped_pipette(true);
+  halve.sa_top_k = 0;
+  halve.sa_halving.enabled = true;
+  auto legacy = halve;
+  legacy.sa_halving.enabled = false;
+  legacy.memory = nullptr;
+
+  core::PipetteConfigurator h(halve);
+  const auto rh = h.configure(topo, job);
+  legacy.memory = h.memory_estimator();
+  core::PipetteConfigurator l(legacy);
+  const auto rl = l.configure(topo, job);
+  ASSERT_TRUE(rh.found);
+  ASSERT_TRUE(rl.found);
+  EXPECT_GT(rh.sa_rungs, 1);
+  EXPECT_EQ(rl.sa_rungs, 0);
+  EXPECT_LT(rh.sa_iters, rl.sa_iters / 2)
+      << "halving must explore far fewer total moves at the same full budget";
+  // The racing winner's objective must stay competitive with the legacy
+  // winner's (identical here is common but not guaranteed; bound the gap).
+  EXPECT_LE(rh.predicted_s, rl.predicted_s * 1.05);
+}
+
+TEST(PipetteConfigurator, ReconfigureOnUnchangedTopologyReturnsPreviousResult) {
+  auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  core::PipetteConfigurator ppt(capped_pipette(true));
+  const auto cold = ppt.configure(topo, job);
+  const auto warm = ppt.reconfigure(topo, job, cold);
+  expect_same_recommendation(cold, warm);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_DOUBLE_EQ(warm.mem_train_wall_s, 0.0);
+  EXPECT_DOUBLE_EQ(warm.profile_wall_s, 0.0);
+  EXPECT_DOUBLE_EQ(warm.search_wall_s, 0.0);
+  EXPECT_EQ(warm.sa_iters, 0);
+}
+
+TEST(PipetteConfigurator, ReconfigureAcrossResizeReusesEstimatorAndNeverWorsens) {
+  // Grow 2 -> 3 nodes with a training digest clamped at 2 profiled nodes: the
+  // estimator must be adopted (no retraining) and the warm SA pass may only
+  // improve on the cold pipeline's own winner.
+  const cluster::Topology full(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{},
+                               2024);
+  const auto old_topo = full.sub_cluster(2);
+  const auto new_topo = full.sub_cluster(3);
+  const model::TrainingJob job{model::gpt_774m(), 128};
+
+  auto opt = capped_pipette(true);
+  opt.memory_training.max_profile_nodes = 2;
+  core::PipetteConfigurator warm_ppt(opt);
+  const auto prev = warm_ppt.configure(old_topo, job);
+  ASSERT_TRUE(prev.found);
+  EXPECT_GT(prev.mem_train_wall_s, 0.0);
+  const auto warm = warm_ppt.reconfigure(new_topo, job, prev);
+  ASSERT_TRUE(warm.found);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_DOUBLE_EQ(warm.mem_train_wall_s, 0.0)
+      << "resize above the clamp must adopt the previous estimator";
+  EXPECT_NE(warm.best, prev.best) << "the plan space genuinely changed (16 vs 24 GPUs)";
+  ASSERT_TRUE(warm.mapping.has_value());
+  EXPECT_TRUE(warm.mapping->is_valid_permutation());
+  EXPECT_EQ(warm.mapping->config().ways(), new_topo.num_gpus());
+
+  // Cold reference on the new topology under the same estimator: the warm
+  // result is the cold pipeline plus one strictly-improving extra SA pass.
+  auto cold_opt = opt;
+  cold_opt.memory = warm_ppt.memory_estimator();
+  core::PipetteConfigurator cold_ppt(cold_opt);
+  const auto cold = cold_ppt.configure(new_topo, job);
+  ASSERT_TRUE(cold.found);
+  EXPECT_EQ(warm.best, cold.best);
+  EXPECT_LE(warm.predicted_s, cold.predicted_s);
+  const auto run = core::run_actual(new_topo, job, warm.best, *warm.mapping, {});
+  EXPECT_FALSE(run.oom);
+}
+
+TEST(PipetteConfigurator, RejectsComputeCacheFromAnotherContext) {
+  auto topo = small_cluster();
+  auto opt = capped_pipette(false);
+  opt.compute_cache = std::make_shared<estimators::ComputeProfileCache>(0xdeadbeefull);
+  core::PipetteConfigurator ppt(opt);
+  EXPECT_THROW(ppt.configure(topo, {model::gpt_774m(), 128}), std::invalid_argument)
+      << "a cache minted for another compute context must be refused, not served";
+
+  auto ok = capped_pipette(false);
+  ok.compute_cache = std::make_shared<estimators::ComputeProfileCache>(
+      estimators::compute_context_digest(topo.spec(), ok.compute_profile));
+  core::PipetteConfigurator ppt_ok(ok);
+  EXPECT_TRUE(ppt_ok.configure(topo, {model::gpt_774m(), 128}).found);
+  EXPECT_GT(ok.compute_cache->size(), 0) << "the bound cache must have been populated";
+}
+
+TEST(PipetteConfigurator, ReconfigureBelowClampRetrainsStaleEstimator) {
+  // Shrinking below max_profile_nodes changes the profiled sub-cluster, so
+  // the auto-trained estimator held from the larger topology is stale and
+  // must be retrained, not silently reused.
+  const cluster::Topology full(cluster::mid_range_cluster(3), cluster::HeterogeneityOptions{},
+                               2024);
+  auto opt = capped_pipette(false);
+  opt.memory_training.max_profile_nodes = 3;
+  opt.memory_training.hidden = {32, 32};
+  opt.memory_training.train.iters = 1500;
+  core::PipetteConfigurator ppt(opt);
+  const auto prev = ppt.configure(full, {model::gpt_774m(), 128});
+  ASSERT_TRUE(prev.found);
+  EXPECT_GT(prev.mem_train_wall_s, 0.0);
+  const auto shrunk = ppt.reconfigure(full.sub_cluster(2), {model::gpt_774m(), 128}, prev);
+  ASSERT_TRUE(shrunk.found);
+  EXPECT_GT(shrunk.mem_train_wall_s, 0.0)
+      << "clamp 3 -> 2 is a different training dataset; blind reuse filters with the wrong net";
+  EXPECT_NE(shrunk.memory_estimator->training_digest(),
+            prev.memory_estimator->training_digest());
+}

@@ -269,3 +269,100 @@ TEST(ConfigService, SweepPreservesJobOrder) {
   }
   EXPECT_EQ(service.cache_stats().trainings_run, 1);
 }
+
+TEST(ClusterCache, ComputeCacheSurvivesDayDriftAndResize) {
+  engine::ClusterCache cache;
+  cluster::ProfileOptions po;
+  estimators::MlpMemoryOptions mo;
+  mo.hidden = {48, 48};
+  mo.train.iters = 1500;
+  mo.max_profile_nodes = 2;
+  mo.profile_global_batches = {128};
+  estimators::ComputeProfileOptions co;
+
+  auto topo = small_cluster();
+  const auto day0 = cache.get_or_compute(topo, po, mo, co);
+  ASSERT_TRUE(day0.compute);
+  topo.advance_day();
+  const auto day1 = cache.get_or_compute(topo, po, mo, co);
+  EXPECT_EQ(day0.compute, day1.compute)
+      << "the measured compute never reads link state, so the shape cache must survive the day";
+  EXPECT_EQ(cache.stats().compute_caches_created, 1);
+  EXPECT_EQ(cache.cached_compute_caches(), 1);
+
+  // A resize on the same hardware shares both the shape cache and (above the
+  // profile clamp) the trained estimator.
+  const cluster::Topology bigger(cluster::mid_range_cluster(3), cluster::HeterogeneityOptions{},
+                                 2024);
+  const auto resized = cache.get_or_compute(bigger, po, mo, co);
+  EXPECT_EQ(resized.compute, day0.compute);
+  EXPECT_EQ(resized.memory, day0.memory)
+      << "2 -> 3 nodes with max_profile_nodes = 2 trains the identical estimator";
+  EXPECT_EQ(cache.stats().trainings_run, 1);
+
+  estimators::ComputeProfileOptions co2 = co;
+  co2.repeats += 1;
+  EXPECT_NE(cache.get_or_compute(topo, po, mo, co2).compute, day0.compute);
+}
+
+TEST(ConfigService, RepeatRequestReusesComputeShapes) {
+  const auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  engine::ConfigService service(service_options(2));
+  const auto r1 = service.submit(topo, job).get();
+  const auto r2 = service.submit(topo, job).get();
+  expect_identical(r1, r2);
+  EXPECT_GT(r1.shapes_profiled, 0);
+  EXPECT_EQ(r1.shapes_reused, 0);
+  EXPECT_EQ(r2.shapes_profiled, 0) << "every shape must come from the cluster cache";
+  EXPECT_EQ(r2.shapes_reused, r1.shapes_profiled);
+  EXPECT_EQ(service.cache_stats().compute_caches_created, 1);
+}
+
+TEST(ConfigService, HalvingIsBitIdenticalAcrossThreadCounts) {
+  // The successive-halving race (fast_options is iteration-capped, so halving
+  // is the active SA path) with multi-chain annealing layered on top must be
+  // a pure function of the request at 1, 4, and 16 threads.
+  const auto topo = small_cluster();
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  auto so = service_options(1);
+  so.pipette.sa_chains = 2;
+  so.pipette.sa_top_k = 0;
+  ASSERT_TRUE(so.pipette.sa_halving.enabled);
+  engine::ConfigService serial(so);
+  const auto r1 = serial.submit(topo, job).get();
+  EXPECT_GT(r1.sa_rungs, 1) << "the race must actually run rungs";
+  for (const int threads : {4, 16}) {
+    auto wide_opt = so;
+    wide_opt.threads = threads;
+    engine::ConfigService wide(wide_opt);
+    const auto rn = wide.submit(topo, job).get();
+    expect_identical(r1, rn);
+    EXPECT_EQ(r1.sa_iters, rn.sa_iters) << threads;
+    EXPECT_EQ(r1.sa_rungs, rn.sa_rungs) << threads;
+  }
+}
+
+TEST(ConfigService, ReconfigureServesElasticResize) {
+  const cluster::Topology full(cluster::mid_range_cluster(3), cluster::HeterogeneityOptions{},
+                               2024);
+  const auto old_topo = full.sub_cluster(2);
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  engine::ConfigService service(service_options(4));
+  const auto prev = service.submit(old_topo, job).get();
+  ASSERT_TRUE(prev.found);
+  const auto warm = service.reconfigure(full, job, prev).get();
+  ASSERT_TRUE(warm.found);
+  EXPECT_TRUE(warm.warm_started);
+  ASSERT_TRUE(warm.mapping.has_value());
+  EXPECT_EQ(warm.mapping->config().ways(), full.num_gpus());
+  EXPECT_TRUE(warm.mapping->is_valid_permutation());
+  EXPECT_EQ(service.cache_stats().trainings_run, 1)
+      << "the resize must reuse the clamped-digest estimator, not retrain";
+
+  // An empty-diff reconfigure is answered from the previous result directly.
+  const auto same = service.reconfigure(full, job, warm).get();
+  EXPECT_TRUE(same.warm_started);
+  EXPECT_EQ(same.best, warm.best);
+  EXPECT_EQ(same.sa_iters, 0);
+}

@@ -303,3 +303,123 @@ TEST_P(PlanAxisRankAgreement, EstimatorOrdersNewAxesLikeTheSimulator) {
 INSTANTIATE_TEST_SUITE_P(Clusters, PlanAxisRankAgreement,
                          testing::Values(std::tuple{std::string("mid-range"), 4},
                                          std::tuple{std::string("high-end"), 2}));
+
+TEST(ComputeShapeKey, CollapsesExactlyTheProfileIrrelevantAxes) {
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::TrainPlan base{{4, 2, 4}, 2};
+  const auto key = estimators::ComputeShapeKey::of(job, base);
+
+  // dp and zero1 never reach the measured compute: same shape.
+  parallel::TrainPlan dp_sibling = base;
+  dp_sibling.pc.dp = 8;
+  EXPECT_EQ(estimators::ComputeShapeKey::of(job, dp_sibling), key);
+  parallel::TrainPlan zero_sibling = base;
+  zero_sibling.zero1 = true;
+  EXPECT_EQ(estimators::ComputeShapeKey::of(job, zero_sibling), key);
+  // The global batch only changes the microbatch count, not per-stage costs.
+  EXPECT_EQ(estimators::ComputeShapeKey::of({job.model, 512}, base), key);
+
+  // Everything the profile does read must split the key.
+  parallel::TrainPlan other = base;
+  other.pc.tp = 4;
+  EXPECT_NE(estimators::ComputeShapeKey::of(job, other), key);
+  other = base;
+  other.pc.pp = 8;
+  EXPECT_NE(estimators::ComputeShapeKey::of(job, other), key);
+  other = base;
+  other.micro_batch = 4;
+  EXPECT_NE(estimators::ComputeShapeKey::of(job, other), key);
+  other = base;
+  other.recompute = parallel::Recompute::kFull;
+  EXPECT_NE(estimators::ComputeShapeKey::of(job, other), key);
+  other = base;
+  other.schedule = parallel::PipeSchedule::kInterleaved1F1B;
+  other.virtual_stages = 2;
+  EXPECT_NE(estimators::ComputeShapeKey::of(job, other), key);
+  EXPECT_NE(estimators::ComputeShapeKey::of({model::gpt_774m(), 128}, base), key);
+
+  EXPECT_EQ(key.hash(), estimators::ComputeShapeKey::of(job, dp_sibling).hash());
+  EXPECT_NE(key.hash(), estimators::ComputeShapeKey::of(job, other).hash());
+  EXPECT_TRUE(key < estimators::ComputeShapeKey::of(job, other) ||
+              estimators::ComputeShapeKey::of(job, other) < key);
+}
+
+TEST(ComputeShapeKey, SiblingProfilesAreBitIdentical) {
+  // The claim the whole memoization rests on: plans differing only in dp (and
+  // zero1) measure bit-identical profiles, even on a heterogeneous fabric.
+  const auto topo = mid_cluster(8, 777);
+  const model::TrainingJob job{model::gpt_3_1b(), 512};
+  const parallel::TrainPlan a{{8, 2, 4}, 2};
+  parallel::TrainPlan b = a;
+  b.pc.dp = 2;  // different cluster slice entirely
+  parallel::TrainPlan c = a;
+  c.zero1 = true;
+  const auto pa = estimators::profile_compute(topo.sub_cluster(8), job, a, {});
+  const auto pb = estimators::profile_compute(topo.sub_cluster(4), job, b, {});
+  const auto pc_ = estimators::profile_compute(topo.sub_cluster(8), job, c, {});
+  ASSERT_EQ(pa.stage_fwd_s.size(), pb.stage_fwd_s.size());
+  for (std::size_t i = 0; i < pa.stage_fwd_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.stage_fwd_s[i], pb.stage_fwd_s[i]) << i;
+    EXPECT_DOUBLE_EQ(pa.stage_bwd_s[i], pb.stage_bwd_s[i]) << i;
+    EXPECT_DOUBLE_EQ(pa.stage_fwd_s[i], pc_.stage_fwd_s[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(pa.c_block_s, pb.c_block_s);
+  EXPECT_DOUBLE_EQ(pa.c_block_s, pc_.c_block_s);
+}
+
+TEST(ComputeProfileCache, FindInsertAndCounters) {
+  estimators::ComputeProfileCache cache;
+  const model::TrainingJob job{model::gpt_774m(), 128};
+  const auto key = estimators::ComputeShapeKey::of(job, {{2, 2, 2}, 2});
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  auto profile = std::make_shared<const estimators::ComputeProfile>();
+  cache.insert(key, profile);
+  EXPECT_EQ(cache.find(key), profile);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1);
+  // First writer wins; a duplicate insert is a no-op.
+  cache.insert(key, std::make_shared<const estimators::ComputeProfile>());
+  EXPECT_EQ(cache.find(key), profile);
+}
+
+TEST(ComputeContextDigest, SurvivesResizeAndDayButNotOptions) {
+  const auto base = mid_cluster(4);
+  const estimators::ComputeProfileOptions opt;
+  const auto digest = estimators::compute_context_digest(base.spec(), opt);
+  EXPECT_EQ(estimators::compute_context_digest(base.sub_cluster(2).spec(), opt), digest)
+      << "node count never reaches the measured compute";
+  auto drifted = mid_cluster(4);
+  drifted.advance_day();
+  EXPECT_EQ(estimators::compute_context_digest(drifted.spec(), opt), digest)
+      << "day drift only moves link state";
+  EXPECT_NE(estimators::compute_context_digest(
+                cluster::Topology(cluster::high_end_cluster(4), cluster::HeterogeneityOptions{},
+                                  2024)
+                    .spec(),
+                opt),
+            digest)
+      << "a different GPU generation is a different compute context";
+  estimators::ComputeProfileOptions noisier = opt;
+  noisier.noise_sigma *= 2.0;
+  EXPECT_NE(estimators::compute_context_digest(base.spec(), noisier), digest);
+}
+
+TEST(MlpMemory, TrainingDigestClampsNodeCount) {
+  estimators::MlpMemoryOptions mo;
+  mo.max_profile_nodes = 4;
+  const auto spec8 = cluster::mid_range_cluster(8);
+  const auto spec12 = cluster::mid_range_cluster(12);
+  const auto spec2 = cluster::mid_range_cluster(2);
+  const auto spec3 = cluster::mid_range_cluster(3);
+  EXPECT_EQ(estimators::MlpMemoryEstimator::training_digest(spec8, mo),
+            estimators::MlpMemoryEstimator::training_digest(spec12, mo))
+      << "above the clamp the dataset is identical, so a resize must share";
+  EXPECT_NE(estimators::MlpMemoryEstimator::training_digest(spec2, mo),
+            estimators::MlpMemoryEstimator::training_digest(spec3, mo))
+      << "below the clamp the profiled sub-cluster genuinely differs";
+  estimators::MlpMemoryOptions mo2 = mo;
+  mo2.soft_margin += 0.01;
+  EXPECT_NE(estimators::MlpMemoryEstimator::training_digest(spec8, mo2),
+            estimators::MlpMemoryEstimator::training_digest(spec8, mo));
+}

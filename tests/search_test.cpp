@@ -372,3 +372,62 @@ TEST(SimulatedAnnealing, TimedRunsTerminateWithBatchedDeadlineChecks) {
   EXPECT_LT(res.wall_s, 5.0) << "timed run overshot the deadline wildly";
   EXPECT_GT(res.iters, 0);
 }
+
+TEST(ResumableAnneal, SplitRunsAreBitIdenticalToOneShot) {
+  // The property successive halving rests on: annealing to 5000 iterations in
+  // four uneven resume steps is the same computation as one uninterrupted
+  // run, and both equal optimize_mapping at the same budget.
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 99);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  const parallel::TrainPlan plan{{4, 2, 4}, 2};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  const estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
+  const int gpn = topo.gpus_per_node();
+
+  search::SaOptions opt;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = search::derive_seed(7, plan.str());
+  opt.max_iters = 5000;
+
+  auto m_ref = parallel::Mapping::megatron_default(plan.pc);
+  const auto ref = search::optimize_mapping(m_ref, model, gpn, opt);
+
+  const auto start = parallel::Mapping::megatron_default(plan.pc);
+  search::ResumableMappingAnneal chain(model, start, gpn, opt);
+  for (const long target : {137L, 1000L, 1000L /* no-op: already past */, 4999L, 5000L}) {
+    chain.run_to(target);
+  }
+  EXPECT_EQ(chain.total_iters(), 5000);
+  EXPECT_EQ(chain.accepted(), ref.accepted);
+  EXPECT_DOUBLE_EQ(chain.initial_cost(), ref.initial_cost);
+  EXPECT_DOUBLE_EQ(chain.best_cost(), ref.best_cost);
+  EXPECT_EQ(chain.best_mapping().raw(), m_ref.raw());
+
+  search::ResumableMappingAnneal oneshot(model, start, gpn, opt);
+  oneshot.run_to(5000);
+  EXPECT_DOUBLE_EQ(oneshot.best_cost(), chain.best_cost());
+  EXPECT_EQ(oneshot.best_mapping().raw(), chain.best_mapping().raw());
+}
+
+TEST(ResumableAnneal, ResumingStrictlyExtendsTheRun) {
+  cluster::Topology topo(cluster::mid_range_cluster(2), cluster::HeterogeneityOptions{}, 5);
+  const model::TrainingJob job{model::gpt_774m(), 64};
+  const parallel::TrainPlan plan{{2, 2, 4}, 2};
+  const auto profiled = cluster::profile_network(topo, {});
+  const auto links = estimators::LinkConstants::from_spec(topo.spec());
+  const auto prof = estimators::profile_compute(topo, job, plan, {});
+  const estimators::PipetteLatencyModel model(job, plan, prof, &profiled.bw, links);
+
+  search::SaOptions opt;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  search::ResumableMappingAnneal chain(model, parallel::Mapping::megatron_default(plan.pc),
+                                       topo.gpus_per_node(), opt);
+  chain.run_to(400);
+  const double cost_at_400 = chain.best_cost();
+  chain.run_to(4000);
+  EXPECT_EQ(chain.total_iters(), 4000);
+  EXPECT_LE(chain.best_cost(), cost_at_400) << "best cost is monotone in the budget";
+  EXPECT_DOUBLE_EQ(model.estimate(chain.best_mapping()), chain.best_cost());
+}
