@@ -14,20 +14,13 @@
 //
 // Run:  ./engine_throughput [--requests 16] [--nodes 2] [--threads N]
 //                           [--full] [--seed N] [--csv PATH]
-#include <chrono>
-
 #include "bench_common.h"
+#include "common/stopwatch.h"
 #include "engine/config_service.h"
 
 using namespace pipette;
 
 namespace {
-
-using clock_t_ = std::chrono::steady_clock;
-
-double seconds_since(clock_t_::time_point t0) {
-  return std::chrono::duration<double>(clock_t_::now() - t0).count();
-}
 
 /// Same recommendation (winner, predicted latency, full preference order)?
 bool same_result(const core::ConfiguratorResult& a, const core::ConfiguratorResult& b) {
@@ -80,21 +73,21 @@ int main(int argc, char** argv) {
 
   // Serial baseline: a fresh configurator per request, nothing shared.
   std::vector<core::ConfiguratorResult> serial_results;
-  const auto t_serial = clock_t_::now();
+  const common::Stopwatch t_serial;
   for (const auto& job : jobs) {
     core::PipetteConfigurator cfg(opt);
     serial_results.push_back(cfg.configure(topo, job));
   }
-  const double serial_s = seconds_since(t_serial);
+  const double serial_s = t_serial.seconds();
 
   // The engine: shared pool + cluster-fingerprint cache.
   engine::ConfigServiceOptions so;
   so.threads = threads;
   so.pipette = opt;
   engine::ConfigService service(so);
-  const auto t_engine = clock_t_::now();
+  const common::Stopwatch t_engine;
   const auto engine_results = service.sweep(topo, jobs);
-  const double engine_s = seconds_since(t_engine);
+  const double engine_s = t_engine.seconds();
 
   int mismatches = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {

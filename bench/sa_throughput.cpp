@@ -23,9 +23,13 @@
 //   --chains N        multi-chain replica count (default 8)
 //   --threads N       pool size for the multi-chain run (default 8)
 //   --min-speedup32 X fail (exit 3) if any 32-GPU mixed speedup drops below X
+//   --telemetry-ceiling X  measure the AnnealTelemetry overhead on the first
+//                     32-GPU shape (best-of-3 incremental rate, accumulator
+//                     detached vs attached, bit-identity asserted) and fail
+//                     (exit 4) if the attached rate is more than fraction X
+//                     below the detached one
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <limits>
@@ -36,6 +40,7 @@
 #include "cluster/profiler.h"
 #include "cluster/topology.h"
 #include "common/cli.h"
+#include "common/stopwatch.h"
 #include "common/table.h"
 #include "engine/thread_pool.h"
 #include "estimators/compute_profile.h"
@@ -73,7 +78,8 @@ std::string fmt_hist(const std::array<long, 6>& h, long total) {
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   if (const auto unknown = cli.first_unknown({"fast", "iters", "seed", "csv", "span", "nspan",
-                                              "chains", "threads", "min-speedup32"})) {
+                                              "chains", "threads", "min-speedup32",
+                                              "telemetry-ceiling"})) {
     std::cerr << "unknown flag --" << *unknown << "\n";
     return 1;
   }
@@ -83,6 +89,7 @@ int main(int argc, char** argv) {
   const long inc_iters = full_iters * (fast ? 25 : 10);
   const std::string csv = cli.get_string("csv", "");
   const double min_speedup32 = cli.get_double("min-speedup32", 0.0);
+  const double telemetry_ceiling = cli.get_double("telemetry-ceiling", 0.0);
   const int chains = std::max(1, cli.get_int("chains", 8));
   const int threads = std::max(1, cli.get_int("threads", 8));
   search::MoveSet moves;
@@ -212,11 +219,10 @@ int main(int argc, char** argv) {
     search::SaOptions mopt = opt;
     mopt.max_iters = std::max<long>(1, inc_iters / chains);
     parallel::Mapping m_mc = parallel::Mapping::megatron_default(c.pc);
-    const auto t_mc = std::chrono::steady_clock::now();
+    const common::Stopwatch t_mc;
     const auto res_mc =
         search::optimize_mapping_multichain(m_mc, model, gpn, mopt, {chains, &pool}, moves);
-    const double mc_wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_mc).count();
+    const double mc_wall = t_mc.seconds();
     parallel::Mapping m_mc1 = parallel::Mapping::megatron_default(c.pc);
     const auto res_mc1 =
         search::optimize_mapping_multichain(m_mc1, model, gpn, mopt, {chains, nullptr}, moves);
@@ -243,6 +249,56 @@ int main(int argc, char** argv) {
       std::cerr << "MISMATCH on " << c.pc.str()
                 << ": multi-chain annealing is schedule-dependent\n";
       return 2;
+    }
+
+    // Telemetry-overhead gate on the first (32-GPU mixed) shape: the annealed
+    // result must be bit-identical with an AnnealTelemetry accumulator
+    // attached, its totals must reconcile with the SaResult, and the attached
+    // rate (best of 3, to shed scheduler noise) must stay within the ceiling.
+    if (telemetry_ceiling > 0.0 && &c == &cases.front()) {
+      double off_rate = 0.0, on_rate = 0.0;
+      search::AnnealTelemetry telem_last;
+      double off_cost = 0.0, on_cost = 0.0;
+      std::vector<int> off_raw, on_raw;
+      for (int rep = 0; rep < 3; ++rep) {
+        parallel::Mapping m_off = parallel::Mapping::megatron_default(c.pc);
+        const auto r_off = search::optimize_mapping(m_off, model, gpn, opt, moves);
+        off_rate = std::max(off_rate, static_cast<double>(r_off.iters) / r_off.wall_s);
+        off_cost = r_off.best_cost;
+        off_raw = m_off.raw();
+
+        search::AnnealTelemetry telem;
+        parallel::Mapping m_on = parallel::Mapping::megatron_default(c.pc);
+        const auto r_on = search::optimize_mapping(m_on, model, gpn, opt, moves, &telem);
+        on_rate = std::max(on_rate, static_cast<double>(r_on.iters) / r_on.wall_s);
+        on_cost = r_on.best_cost;
+        on_raw = m_on.raw();
+        if (telem.total_proposed() != r_on.iters || telem.total_accepted() != r_on.accepted) {
+          std::cerr << "TELEMETRY MISMATCH on " << c.pc.str() << ": counted "
+                    << telem.total_proposed() << "/" << telem.total_accepted()
+                    << " proposals/accepts vs SaResult " << r_on.iters << "/" << r_on.accepted
+                    << "\n";
+          return 4;
+        }
+        telem_last = telem;
+      }
+      if (off_cost != on_cost || off_raw != on_raw) {
+        std::cerr << "MISMATCH on " << c.pc.str()
+                  << ": attaching telemetry changed the annealed result\n";
+        return 4;
+      }
+      const double overhead = (off_rate - on_rate) / off_rate;
+      std::cout << "telemetry overhead on " << c.pc.str() << ": off "
+                << common::fmt_count(off_rate) << " mv/s, on " << common::fmt_count(on_rate)
+                << " mv/s (" << common::fmt_fixed(overhead * 100.0, 2) << "%, ceiling "
+                << common::fmt_fixed(telemetry_ceiling * 100.0, 2) << "%), "
+                << telem_last.total_proposed() << " proposals / " << telem_last.rollbacks
+                << " rollbacks counted\n\n";
+      if (overhead > telemetry_ceiling) {
+        std::cerr << "REGRESSION: telemetry overhead " << overhead * 100.0
+                  << "% exceeds the ceiling " << telemetry_ceiling * 100.0 << "%\n";
+        return 4;
+      }
     }
   }
 

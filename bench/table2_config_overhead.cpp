@@ -36,23 +36,17 @@
 //                     simulates worse than legacy by more than T (default 1e-9
 //                     relative; the halving winner must not regress quality)
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <limits>
 #include <tuple>
 
 #include "bench_common.h"
+#include "common/stopwatch.h"
 #include "engine/cluster_cache.h"
 
 using namespace pipette;
 
 namespace {
-
-using clock_type = std::chrono::steady_clock;
-
-double since(clock_type::time_point t0) {
-  return std::chrono::duration<double>(clock_type::now() - t0).count();
-}
 
 struct ArmRun {
   core::ConfiguratorResult rec;
@@ -65,9 +59,9 @@ ArmRun run_arm(core::PipetteConfigurator& ppt, const cluster::Topology& topo,
                const model::TrainingJob& job, bool warm,
                const core::ConfiguratorResult* prev) {
   ArmRun r;
-  const auto t0 = clock_type::now();
+  const common::Stopwatch t0;
   r.rec = warm ? ppt.reconfigure(topo, job, *prev) : ppt.configure(topo, job);
-  r.wall_s = since(t0);
+  r.wall_s = t0.seconds();
   const auto out = core::execute_with_oom_fallback(topo, job, r.rec, {});
   r.sim_ok = out.success;
   r.sim_s = out.success ? out.run.time_s : 0.0;

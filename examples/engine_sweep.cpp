@@ -6,13 +6,20 @@
 // cluster-fingerprint cache), and the per-batch configure requests share the
 // engine's thread pool.
 //
+// With --trace the whole study is also captured as one Chrome trace-format
+// timeline (open the file in Perfetto / chrome://tracing), --metrics dumps
+// the service's Prometheus exposition, and --explain prints the winning
+// request's structured report.
+//
 // Run:  ./engine_sweep [--nodes 2] [--threads N] [--model gpt-774m]
+//                      [--trace sweep_trace.json] [--metrics] [--explain]
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "engine/config_service.h"
 #include "model/gpt_zoo.h"
+#include "obs/trace.h"
 
 using namespace pipette;
 
@@ -21,6 +28,9 @@ int main(int argc, char** argv) {
   const int nodes = cli.get_int("nodes", 2);
   const int threads = cli.get_int("threads", 0);
   const std::string model_name = cli.get_string("model", "gpt-774m");
+  const std::string trace_path = cli.get_string("trace", "");
+  const bool print_metrics = cli.get_bool("metrics", false);
+  const bool print_explain = cli.get_bool("explain", false);
 
   cluster::Topology topo(cluster::mid_range_cluster(nodes), cluster::HeterogeneityOptions{},
                          /*seed=*/42);
@@ -32,6 +42,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::TraceSink trace;
   engine::ConfigServiceOptions so;
   so.threads = threads;
   so.pipette.sa.max_iters = 2000;       // iteration-capped SA: deterministic
@@ -42,6 +53,7 @@ int main(int argc, char** argv) {
   so.pipette.memory_training.max_profile_nodes = 2;
   so.pipette.memory_training.profile_global_batches = {128};
   so.pipette.memory_training.soft_margin = 0.2;
+  if (!trace_path.empty()) so.trace = &trace;
   engine::ConfigService service(so);
 
   std::vector<model::TrainingJob> jobs;
@@ -67,5 +79,30 @@ int main(int argc, char** argv) {
   std::cout << "\ncluster cache: " << stats.lookups << " lookups, " << stats.hits
             << " hits — profiled " << stats.profiles_run << "x, trained estimator "
             << stats.trainings_run << "x for the whole study\n";
+
+  const auto snap = service.metrics().snapshot();
+  std::cout << "engine: " << snap.counter("pipette.requests") << " requests, "
+            << snap.counter("pipette.sa.iters") << " SA iters, "
+            << snap.counter("pipette.shapes.profiled") << " shapes profiled + "
+            << snap.counter("pipette.shapes.reused") << " reused, "
+            << snap.counter("engine.pool.tasks") << " pool tasks across "
+            << snap.gauge("engine.pool.threads") << " threads\n";
+
+  if (print_explain && !results.empty() && results.front().found) {
+    std::cout << "\n--- explain (batch " << jobs.front().global_batch << ") ---\n"
+              << results.front().explain() << "\n";
+  }
+  if (print_metrics) {
+    std::cout << "\n--- metrics ---\n" << service.metrics_text();
+  }
+  if (!trace_path.empty()) {
+    if (trace.write_json(trace_path)) {
+      std::cout << "\nwrote " << trace.size() << " trace events to " << trace_path
+                << " (open in Perfetto / chrome://tracing)\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

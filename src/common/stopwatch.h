@@ -1,0 +1,35 @@
+// The one monotonic clock of the codebase. Every phase timing, SA deadline,
+// bench measurement, and trace timestamp used to open its own
+// std::chrono::steady_clock block; they all read this helper now, so "elapsed
+// seconds since t0" is written (and bracketed) exactly one way.
+#pragma once
+
+#include <chrono>
+
+namespace pipette::common {
+
+/// Monotonic seconds since an arbitrary process-local origin. All Stopwatch
+/// readings and obs:: trace timestamps share this timebase, so durations and
+/// cross-thread event orderings are directly comparable.
+inline double monotonic_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Started-at-construction elapsed timer over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction (or the last restart()).
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  }
+
+  void restart() { t0_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace pipette::common

@@ -74,8 +74,15 @@ struct ConfiguratorResult {
   int shapes_reused = 0;     ///< shapes served from the ComputeProfileCache
   int mem_est_reused = 0;    ///< memory estimates served from a memo
   long sa_iters = 0;         ///< SA proposals explored across all chains/rungs
+  long sa_iters_granted = 0; ///< SA budget the policy allotted (0 = uncapped)
   int sa_rungs = 0;          ///< successive-halving rungs run (0 = legacy loop)
   bool warm_started = false; ///< produced by reconfigure() reusing a prior result
+
+  // Artifact provenance when served through the engine's ClusterCache: which
+  // per-cluster artifacts this request reused rather than built.
+  bool profile_cache_hit = false;  ///< bandwidth profile came from the cache
+  bool memory_cache_hit = false;   ///< MLP memory estimator came from the cache
+  bool compute_cache_hit = false;  ///< compute-profile cache pre-existed
 
   // Provenance for elastic reconfiguration: what this result was computed
   // against, and the artifacts a warm start can reuse.
@@ -88,6 +95,13 @@ struct ConfiguratorResult {
   /// (hash(job digest, plan hash) -> estimated bytes): a reconfigure() under
   /// the same estimator skips re-estimating every surviving plan.
   std::vector<std::pair<std::uint64_t, double>> mem_estimates;
+
+  /// Structured per-request report as a JSON object: the winning plan, the
+  /// first `runner_ups` runners-up with their predicted deltas, phase wall/cpu
+  /// timings, cache provenance, and the SA budget spent vs granted. Pure
+  /// formatting over fields already on the result — calling it never touches
+  /// the engine or perturbs determinism.
+  std::string explain(int runner_ups = 5) const;
 };
 
 /// Keeps a (possibly truncated) ranking's head consistent with the SA winner:

@@ -1,7 +1,6 @@
 #include "core/pipette_configurator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -10,18 +9,51 @@
 #include <string>
 
 #include "common/hashing.h"
+#include "common/stopwatch.h"
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
+#include "obs/json.h"
 
 namespace pipette::core {
 
 namespace {
-using clock = std::chrono::steady_clock;
-double since(clock::time_point t0) {
-  return std::chrono::duration<double>(clock::now() - t0).count();
-}
-
 constexpr long kUncapped = std::numeric_limits<long>::max();
+
+/// Flushes one request's accounting into the metrics registry. Called once
+/// per configure_impl exit path; everything written is already on the result,
+/// so the flush can never influence the recommendation.
+void flush_request_metrics(obs::Registry* reg, const ConfiguratorResult& res,
+                           const search::AnnealTelemetry& telem) {
+  if (!reg) return;
+  reg->counter("pipette.requests").inc();
+  reg->counter("pipette.candidates.evaluated").add(res.candidates_evaluated);
+  reg->counter("pipette.candidates.rejected_oom").add(res.candidates_rejected_oom);
+  reg->counter("pipette.shapes.profiled").add(res.shapes_profiled);
+  reg->counter("pipette.shapes.reused").add(res.shapes_reused);
+  reg->counter("pipette.mem_est.reused").add(res.mem_est_reused);
+  reg->counter("pipette.sa.iters").add(res.sa_iters);
+  reg->counter("pipette.sa.rungs").add(res.sa_rungs);
+  for (int k = 0; k < search::AnnealTelemetry::kKinds; ++k) {
+    if (telem.proposed[k] != 0) {
+      reg->counter(std::string("pipette.sa.proposals.") + search::AnnealTelemetry::kind_name(k))
+          .add(telem.proposed[k]);
+    }
+    if (telem.accepted[k] != 0) {
+      reg->counter(std::string("pipette.sa.accepts.") + search::AnnealTelemetry::kind_name(k))
+          .add(telem.accepted[k]);
+    }
+  }
+  reg->counter("pipette.sa.rollbacks").add(telem.rollbacks);
+  reg->counter("pipette.sa.dirty.cells").add(telem.dirty.cells);
+  reg->counter("pipette.sa.dirty.stages").add(telem.dirty.stages);
+  reg->counter("pipette.sa.dirty.flows").add(telem.dirty.flows);
+  reg->counter("pipette.sa.dirty.cols").add(telem.dirty.cols);
+  reg->counter("pipette.sa.dirty.paths").add(telem.dirty.paths);
+  reg->counter("pipette.sa.dirty.groups").add(telem.dirty.groups);
+  reg->counter("pipette.sa.dirty.terms").add(telem.dirty.terms);
+  reg->histogram("pipette.configure.wall_s", obs::Registry::latency_bounds_s())
+      .observe(res.config_wall_s());
+}
 }  // namespace
 
 PipetteConfigurator::PipetteConfigurator(PipetteOptions opt) : opt_(std::move(opt)) {}
@@ -52,6 +84,7 @@ ConfiguratorResult PipetteConfigurator::reconfigure(const cluster::Topology& new
     out.score_wall_s = out.score_cpu_s = 0.0;
     out.search_wall_s = out.search_cpu_s = 0.0;
     out.sa_iters = 0;
+    out.sa_iters_granted = 0;
     out.sa_rungs = 0;
     out.shapes_profiled = 0;
     out.shapes_reused = 0;
@@ -70,13 +103,20 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
   res.method = name();
   res.topo_fingerprint = topo.fingerprint();
   res.job_digest = model::job_digest(job);
+  obs::TraceSink* const sink = opt_.trace_sink;
+  search::AnnealTelemetry telem;
+  // Annealers only pay the per-proposal telemetry increments when somebody
+  // will read them; null stays on the single-branch disabled path.
+  search::AnnealTelemetry* const telem_ptr = opt_.metrics ? &telem : nullptr;
 
   // Line 1: profile the actual bandwidth matrix — or reuse a snapshot the
   // engine's cluster cache already took of this fabric on this day. Like
   // mem_train_wall_s, profile_wall_s reports only the cost this request paid:
   // zero when the snapshot's owner already paid it.
   std::shared_ptr<const cluster::ProfileResult> profiled = opt_.profile_snapshot;
+  res.profile_cache_hit = profiled != nullptr;
   if (!profiled) {
+    obs::Span span(sink, "phase.profile");
     profiled = std::make_shared<const cluster::ProfileResult>(
         cluster::profile_network(topo, opt_.profile));
     res.profile_wall_s = profiled->wall_time_s;
@@ -95,6 +135,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       memory_->training_digest() != want_digest) {
     memory_ = nullptr;
   }
+  const bool had_memory = memory_ != nullptr;
   if (!memory_) {
     if (opt_.memory) {
       memory_ = opt_.memory;
@@ -102,13 +143,16 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
                warm->memory_estimator->training_digest() == want_digest) {
       memory_ = warm->memory_estimator;
     } else {
-      const auto t0 = clock::now();
+      obs::Span span(sink, "phase.mem_train");
+      const common::Stopwatch sw;
       memory_ = std::make_shared<const estimators::MlpMemoryEstimator>(
           estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(),
                                                             opt_.memory_training));
-      res.mem_train_wall_s = since(t0);
+      res.mem_train_wall_s = sw.seconds();
     }
   }
+  res.memory_cache_hit = res.mem_train_wall_s == 0.0 && (had_memory || opt_.memory != nullptr ||
+                                                         (warm && warm->memory_estimator));
   res.memory_estimator = memory_;
 
   const auto links = estimators::LinkConstants::from_spec(topo.spec());
@@ -165,7 +209,15 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     int reused = 0;
     double wall_s = 0.0;
   };
-  const auto t_mem = clock::now();
+  if (sink) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("base_plans");
+    w.value(static_cast<long>(bases.size()));
+    w.end_object();
+    sink->begin_span("phase.mem_filter", w.str());
+  }
+  const common::Stopwatch t_mem;
   std::vector<PlanSlot> plan_slots(bases.size());
   exec.parallel_for(static_cast<int>(bases.size()), [&](int i) {
     PlanSlot& slot = plan_slots[static_cast<std::size_t>(i)];
@@ -175,7 +227,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       slot.kept.push_back(base);
       return;
     }
-    const auto t0 = clock::now();
+    const common::Stopwatch t0;
     const double margin = 1.0 + memory_->soft_margin();
     auto est_of = [&](const Candidate& plan) {
       const std::uint64_t key = common::hash_combine(res.job_digest, plan.hash());
@@ -213,7 +265,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         }
       }
     }
-    slot.wall_s = since(t0);
+    slot.wall_s = t0.seconds();
   });
 
   std::vector<Candidate> cands;
@@ -225,19 +277,32 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     cands.insert(cands.end(), slot.kept.begin(), slot.kept.end());
     res.mem_estimates.insert(res.mem_estimates.end(), slot.ests.begin(), slot.ests.end());
   }
-  res.mem_est_wall_s = since(t_mem);
+  res.mem_est_wall_s = t_mem.seconds();
+  if (sink) sink->end_span("phase.mem_filter");
   std::sort(res.mem_estimates.begin(), res.mem_estimates.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [key, bytes] : res.mem_estimates) mem_memo_.emplace(key, bytes);
-  if (cands.empty()) return res;
+  if (cands.empty()) {
+    flush_request_metrics(opt_.metrics, res, telem);
+    return res;
+  }
 
   // Scoring pass (line 8): profile each candidate's compute and price the
   // Megatron-default placement. Profiles depend only on the plan's compute
   // shape, so the shared path profiles each distinct ComputeShapeKey once —
   // fanned out over the executor, merged and inserted into the shape cache in
   // canonical key order — and every (dp, zero1) sibling shares the result.
-  const auto t_score = clock::now();
+  if (sink) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("candidates");
+    w.value(static_cast<long>(cands.size()));
+    w.end_object();
+    sink->begin_span("phase.score", w.str());
+  }
+  const common::Stopwatch t_score;
   std::shared_ptr<estimators::ComputeProfileCache> ccache = opt_.compute_cache;
+  res.compute_cache_hit = opt_.compute_cache != nullptr && opt_.compute_cache->size() > 0;
   if (opt_.share_compute_profiles) {
     const std::uint64_t ctx =
         estimators::compute_context_digest(topo.spec(), opt_.compute_profile);
@@ -295,10 +360,11 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     }
     exec.parallel_for(static_cast<int>(missing.size()), [&](int i) {
       ShapeWork& w = missing[static_cast<std::size_t>(i)];
-      const auto t0 = clock::now();
+      obs::Span span(sink, "score.profile_shape");
+      const common::Stopwatch t0;
       w.profile = std::make_shared<const estimators::ComputeProfile>(estimators::profile_compute(
           topo, job, cands[static_cast<std::size_t>(w.rep)], opt_.compute_profile));
-      w.wall_s = since(t0);
+      w.wall_s = t0.seconds();
     });
     for (ShapeWork& w : missing) {  // canonical key order
       ccache->insert(*w.key, w.profile);
@@ -307,15 +373,25 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     }
     res.shapes_profiled = static_cast<int>(missing.size());
     res.shapes_reused = static_cast<int>(shape_rep.size() - missing.size());
+    if (sink) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("hits");
+      w.value(res.shapes_reused);
+      w.key("misses");
+      w.value(res.shapes_profiled);
+      w.end_object();
+      sink->instant("compute_cache", w.str());
+    }
     exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
       Slot& slot = slots[static_cast<std::size_t>(i)];
-      const auto t0 = clock::now();
+      const common::Stopwatch t0;
       slot.profile = resolved.find(keys[static_cast<std::size_t>(i)])->second;
       estimators::PipetteLatencyModel model(job, cands[static_cast<std::size_t>(i)],
                                             *slot.profile, &profiled->bw, links);
       slot.default_cost =
           model.estimate(parallel::Mapping::megatron_default(cands[static_cast<std::size_t>(i)].pc));
-      slot.wall_s = since(t0);
+      slot.wall_s = t0.seconds();
     });
   } else {
     // Unshared reference path: one profile per candidate, exactly the
@@ -323,17 +399,18 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     exec.parallel_for(static_cast<int>(cands.size()), [&](int i) {
       Slot& slot = slots[static_cast<std::size_t>(i)];
       const Candidate& cand = cands[static_cast<std::size_t>(i)];
-      const auto t0 = clock::now();
+      const common::Stopwatch t0;
       slot.profile = std::make_shared<const estimators::ComputeProfile>(
           estimators::profile_compute(topo, job, cand, opt_.compute_profile));
       estimators::PipetteLatencyModel model(job, cand, *slot.profile, &profiled->bw, links);
       slot.default_cost = model.estimate(parallel::Mapping::megatron_default(cand.pc));
-      slot.wall_s = since(t0);
+      slot.wall_s = t0.seconds();
     });
     res.shapes_profiled = static_cast<int>(cands.size());
   }
   for (const auto& slot : slots) res.score_cpu_s += slot.wall_s;
-  res.score_wall_s = since(t_score);
+  res.score_wall_s = t_score.seconds();
+  if (sink) sink->end_span("phase.score");
 
   struct Scored {
     Candidate cand;
@@ -366,7 +443,17 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
   res.mapping = parallel::Mapping::megatron_default(scored.front().cand.pc);
 
   if (opt_.use_worker_dedication) {
-    const auto t_sa = clock::now();
+    if (sink) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("candidates");
+      w.value(static_cast<long>(scored.size()));
+      w.key("chains");
+      w.value(std::max(1, opt_.sa_chains));
+      w.end_object();
+      sink->begin_span("phase.sa", w.str());
+    }
+    const common::Stopwatch t_sa;
     const int gpn = topo.gpus_per_node();
     const int chains = std::max(1, opt_.sa_chains);
     // Chain seeds mirror optimize_mapping_multichain exactly: chain 0 is the
@@ -397,6 +484,9 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       struct Race {
         std::unique_ptr<estimators::PipetteLatencyModel> model;
         std::vector<std::unique_ptr<search::ResumableMappingAnneal>> sa_chains;
+        /// One accumulator per chain (each chain is the only writer while it
+        /// runs; merged canonically after the race).
+        std::vector<search::AnnealTelemetry> telems;
       };
       std::vector<Race> races(width);
       exec.parallel_for(static_cast<int>(width), [&](int i) {
@@ -405,10 +495,14 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         race.model = std::make_unique<estimators::PipetteLatencyModel>(
             job, s.cand, *s.profile, &profiled->bw, links);
         race.sa_chains.reserve(static_cast<std::size_t>(chains));
+        if (telem_ptr) race.telems.resize(static_cast<std::size_t>(chains));
         for (int c = 0; c < chains; ++c) {
           race.sa_chains.push_back(std::make_unique<search::ResumableMappingAnneal>(
               *race.model, parallel::Mapping::megatron_default(s.cand.pc), gpn,
               chain_opts(s.cand, c), opt_.moves));
+          if (telem_ptr) {
+            race.sa_chains.back()->set_telemetry(&race.telems[static_cast<std::size_t>(c)]);
+          }
         }
       });
       // Canonical per-candidate score: lowest chain cost, ties to the lowest
@@ -429,16 +523,48 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
 
       std::vector<int> alive(width);
       std::iota(alive.begin(), alive.end(), 0);
+      long prev_target = 0;
       for (int r = 0; r < rungs; ++r) {
         // rung0 << r clamped to full, shift-before-compare so a user-set
         // rung0_iters can never signed-overflow: the cap doubles per rung
         // and the final rung always lands exactly on the full budget.
         const long target = (r == rungs - 1 || rung0 > (full >> r)) ? full : rung0 << r;
+        // Every alive chain is granted the rung's increment; spent < granted
+        // then flags a tripped per-chain deadline in the explain report.
+        res.sa_iters_granted += static_cast<long>(alive.size()) * chains * (target - prev_target);
+        prev_target = target;
+        if (sink) {
+          obs::JsonWriter w;
+          w.begin_object();
+          w.key("rung");
+          w.value(r);
+          w.key("target_iters");
+          w.value(target);
+          w.key("alive");
+          w.value(static_cast<long>(alive.size()));
+          w.end_object();
+          sink->begin_span("sa.rung", w.str());
+        }
         exec.parallel_for(static_cast<int>(alive.size()) * chains, [&](int u) {
-          races[static_cast<std::size_t>(alive[static_cast<std::size_t>(u / chains)])]
-              .sa_chains[static_cast<std::size_t>(u % chains)]
+          const int cand_i = alive[static_cast<std::size_t>(u / chains)];
+          const int chain_i = u % chains;
+          std::string args;
+          if (sink) {
+            obs::JsonWriter w;
+            w.begin_object();
+            w.key("plan");
+            w.value(scored[static_cast<std::size_t>(cand_i)].cand.str());
+            w.key("chain");
+            w.value(chain_i);
+            w.end_object();
+            args = w.str();
+          }
+          obs::Span span(sink, "sa.chain", std::move(args));
+          races[static_cast<std::size_t>(cand_i)]
+              .sa_chains[static_cast<std::size_t>(chain_i)]
               ->run_to(target);
         });
+        if (sink) sink->end_span("sa.rung");
         ++res.sa_rungs;
         if (alive.size() <= 1) continue;
         // Keep the best half plus the slack band around the leader; `alive`
@@ -450,6 +576,15 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         const double band = race_cost(alive.front()) * (1.0 + std::max(0.0, opt_.sa_halving.keep_slack));
         std::size_t keep = (alive.size() + 1) / 2;
         while (keep < alive.size() && race_cost(alive[keep]) <= band) ++keep;
+        if (sink) {
+          const int leader = alive.front();
+          sink->counter("sa.alive", static_cast<double>(keep));
+          sink->counter("sa.leader_cost", race_cost(leader));
+          sink->counter("sa.leader_temp",
+                        races[static_cast<std::size_t>(leader)]
+                            .sa_chains[best_chain(leader)]
+                            ->temperature());
+        }
         alive.resize(keep);
         std::sort(alive.begin(), alive.end());
       }
@@ -466,6 +601,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           res.sa_iters += chain->total_iters();
           res.search_cpu_s += chain->wall_s();
         }
+        for (const auto& t : race.telems) telem.merge(t);
       }
     } else {
       // Legacy allocation: the sa_top_k best candidates, full budget each.
@@ -473,21 +609,37 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           opt_.sa_top_k <= 0
               ? scored.size()
               : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(opt_.sa_top_k));
+      if (opt_.sa.max_iters != kUncapped) {
+        res.sa_iters_granted =
+            static_cast<long>(limit) * std::max(1, opt_.sa_chains) * opt_.sa.max_iters;
+      }
       struct SaSlot {
         double best_cost = std::numeric_limits<double>::infinity();
         std::optional<parallel::Mapping> mapping;
         double wall_s = 0.0;
         long iters = 0;
+        search::AnnealTelemetry telem;
       };
       std::vector<SaSlot> sa_slots(limit);
       exec.parallel_for(static_cast<int>(limit), [&](int i) {
         const auto& s = scored[static_cast<std::size_t>(i)];
+        auto& slot = sa_slots[static_cast<std::size_t>(i)];
+        std::string args;
+        if (sink) {
+          obs::JsonWriter w;
+          w.begin_object();
+          w.key("plan");
+          w.value(s.cand.str());
+          w.end_object();
+          args = w.str();
+        }
+        obs::Span span(sink, "sa.candidate", std::move(args));
         estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
         auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
         search::SaOptions sa = chain_opts(s.cand, 0);
         const auto sa_res = search::optimize_mapping_multichain(
-            mapping, model, gpn, sa, {opt_.sa_chains, opt_.executor}, opt_.moves);
-        auto& slot = sa_slots[static_cast<std::size_t>(i)];
+            mapping, model, gpn, sa, {opt_.sa_chains, opt_.executor}, opt_.moves,
+            telem_ptr ? &slot.telem : nullptr);
         slot.best_cost = sa_res.best_cost;
         slot.mapping = std::move(mapping);
         slot.wall_s = sa_res.wall_s;
@@ -498,6 +650,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       for (std::size_t i = 0; i < limit; ++i) {
         res.search_cpu_s += sa_slots[i].wall_s;
         res.sa_iters += sa_slots[i].iters;
+        telem.merge(sa_slots[i].telem);
         if (sa_slots[i].best_cost < best_cost) {
           best_cost = sa_slots[i].best_cost;
           best_i = i;
@@ -518,6 +671,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     // cold result while a genuine resize starts from the surviving structure
     // instead of from scratch.
     if (warm && warm->mapping) {
+      obs::Span span(sink, "sa.warm_start");
       const Scored& s = scored[winner];
       parallel::Mapping warm_m = parallel::project_mapping(*warm->mapping, s.cand.pc);
       estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
@@ -525,8 +679,9 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       wopt.seed =
           search::derive_seed(search::derive_seed(opt_.sa.seed, s.cand.str()), "warm-start");
       const auto wres =
-          search::optimize_mapping(warm_m, model, gpn, wopt, opt_.moves);
+          search::optimize_mapping(warm_m, model, gpn, wopt, opt_.moves, telem_ptr);
       res.sa_iters += wres.iters;
+      if (opt_.sa.max_iters != kUncapped) res.sa_iters_granted += opt_.sa.max_iters;
       res.search_cpu_s += wres.wall_s;
       if (wres.best_cost < res.predicted_s) {
         res.predicted_s = wres.best_cost;
@@ -538,8 +693,10 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     // winner fell outside a truncated ranking, leave the ranking untouched
     // rather than mislabel the head with another candidate's SA cost.
     promote_winner(res.ranking, res.best, res.predicted_s);
-    res.search_wall_s = since(t_sa);
+    res.search_wall_s = t_sa.seconds();
+    if (sink) sink->end_span("phase.sa");
   }
+  flush_request_metrics(opt_.metrics, res, telem);
   return res;
 }
 

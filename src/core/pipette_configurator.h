@@ -12,6 +12,8 @@
 #include "core/configurator.h"
 #include "estimators/compute_profile.h"
 #include "estimators/mlp_memory.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "search/mapping_search.h"
 
 namespace pipette::core {
@@ -110,6 +112,16 @@ struct PipetteOptions {
   /// produces the serial ranking bit for bit. Null runs serially.
   common::Executor* executor = nullptr;
   int ranking_size = 1000;  // keep the full preference order for OOM fallback
+  /// Span tracer for this request's phases, SA rungs/chains, and cache events
+  /// (not owned; typically the engine::ConfigService's per-request sink).
+  /// Null disables tracing — every emit site is a single branch — and tracing
+  /// never perturbs the recommendation: spans and counters are written from
+  /// values the request computes anyway, never fed back into costs or seeds.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Metrics registry the request flushes its counters into (not owned).
+  /// Null disables metrics at the same one-branch cost; determinism holds
+  /// either way (the telemetry tests race on/off at 1/4/16 threads).
+  obs::Registry* metrics = nullptr;
 };
 
 class PipetteConfigurator final : public Configurator {

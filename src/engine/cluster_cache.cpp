@@ -20,6 +20,16 @@ std::uint64_t hash_profile_options(std::uint64_t h, const cluster::ProfileOption
 
 }  // namespace
 
+ClusterCache::ClusterCache(ClusterCacheOptions opt) : opt_(opt) {
+  if (opt_.metrics) {
+    m_lookups_ = opt_.metrics->counter("engine.cluster_cache.lookups");
+    m_hits_ = opt_.metrics->counter("engine.cluster_cache.hits");
+    m_profiles_run_ = opt_.metrics->counter("engine.cluster_cache.profiles_run");
+    m_trainings_run_ = opt_.metrics->counter("engine.cluster_cache.trainings_run");
+    m_compute_created_ = opt_.metrics->counter("engine.cluster_cache.compute_caches_created");
+  }
+}
+
 std::uint64_t ClusterCache::profile_key(const cluster::Topology& topo,
                                         const cluster::ProfileOptions& profile_opt) {
   return hash_profile_options(topo.fingerprint(), profile_opt);
@@ -48,19 +58,27 @@ ClusterCache::Entry ClusterCache::get_or_compute(
   {
     std::lock_guard lk(mu_);
     ++stats_.lookups;
+    m_lookups_.inc();
     const auto [pcell, phit] = profiles_.acquire(profile_key(topo, profile_opt), opt_.max_profiles);
     const auto [mcell, mhit] =
         estimators_.acquire(memory_key(topo.spec(), memory_opt), opt_.max_estimators);
-    if (phit && mhit) ++stats_.hits;
+    if (phit && mhit) {
+      ++stats_.hits;
+      m_hits_.inc();
+    }
+    entry.profile_was_cached = phit;
+    entry.memory_was_cached = mhit;
     profile_cell = pcell;
     memory_cell = mcell;
     // The shape cache starts empty and fills lazily inside requests, so it
     // is minted right here under the cache mutex.
     auto& ccache = compute_[compute_key(topo.spec(), compute_opt)];
+    entry.compute_was_cached = static_cast<bool>(ccache);
     if (!ccache) {
       ccache = std::make_shared<estimators::ComputeProfileCache>(
           compute_key(topo.spec(), compute_opt));
       ++stats_.compute_caches_created;
+      m_compute_created_.inc();
       compute_order_.push_back(compute_key(topo.spec(), compute_opt));
       while (static_cast<int>(compute_.size()) > opt_.max_compute_caches &&
              compute_order_.front() != compute_key(topo.spec(), compute_opt)) {
@@ -75,6 +93,7 @@ ClusterCache::Entry ClusterCache::get_or_compute(
     if (!profile_cell->value) {
       profile_cell->value = std::make_shared<const cluster::ProfileResult>(
           cluster::profile_network(topo, profile_opt));
+      m_profiles_run_.inc();
       std::lock_guard slk(mu_);
       ++stats_.profiles_run;
     }
@@ -84,6 +103,7 @@ ClusterCache::Entry ClusterCache::get_or_compute(
     if (!memory_cell->value) {
       memory_cell->value = std::make_shared<const estimators::MlpMemoryEstimator>(
           estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(), memory_opt));
+      m_trainings_run_.inc();
       std::lock_guard slk(mu_);
       ++stats_.trainings_run;
     }

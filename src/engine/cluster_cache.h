@@ -38,6 +38,7 @@
 #include "cluster/profiler.h"
 #include "estimators/compute_profile.h"
 #include "estimators/mlp_memory.h"
+#include "obs/registry.h"
 
 namespace pipette::engine {
 
@@ -53,6 +54,10 @@ struct ClusterCacheOptions {
   int max_profiles = 64;        ///< distinct (fabric, day, options) snapshots kept
   int max_estimators = 16;      ///< distinct (spec, options) trained estimators kept
   int max_compute_caches = 16;  ///< distinct compute contexts' shape caches kept
+  /// Mirrors every ClusterCacheStats field into engine.cluster_cache.*
+  /// registry counters (not owned, must outlive the cache). Null keeps the
+  /// historical stats_-only accounting.
+  obs::Registry* metrics = nullptr;
 };
 
 class ClusterCache {
@@ -63,9 +68,15 @@ class ClusterCache {
     /// Shared, mutable shape cache for the compute context: requests populate
     /// it as they profile new shapes and later requests reuse them.
     std::shared_ptr<estimators::ComputeProfileCache> compute;
+    // Per-artifact provenance of *this* lookup: true when the artifact's cell
+    // pre-existed (the request reused another request's work — possibly still
+    // being computed, on which it then blocked rather than recomputed).
+    bool profile_was_cached = false;
+    bool memory_was_cached = false;
+    bool compute_was_cached = false;
   };
 
-  explicit ClusterCache(ClusterCacheOptions opt = {}) : opt_(opt) {}
+  explicit ClusterCache(ClusterCacheOptions opt = {});
 
   /// Returns the memoized artifacts for this cluster/options tuple, computing
   /// them (profile + estimator training on the gpt zoo) on first request.
@@ -129,6 +140,8 @@ class ClusterCache {
   std::unordered_map<std::uint64_t, std::shared_ptr<estimators::ComputeProfileCache>> compute_;
   std::deque<std::uint64_t> compute_order_;
   ClusterCacheStats stats_;
+  // Registry mirrors of stats_ (inert without ClusterCacheOptions::metrics).
+  obs::Counter m_lookups_, m_hits_, m_profiles_run_, m_trainings_run_, m_compute_created_;
 };
 
 }  // namespace pipette::engine

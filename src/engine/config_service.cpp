@@ -1,9 +1,24 @@
 #include "engine/config_service.h"
 
+#include "obs/json.h"
+
 namespace pipette::engine {
 
+namespace {
+
+ClusterCacheOptions with_metrics(ClusterCacheOptions cache, obs::Registry* metrics) {
+  cache.metrics = metrics;
+  return cache;
+}
+
+}  // namespace
+
 ConfigService::ConfigService(ConfigServiceOptions opt)
-    : opt_(std::move(opt)), pool_(opt_.threads) {}
+    : opt_(std::move(opt)),
+      owned_metrics_(opt_.metrics ? nullptr : std::make_unique<obs::Registry>()),
+      metrics_(opt_.metrics ? opt_.metrics : owned_metrics_.get()),
+      cache_(with_metrics(opt_.cache, metrics_)),
+      pool_(opt_.threads, metrics_) {}
 
 std::future<core::ConfiguratorResult> ConfigService::submit(cluster::Topology topo,
                                                             model::TrainingJob job) {
@@ -34,16 +49,51 @@ std::vector<core::ConfiguratorResult> ConfigService::sweep(
 core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& topo,
                                                       const model::TrainingJob& job,
                                                       const core::ConfiguratorResult* previous) {
+  obs::TraceSink* const sink = opt_.trace;
+  std::string args;
+  if (sink) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("job");
+    w.value(job.model.name);
+    w.key("gpus");
+    w.value(topo.num_gpus());
+    w.key("warm");
+    w.value(previous != nullptr);
+    w.end_object();
+    args = w.str();
+  }
+  obs::Span request_span(sink, "request", std::move(args));
   const ClusterCache::Entry entry = cache_.get_or_compute(
       topo, opt_.pipette.profile, opt_.pipette.memory_training, opt_.pipette.compute_profile);
+  if (sink) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("profile");
+    w.value(entry.profile_was_cached ? "hit" : "miss");
+    w.key("memory");
+    w.value(entry.memory_was_cached ? "hit" : "miss");
+    w.key("compute");
+    w.value(entry.compute_was_cached ? "hit" : "miss");
+    w.end_object();
+    sink->instant("cluster_cache", w.str());
+  }
   core::PipetteOptions po = opt_.pipette;
   po.memory = entry.memory;
   po.profile_snapshot = entry.profile;
   po.compute_cache = entry.compute;
   po.executor = opt_.parallel_candidates ? &pool_ : nullptr;
+  po.trace_sink = sink;
+  po.metrics = metrics_;
   core::PipetteConfigurator configurator(std::move(po));
-  return previous ? configurator.reconfigure(topo, job, *previous)
-                  : configurator.configure(topo, job);
+  core::ConfiguratorResult res = previous ? configurator.reconfigure(topo, job, *previous)
+                                          : configurator.configure(topo, job);
+  // The configurator infers artifact provenance from what it was handed; the
+  // cache knows it outright, so its answer wins for engine-served requests.
+  res.profile_cache_hit = entry.profile_was_cached;
+  res.memory_cache_hit = entry.memory_was_cached;
+  res.compute_cache_hit = entry.compute_was_cached;
+  return res;
 }
 
 }  // namespace pipette::engine

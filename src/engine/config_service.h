@@ -15,11 +15,15 @@
 #pragma once
 
 #include <future>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/pipette_configurator.h"
 #include "engine/cluster_cache.h"
 #include "engine/thread_pool.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace pipette::engine {
 
@@ -32,9 +36,16 @@ struct ConfigServiceOptions {
   /// Bounds on the per-cluster artifact cache.
   ClusterCacheOptions cache;
   /// Template options for every request. `memory`, `profile_snapshot`,
-  /// `compute_cache`, and `executor` are overwritten per request from the
-  /// cache and pool.
+  /// `compute_cache`, `executor`, `trace_sink`, and `metrics` are overwritten
+  /// per request from the cache, pool, and the two fields below.
   core::PipetteOptions pipette;
+  /// Span tracer every request, SA rung, and cache event is emitted into (not
+  /// owned; must outlive the service). One sink across a sweep() renders the
+  /// whole study as a single Perfetto timeline. Null disables tracing.
+  obs::TraceSink* trace = nullptr;
+  /// Metrics registry; null makes the service own a private obs::Registry so
+  /// metrics_text() always works and tenants stay isolated by default.
+  obs::Registry* metrics = nullptr;
 };
 
 class ConfigService {
@@ -63,13 +74,22 @@ class ConfigService {
   ClusterCacheStats cache_stats() const { return cache_.stats(); }
   ThreadPool& pool() { return pool_; }
 
+  /// The registry the engine's metrics land in (the caller's via
+  /// ConfigServiceOptions::metrics, else the service-owned one).
+  obs::Registry& metrics() { return *metrics_; }
+  /// Prometheus text exposition of metrics() — the scrape endpoint body.
+  std::string metrics_text() const { return metrics_->prometheus_text(); }
+
  private:
   core::ConfiguratorResult configure_one(const cluster::Topology& topo,
                                          const model::TrainingJob& job,
                                          const core::ConfiguratorResult* previous);
 
   ConfigServiceOptions opt_;
-  ClusterCache cache_{opt_.cache};
+  // Declared before cache_ and pool_, which hold handles into the registry.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  ClusterCache cache_;
   // Last member: destroyed first, so the pool drains queued configure tasks
   // (which touch cache_ and opt_) while both are still alive.
   ThreadPool pool_;

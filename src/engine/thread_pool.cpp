@@ -5,9 +5,17 @@
 
 namespace pipette::engine {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, obs::Registry* metrics) {
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads <= 0) threads = 1;
+  if (metrics) {
+    tasks_total_ = metrics->counter("engine.pool.tasks");
+    pfor_calls_ = metrics->counter("engine.pool.parallel_for.calls");
+    pfor_caller_idx_ = metrics->counter("engine.pool.parallel_for.caller_indices");
+    pfor_worker_idx_ = metrics->counter("engine.pool.parallel_for.worker_indices");
+    queue_depth_ = metrics->gauge("engine.pool.queue_depth");
+    metrics->gauge("engine.pool.threads").set(threads);
+  }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -25,6 +33,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
   {
     std::lock_guard lk(mu_);
     queue_.push_back(std::move(job));
+    queue_depth_.set(static_cast<long>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -38,7 +47,9 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ set and queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.set(static_cast<long>(queue_.size()));
     }
+    tasks_total_.inc();
     job();
   }
 }
@@ -59,11 +70,15 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   };
   auto state = std::make_shared<State>();
   const std::function<void(int)>* body = &fn;
+  pfor_calls_.inc();
 
-  auto drain = [state, body, n] {
+  // `indices` is the inert-capable counter the draining thread attributes its
+  // indices to — workers and the caller run the same loop, split only here.
+  auto drain = [state, body, n](const obs::Counter& indices) {
     for (;;) {
       const int i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      indices.inc();
       try {
         (*body)(i);
       } catch (...) {
@@ -78,8 +93,10 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   };
 
   const int helpers = std::min(num_threads(), n - 1);
-  for (int h = 0; h < helpers; ++h) enqueue(drain);
-  drain();  // caller participates: guarantees progress even on a full pool
+  for (int h = 0; h < helpers; ++h) {
+    enqueue([drain, c = pfor_worker_idx_] { drain(c); });
+  }
+  drain(pfor_caller_idx_);  // caller participates: guarantees progress even on a full pool
 
   std::unique_lock lk(state->mu);
   state->cv.wait(lk, [&] { return state->done.load(std::memory_order_acquire) >= n; });

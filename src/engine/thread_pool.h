@@ -20,13 +20,18 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "obs/registry.h"
 
 namespace pipette::engine {
 
 class ThreadPool final : public common::Executor {
  public:
   /// `threads` <= 0 picks std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(int threads = 0);
+  /// `metrics`, when non-null (not owned, must outlive the pool), receives
+  /// engine.pool.* counters: tasks executed, parallel_for calls, loop indices
+  /// split by who drained them (caller vs worker), and a queue-depth gauge.
+  /// Scheduling is unchanged either way.
+  explicit ThreadPool(int threads = 0, obs::Registry* metrics = nullptr);
   /// Drains the queue (every submitted task still runs), then joins.
   ~ThreadPool() override;
 
@@ -59,6 +64,12 @@ class ThreadPool final : public common::Executor {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // Inert handles when no registry was given (one-branch disabled cost).
+  obs::Counter tasks_total_;
+  obs::Counter pfor_calls_;
+  obs::Counter pfor_caller_idx_;
+  obs::Counter pfor_worker_idx_;
+  obs::Gauge queue_depth_;
 };
 
 }  // namespace pipette::engine

@@ -1,0 +1,189 @@
+// Process-wide counter/timer registry — the metrics half of the
+// observability layer. Named monotonic counters, gauges, and fixed-bucket
+// histograms, designed so the hot paths of the configuration engine can be
+// instrumented without perturbing them:
+//
+//   * writes go to lock-free per-thread shards (a relaxed fetch_add into a
+//     preallocated slot; no mutex is ever taken on the write path) and are
+//     merged only when somebody reads — snapshot() or prometheus_text();
+//   * handles are plain {registry, slot} pairs that default to null, so an
+//     uninstrumented call site compiles to one predictable branch;
+//   * nothing here feeds back into any cost, seed, or rng stream, so
+//     attaching a registry cannot change a recommendation (tests lock the
+//     bit-identity in at 1/4/16 threads).
+//
+// Slot capacities are fixed (see detail::k* below) so shards never resize —
+// that is what keeps the write path lock-free. Registering past a capacity
+// throws; the engine uses a few dozen metrics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pipette::obs {
+
+class Registry;
+
+namespace detail {
+
+constexpr int kMaxCounters = 512;    ///< counter slots per shard
+constexpr int kMaxHistograms = 64;   ///< distinct histograms
+constexpr int kMaxHistSlots = 1024;  ///< bucket-count slots across all histograms
+constexpr int kMaxGauges = 256;      ///< process-global gauge cells
+
+/// One thread's private slab of metric slots. Zero-initialized; written only
+/// by its owning thread (relaxed RMW), read by mergers (relaxed loads —
+/// counters tolerate slightly-stale reads by design).
+struct Shard {
+  std::array<std::atomic<long>, kMaxCounters> counters{};
+  std::array<std::atomic<long>, kMaxHistSlots> hist{};
+  std::array<std::atomic<double>, kMaxHistograms> hist_sum{};
+};
+
+struct HistMeta {
+  std::string name;
+  std::vector<double> bounds;  ///< ascending `le` upper bounds
+  int id = 0;                  ///< index into hist_sum
+  int slot_base = 0;           ///< first of bounds.size()+1 bucket slots
+};
+
+}  // namespace detail
+
+/// Monotonic named counter. Default-constructed handles are inert no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void add(long n = 1) const;
+  void inc() const { add(1); }
+  explicit operator bool() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, int id) : reg_(reg), id_(id) {}
+  Registry* reg_ = nullptr;
+  int id_ = 0;
+};
+
+/// Up/down gauge (queue depths, pool sizes). Gauges are global atomics, not
+/// sharded — they report a current level, which per-thread deltas would only
+/// obscure. Default-constructed handles are inert.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(long v) const {
+    if (cell_) cell_->store(v, std::memory_order_relaxed);
+  }
+  void add(long n) const {
+    if (cell_) cell_->fetch_add(n, std::memory_order_relaxed);
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<long>* cell) : cell_(cell) {}
+  std::atomic<long>* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram (phase latencies). observe() is sharded like
+/// counters: one bucket increment plus a CAS-loop add into the shard-local
+/// sum. Default-constructed handles are inert.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+  explicit operator bool() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, const detail::HistMeta* meta) : reg_(reg), meta_(meta) {}
+  Registry* reg_ = nullptr;
+  const detail::HistMeta* meta_ = nullptr;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default instance (an engine::ConfigService owns its own
+  /// by default so tests and tenants stay isolated; this one is for ad-hoc
+  /// instrumentation that has no natural owner).
+  static Registry& global();
+
+  /// Get-or-create by name. Handles stay valid for the registry's lifetime;
+  /// re-registering an existing name returns the same metric (a histogram's
+  /// bounds are fixed by its first registration).
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, const std::vector<double>& upper_bounds);
+
+  /// Default latency buckets (seconds): 1 ms .. ~100 s, exponential.
+  static const std::vector<double>& latency_bounds_s();
+
+  struct CounterSample {
+    std::string name;
+    long value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    long value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<long> buckets;  ///< bounds.size()+1 entries, last = overflow
+    long count = 0;
+    double sum = 0.0;
+  };
+  /// Point-in-time merged view, each section sorted by name.
+  struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+    /// Lookup helpers for tests and report code; 0 when absent.
+    long counter(std::string_view name) const;
+    long gauge(std::string_view name) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Prometheus text exposition (names sanitized to [a-zA-Z0-9_:]).
+  std::string prometheus_text() const;
+
+  /// Zeroes every metric (tests). Racing writers are not corrupted, merely
+  /// partially reset.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  detail::Shard& local_shard();
+  /// Merges (and prunes dead threads' shards into) `retired_`; returns the
+  /// live shards to fold on top. Caller must hold mu_.
+  void merge_locked(detail::Shard& out) const;
+
+  const std::uint64_t uid_;  ///< TLS key; never reused across registries
+  mutable std::mutex mu_;
+  mutable std::vector<std::shared_ptr<detail::Shard>> shards_;
+  /// Totals folded in from threads that have exited.
+  mutable std::unique_ptr<detail::Shard> retired_;
+  std::unordered_map<std::string, int> counter_ids_;
+  std::vector<std::string> counter_names_;  ///< by id
+  std::vector<std::unique_ptr<detail::HistMeta>> hists_;
+  std::unordered_map<std::string, int> hist_ids_;
+  int hist_slots_used_ = 0;
+  std::unique_ptr<std::atomic<long>[]> gauge_cells_;
+  std::unordered_map<std::string, int> gauge_ids_;
+  std::vector<std::string> gauge_names_;
+};
+
+}  // namespace pipette::obs

@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+
+#include "common/stopwatch.h"
+#include "obs/json.h"
+
+namespace pipette::obs {
+
+int trace_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceSink::TraceSink() : origin_s_(common::monotonic_s()) {}
+
+void TraceSink::push(Event ev) {
+  // The timestamp is read by the caller before this lock, so same-thread
+  // events keep program order; cross-thread vector order is arbitrary but
+  // timestamps share one monotonic clock.
+  std::lock_guard lk(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::begin_span(std::string_view name, std::string args_json) {
+  push({std::string(name), 'B', (common::monotonic_s() - origin_s_) * 1e6, trace_thread_id(),
+        std::move(args_json)});
+}
+
+void TraceSink::end_span(std::string_view name) {
+  push({std::string(name), 'E', (common::monotonic_s() - origin_s_) * 1e6, trace_thread_id(), {}});
+}
+
+void TraceSink::instant(std::string_view name, std::string args_json) {
+  push({std::string(name), 'i', (common::monotonic_s() - origin_s_) * 1e6, trace_thread_id(),
+        std::move(args_json)});
+}
+
+void TraceSink::counter(std::string_view name, double value) {
+  std::string args = "{\"value\":";
+  json_append_double(args, value);
+  args += '}';
+  push({std::string(name), 'C', (common::monotonic_s() - origin_s_) * 1e6, trace_thread_id(),
+        std::move(args)});
+}
+
+std::vector<TraceSink::Event> TraceSink::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::json() const {
+  const std::vector<Event> evs = events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    json_append_escaped(out, e.name);
+    out += ",\"cat\":\"pipette\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    json_append_double(out, e.ts_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+    if (!e.args.empty()) out += ",\"args\":" + e.args;
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceSink::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace pipette::obs

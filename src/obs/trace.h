@@ -1,0 +1,87 @@
+// Span tracer — the timeline half of the observability layer. Collects
+// Chrome trace-format events (loadable in Perfetto / chrome://tracing):
+// B/E span pairs for the configure phases and SA chains, instant events for
+// cache hits/misses, and counter events for the SA temperature / survivor
+// trajectory. One sink per study renders a whole ConfigService::sweep() as a
+// single timeline.
+//
+// All emitters take a possibly-null sink and no-op on null — the disabled
+// cost at a call site is one branch. Events carry the process-wide per-thread
+// id and a microsecond timestamp on the shared monotonic clock
+// (common::monotonic_s), so per-thread event order is the thread's program
+// order. The sink never feeds back into costs or rng streams: tracing a
+// request cannot change its recommendation.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipette::obs {
+
+/// Small dense id for the calling thread, stable for the thread's lifetime
+/// and shared by every sink (so one sweep's spans line up across sinks).
+int trace_thread_id();
+
+class TraceSink {
+ public:
+  struct Event {
+    std::string name;
+    char ph = 'B';       ///< 'B' begin, 'E' end, 'i' instant, 'C' counter
+    double ts_us = 0.0;  ///< microseconds since the sink was created
+    int tid = 0;
+    std::string args;  ///< preformatted JSON object, "" = none
+  };
+
+  TraceSink();
+
+  /// `args_json`, when non-empty, must be a complete JSON object ("{...}") —
+  /// build it with JsonWriter.
+  void begin_span(std::string_view name, std::string args_json = {});
+  void end_span(std::string_view name);
+  void instant(std::string_view name, std::string args_json = {});
+  /// Chrome 'C' event: plots `value` as a named counter track over time.
+  void counter(std::string_view name, double value);
+
+  /// Copy of everything recorded so far (schema tests).
+  std::vector<Event> events() const;
+  std::size_t size() const;
+
+  /// The full trace as Chrome trace-format JSON:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string json() const;
+  /// Writes json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  void push(Event ev);
+
+  double origin_s_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: begins on construction, ends on destruction, no-op on a null
+/// sink. Must be destroyed on the constructing thread (automatic for
+/// block-scoped use), which is what keeps per-thread B/E events balanced.
+class Span {
+ public:
+  Span(TraceSink* sink, std::string_view name, std::string args_json = {}) : sink_(sink) {
+    if (sink_) {
+      name_ = name;
+      sink_->begin_span(name_, std::move(args_json));
+    }
+  }
+  ~Span() {
+    if (sink_) sink_->end_span(name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+};
+
+}  // namespace pipette::obs

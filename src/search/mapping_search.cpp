@@ -1,11 +1,33 @@
 #include "search/mapping_search.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
+
 namespace pipette::search {
+
+const char* AnnealTelemetry::kind_name(int k) {
+  static constexpr const char* kNames[kKinds] = {"migrate", "swap", "reverse", "node_swap",
+                                                 "node_reverse"};
+  return (k >= 0 && k < kKinds) ? kNames[k] : "unknown";
+}
+
+void AnnealTelemetry::merge(const AnnealTelemetry& other) {
+  for (int k = 0; k < kKinds; ++k) {
+    proposed[k] += other.proposed[k];
+    accepted[k] += other.accepted[k];
+  }
+  rollbacks += other.rollbacks;
+  dirty.cells += other.dirty.cells;
+  dirty.stages += other.dirty.stages;
+  dirty.flows += other.dirty.flows;
+  dirty.cols += other.dirty.cols;
+  dirty.paths += other.dirty.paths;
+  dirty.groups += other.dirty.groups;
+  dirty.terms += other.dirty.terms;
+}
 
 namespace {
 
@@ -93,13 +115,29 @@ struct MappingAnnealProblem {
   const MoveSet* moves;
   int gpus_per_node;
   std::vector<int> best;  // raw permutation snapshot; assign() reuses capacity
+  AnnealTelemetry* telemetry = nullptr;
+  int last_kind = 0;  ///< kind of the pending proposal (telemetry only)
 
   double cost() const { return eval->cost(); }
   double propose(common::Rng& rng) {
-    return eval->propose(draw_mapping_move(eval->mapping(), rng, *moves, gpus_per_node));
+    const parallel::MappingMoveDesc mv = draw_mapping_move(eval->mapping(), rng, *moves,
+                                                           gpus_per_node);
+    const double c = eval->propose(mv);
+    if (telemetry) {
+      last_kind = static_cast<int>(mv.kind);
+      ++telemetry->proposed[last_kind];
+      telemetry->add_dirty(eval->last_dirty());
+    }
+    return c;
   }
-  void commit() { eval->commit(); }
-  void rollback() { eval->rollback(); }
+  void commit() {
+    eval->commit();
+    if (telemetry) ++telemetry->accepted[last_kind];
+  }
+  void rollback() {
+    eval->rollback();
+    if (telemetry) ++telemetry->rollbacks;
+  }
   void save_best() { best = eval->mapping().raw(); }
   void restore_best() { eval->reset(best); }
 };
@@ -107,9 +145,10 @@ struct MappingAnnealProblem {
 }  // namespace
 
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
-                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves) {
+                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves,
+                          AnnealTelemetry* telemetry) {
   estimators::IncrementalLatencyEvaluator eval(model, m, gpus_per_node);
-  MappingAnnealProblem prob{&eval, &moves, gpus_per_node, m.raw()};
+  MappingAnnealProblem prob{&eval, &moves, gpus_per_node, m.raw(), telemetry};
   const SaResult res = simulated_annealing_incremental(prob, opt);
   m = eval.mapping();  // restore_best left the evaluator on the best mapping
   return res;
@@ -118,14 +157,16 @@ SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatency
 SaResult optimize_mapping_multichain(parallel::Mapping& m,
                                      const estimators::PipetteLatencyModel& model,
                                      int gpus_per_node, const SaOptions& opt,
-                                     const MultiChainOptions& mc, const MoveSet& moves) {
-  if (mc.chains <= 1) return optimize_mapping(m, model, gpus_per_node, opt, moves);
-  const auto t_start = std::chrono::steady_clock::now();
+                                     const MultiChainOptions& mc, const MoveSet& moves,
+                                     AnnealTelemetry* telemetry) {
+  if (mc.chains <= 1) return optimize_mapping(m, model, gpus_per_node, opt, moves, telemetry);
+  const common::Stopwatch watch;
   struct ChainSlot {
     SaResult res;
     parallel::Mapping mapping;
+    AnnealTelemetry telem;
   };
-  std::vector<ChainSlot> slots(static_cast<std::size_t>(mc.chains), ChainSlot{{}, m});
+  std::vector<ChainSlot> slots(static_cast<std::size_t>(mc.chains), ChainSlot{{}, m, {}});
   common::SerialExecutor serial;
   common::Executor& exec = mc.executor ? *mc.executor : serial;
   exec.parallel_for(mc.chains, [&](int i) {
@@ -136,7 +177,8 @@ SaResult optimize_mapping_multichain(parallel::Mapping& m,
     // replica set is a pure function of (seed, chains) — never of the
     // schedule.
     if (i > 0) copt.seed = derive_seed(opt.seed, "mc-chain-" + std::to_string(i));
-    slot.res = optimize_mapping(slot.mapping, model, gpus_per_node, copt, moves);
+    slot.res = optimize_mapping(slot.mapping, model, gpus_per_node, copt, moves,
+                                telemetry ? &slot.telem : nullptr);
   });
   // Canonical merge: lowest best cost, ties to the lowest chain index.
   std::size_t best = 0;
@@ -145,11 +187,12 @@ SaResult optimize_mapping_multichain(parallel::Mapping& m,
   }
   SaResult out = slots[best].res;
   for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (telemetry) telemetry->merge(slots[i].telem);
     if (i == best) continue;
     out.iters += slots[i].res.iters;
     out.accepted += slots[i].res.accepted;
   }
-  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  out.wall_s = watch.seconds();
   m = std::move(slots[best].mapping);
   return out;
 }
@@ -170,7 +213,7 @@ ResumableMappingAnneal::ResumableMappingAnneal(const estimators::PipetteLatencyM
 }
 
 void ResumableMappingAnneal::run_to(long target_iters) {
-  const auto t_start = std::chrono::steady_clock::now();
+  const common::Stopwatch watch;
   // Exactly simulated_annealing_incremental's loop body, with every
   // loop-carried variable a member: a run split across rungs consumes the
   // identical rng stream and trajectory as an uninterrupted run. The
@@ -182,23 +225,27 @@ void ResumableMappingAnneal::run_to(long target_iters) {
   const bool timed = std::isfinite(opt_.time_limit_s);
   while (iters_ < target_iters) {
     if (timed && (since_temp_step_ == 0 || (iters_ & 255) == 0)) {
-      const double elapsed =
-          wall_s_ + std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-                        .count();
-      if (elapsed >= opt_.time_limit_s) break;
+      if (wall_s_ + watch.seconds() >= opt_.time_limit_s) break;
     }
-    const double c = eval_.propose(draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_));
+    const parallel::MappingMoveDesc mv = draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_);
+    const double c = eval_.propose(mv);
+    if (telemetry_) {
+      ++telemetry_->proposed[static_cast<int>(mv.kind)];
+      telemetry_->add_dirty(eval_.last_dirty());
+    }
     const double delta = c - cur_cost_;
     if (detail::metropolis_accept(delta, temp_, rng_)) {
       eval_.commit();
       cur_cost_ = c;
       ++accepted_;
+      if (telemetry_) ++telemetry_->accepted[static_cast<int>(mv.kind)];
       if (cur_cost_ < best_cost_) {
         best_cost_ = cur_cost_;
         best_ = eval_.mapping().raw();
       }
     } else {
       eval_.rollback();
+      if (telemetry_) ++telemetry_->rollbacks;
     }
     if (++since_temp_step_ >= opt_.iters_per_temp) {
       temp_ *= opt_.alpha;
@@ -206,7 +253,7 @@ void ResumableMappingAnneal::run_to(long target_iters) {
     }
     ++iters_;
   }
-  wall_s_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  wall_s_ += watch.seconds();
 }
 
 parallel::Mapping ResumableMappingAnneal::best_mapping() const {

@@ -38,6 +38,48 @@ struct MoveSet {
   int node_span = 0;
 };
 
+/// SA-loop telemetry accumulated locally by the annealers — per-move-kind
+/// proposal/accept counts, rollbacks, and the aggregated
+/// IncrementalLatencyEvaluator dirty-set sizes. Plain longs with no locks or
+/// atomics: each chain owns its own instance, the caller merges and flushes
+/// to an obs::Registry after the run. Attaching one adds a handful of
+/// increments per proposal to the hot loop and never touches the rng stream
+/// or any cost, so trajectories are bit-identical with telemetry on or off
+/// (the sa_throughput bench gates the overhead; tests lock the bit-identity).
+struct AnnealTelemetry {
+  static constexpr int kKinds = 5;  ///< parallel::MoveKind values
+  static const char* kind_name(int k);
+  long proposed[kKinds] = {};
+  long accepted[kKinds] = {};
+  long rollbacks = 0;
+  /// Aggregated dirty-set sizes over every proposal (long: a chain can run
+  /// millions of proposals, overflowing DirtyStats' per-move ints).
+  struct DirtyTotals {
+    long cells = 0, stages = 0, flows = 0, cols = 0, paths = 0, groups = 0, terms = 0;
+  } dirty;
+
+  void add_dirty(const estimators::IncrementalLatencyEvaluator::DirtyStats& d) {
+    dirty.cells += d.cells;
+    dirty.stages += d.stages;
+    dirty.flows += d.flows;
+    dirty.cols += d.cols;
+    dirty.paths += d.paths;
+    dirty.groups += d.groups;
+    dirty.terms += d.terms;
+  }
+  void merge(const AnnealTelemetry& other);
+  long total_proposed() const {
+    long t = 0;
+    for (const long p : proposed) t += p;
+    return t;
+  }
+  long total_accepted() const {
+    long t = 0;
+    for (const long a : accepted) t += a;
+    return t;
+  }
+};
+
 /// Draws one uniformly-chosen enabled move for `m` without applying it.
 /// Degenerate cases — nothing enabled, or only node moves enabled on a
 /// cluster with fewer than two nodes (where retrying node draws would spin
@@ -55,8 +97,11 @@ MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const Mo
 /// are scored by an IncrementalLatencyEvaluator whose costs are bit-identical
 /// to the full model, so the trajectory — and therefore the result under an
 /// iteration cap — matches the copy-based full-evaluation path exactly.
+/// `telemetry`, when non-null, accumulates the run's per-kind counts and
+/// dirty totals (single-threaded writes; the result is unaffected).
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
-                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves = {});
+                          int gpus_per_node, const SaOptions& opt, const MoveSet& moves = {},
+                          AnnealTelemetry* telemetry = nullptr);
 
 /// Deterministic multi-chain annealing: `chains` independent replicas of the
 /// same problem, each on its own IncrementalLatencyEvaluator.
@@ -79,10 +124,14 @@ struct MultiChainOptions {
 /// every executor and thread count produces the identical mapping and cost.
 /// The returned SaResult carries the winning chain's costs with iters and
 /// accepted summed across the replica set.
+/// `telemetry`, when non-null, receives every chain's counts (each chain
+/// accumulates privately; the merge happens after the executor barrier, so
+/// the totals are schedule-independent like the result itself).
 SaResult optimize_mapping_multichain(parallel::Mapping& m,
                                      const estimators::PipetteLatencyModel& model,
                                      int gpus_per_node, const SaOptions& opt,
-                                     const MultiChainOptions& mc, const MoveSet& moves = {});
+                                     const MultiChainOptions& mc, const MoveSet& moves = {},
+                                     AnnealTelemetry* telemetry = nullptr);
 
 /// A pausable SA chain over one mapping problem — the unit of work the
 /// successive-halving budget allocator races. The annealing loop, rng stream,
@@ -113,10 +162,18 @@ class ResumableMappingAnneal {
   /// already past the target).
   void run_to(long target_iters);
 
+  /// Attaches (or detaches, with null) a telemetry accumulator for
+  /// subsequent run_to() calls. The chain only ever appends to it between
+  /// run_to entry and exit, so the caller may read it whenever the chain is
+  /// paused. Never affects the trajectory.
+  void set_telemetry(AnnealTelemetry* t) { telemetry_ = t; }
+
   long total_iters() const { return iters_; }
   long accepted() const { return accepted_; }
   double initial_cost() const { return initial_cost_; }
   double best_cost() const { return best_cost_; }
+  /// Current temperature of the geometric schedule (trace trajectories).
+  double temperature() const { return temp_; }
   /// Real wall time accumulated inside run_to() calls (CPU-seconds of this
   /// chain, for the configurator's aggregate accounting).
   double wall_s() const { return wall_s_; }
@@ -138,6 +195,7 @@ class ResumableMappingAnneal {
   long accepted_ = 0;
   double wall_s_ = 0.0;
   std::vector<int> best_;
+  AnnealTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace pipette::search

@@ -3,13 +3,13 @@
 // alpha = 0.999, seeded and fully deterministic under an iteration cap.
 #pragma once
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string_view>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 
 namespace pipette::search {
 
@@ -57,8 +57,7 @@ inline bool metropolis_accept(double delta, double temp, common::Rng& rng) {
 /// best solution found. State must be copyable.
 template <typename State, typename CostFn, typename MutateFn>
 SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, const SaOptions& opt) {
-  using clock = std::chrono::steady_clock;
-  const auto t_start = clock::now();
+  const common::Stopwatch watch;
   // Iteration-capped (deterministic) runs leave time_limit_s at infinity and
   // should not pay for wall-clock reads in the loop at all; timed runs batch
   // the deadline check to the iters_per_temp block boundary (the temperature
@@ -80,8 +79,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
   int since_temp_step = 0;
   while (res.iters < opt.max_iters) {
     if (timed && (since_temp_step == 0 || (res.iters & 255) == 0)) {
-      const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
-      if (elapsed >= opt.time_limit_s) break;
+      if (watch.seconds() >= opt.time_limit_s) break;
     }
     State cand = current;
     mutate(cand, rng);
@@ -105,7 +103,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
 
   state = std::move(best);
   res.best_cost = best_cost;
-  res.wall_s = std::chrono::duration<double>(clock::now() - t_start).count();
+  res.wall_s = watch.seconds();
   return res;
 }
 
@@ -128,8 +126,7 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
 /// tests/incremental_test.cpp locks in for the mapping problem.
 template <typename Problem>
 SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
-  using clock = std::chrono::steady_clock;
-  const auto t_start = clock::now();
+  const common::Stopwatch watch;
   const bool timed = std::isfinite(opt.time_limit_s);
 
   common::Rng rng(opt.seed);
@@ -144,8 +141,7 @@ SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
   int since_temp_step = 0;
   while (res.iters < opt.max_iters) {
     if (timed && (since_temp_step == 0 || (res.iters & 255) == 0)) {
-      const double elapsed = std::chrono::duration<double>(clock::now() - t_start).count();
-      if (elapsed >= opt.time_limit_s) break;
+      if (watch.seconds() >= opt.time_limit_s) break;
     }
     const double c = prob.propose(rng);
     const double delta = c - cur_cost;
@@ -169,7 +165,7 @@ SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
 
   prob.restore_best();
   res.best_cost = best_cost;
-  res.wall_s = std::chrono::duration<double>(clock::now() - t_start).count();
+  res.wall_s = watch.seconds();
   return res;
 }
 
