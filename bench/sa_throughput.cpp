@@ -14,15 +14,30 @@
 // of --chains derive_seed-keyed chains on a --threads pool, cross-checked
 // for bit-identity against a serial run of the same replica set).
 //
-//   --fast            CI budget: fewer iterations, skips the 256/512-GPU shapes
+// The batch column anneals the same instance through the batched proposal
+// path (SaOptions::batch > 1, cheap_string_moves kind weighting, SoA
+// score_batch repricing) and reports scored proposals/sec; its fill
+// histogram (what fraction of each batch was decided before the first
+// accept) goes to a _fill.csv. The multi-chain determinism check also runs
+// at the batch size, so mc_det asserts thread-count reproducibility of the
+// batched path, not just the serial one.
+//
+//   --fast            CI budget: fewer iterations, skips the 256-4096-GPU shapes
 //   --iters N         override the full-evaluation iteration count
 //   --seed N          heterogeneity universe seed (default 2024)
-//   --csv PATH        mirror the table to CSV (+ a _kinds.csv breakdown)
+//   --csv PATH        mirror the table to CSV (+ _kinds.csv and _fill.csv)
 //   --span N          wide-move span bound (default 4; 0 = unbounded)
 //   --nspan N         node_reverse span bound (default 1; 0 = unbounded)
 //   --chains N        multi-chain replica count (default 8)
 //   --threads N       pool size for the multi-chain run (default 8)
-//   --min-speedup32 X fail (exit 3) if any 32-GPU mixed speedup drops below X
+//   --batch N         proposal batch size for the batched columns (default 32)
+//   --huge            include the 10240-GPU shape (slow full-model match run)
+//   --min-speedup32 X fail (exit 3) if the batched cheap-string rate over the
+//                     full model drops below X on any 32-GPU shape
+//   --adaptive-savings X  run fixed vs Hoeffding-stopped configure() on four
+//                     small instances; fail (exit 5) unless every pair picks
+//                     the identical plan and at least two cut SA iterations
+//                     by X or more
 //   --telemetry-ceiling X  measure the AnnealTelemetry overhead on the first
 //                     32-GPU shape (best-of-3 incremental rate, accumulator
 //                     detached vs attached, bit-identity asserted) and fail
@@ -42,6 +57,7 @@
 #include "common/cli.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "core/pipette_configurator.h"
 #include "engine/thread_pool.h"
 #include "estimators/compute_profile.h"
 #include "estimators/incremental_latency.h"
@@ -56,6 +72,11 @@ namespace {
 struct ShapeCase {
   parallel::ParallelConfig pc;
   int micro;
+  /// Iteration count for the full-model run (trajectory match + full rate);
+  /// 0 uses the global --iters budget. The 1024+-GPU shapes cap it: the full
+  /// model is O(cluster) per proposal, so a few hundred proposals already
+  /// give the bit-identity check and an order-of-magnitude rate.
+  long match_iters = 0;
 };
 
 constexpr const char* kKindName[5] = {"migrate", "swap", "reverse", "node_swap", "node_reverse"};
@@ -78,23 +99,28 @@ std::string fmt_hist(const std::array<long, 6>& h, long total) {
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   if (const auto unknown = cli.first_unknown({"fast", "iters", "seed", "csv", "span", "nspan",
-                                              "chains", "threads", "min-speedup32",
+                                              "chains", "threads", "batch", "huge",
+                                              "min-speedup32", "adaptive-savings",
                                               "telemetry-ceiling"})) {
     std::cerr << "unknown flag --" << *unknown << "\n";
     return 1;
   }
   const bool fast = cli.get_bool("fast", false);
+  const bool huge = cli.get_bool("huge", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
   const long full_iters = cli.get_int("iters", fast ? 4000 : 20000);
   const long inc_iters = full_iters * (fast ? 25 : 10);
   const std::string csv = cli.get_string("csv", "");
   const double min_speedup32 = cli.get_double("min-speedup32", 0.0);
+  const double adaptive_savings = cli.get_double("adaptive-savings", 0.0);
   const double telemetry_ceiling = cli.get_double("telemetry-ceiling", 0.0);
   const int chains = std::max(1, cli.get_int("chains", 8));
   const int threads = std::max(1, cli.get_int("threads", 8));
+  const int batch = std::max(1, cli.get_int("batch", 32));
   search::MoveSet moves;
   moves.wide_span = cli.get_int("span", 4);
   moves.node_span = cli.get_int("nspan", 1);
+  const search::MoveSet cheap = search::cheap_string_moves(moves);
 
   std::vector<ShapeCase> cases = {
       {{4, 2, 4}, 2}, {{2, 8, 2}, 2}, {{8, 1, 4}, 2}, {{4, 4, 2}, 2},  // 32 GPUs
@@ -105,23 +131,32 @@ int main(int argc, char** argv) {
     cases.push_back({{8, 4, 8}, 2});   // 256 GPUs
     cases.push_back({{8, 8, 8}, 2});   // 512 GPUs
   }
+  // Scalability rows: 128/512/1280-node clusters. The 1024-GPU shape runs
+  // even under --fast (it is the smallest "many-node" instance CI should
+  // keep honest); 4096 needs a non-fast run and 10240 an explicit opt-in.
+  cases.push_back({{16, 8, 8}, 2, fast ? 1000 : 2000});  // 1024 GPUs, 128 nodes
+  if (!fast) cases.push_back({{16, 16, 16}, 2, 300});    // 4096 GPUs, 512 nodes
+  if (huge) cases.push_back({{16, 16, 40}, 2, 300});     // 10240 GPUs, 1280 nodes
 
   const model::TrainingJob job{model::gpt_3_1b(), 512};
-  // The two paths run different iteration counts (the incremental one needs
-  // more for a clean rate measurement), so each is timed over its own run.
-  // vs_seed additionally scales by the measured seed-model/hoisted-model
-  // estimate() cost ratio (3282/2296 ns per call on pp4-tp2-dp4/32 GPUs, see
-  // BENCH_sa_throughput.json) for a rough comparison against the pre-PR-2
-  // allocating hot path.
-  const double seed_model_factor = 3282.0 / 2296.0;
-  common::Table table({"shape", "gpus", "full mv/s", "incr mv/s", "speedup", "vs seed", "match",
-                       "dirt hist %", "mc mv/s", "mc scale", "mc det"});
+  // The paths run different iteration counts (the incremental and batched
+  // ones need more for a clean rate measurement), so each is timed over its
+  // own run. speedup = incr/full; b spdup = batch/full — the batched column
+  // is the production mix (cheap-string weighting + batch shell), so its
+  // speedup over the full model is what --min-speedup32 gates.
+  common::Table table({"shape", "gpus", "full mv/s", "incr mv/s", "batch mv/s", "speedup",
+                       "b spdup", "match", "dirt hist %", "mc mv/s", "mc det"});
   common::Table kinds_table({"shape", "kind", "mv/s", "mean dirt"});
+  common::Table fill_table({"shape", "gpus", "batch", "batches", "fill 1/8", "2/8", "3/8", "4/8",
+                            "5/8", "6/8", "7/8", "8/8"});
 
   engine::ThreadPool pool(threads);
   double min_speedup_32gpu = std::numeric_limits<double>::infinity();
 
+  const common::Stopwatch progress;
   for (const auto& c : cases) {
+    std::cerr << "[" << common::fmt_fixed(progress.seconds(), 1) << "s] " << c.pc.str() << " ("
+              << c.pc.ways() << " GPUs)...\n";
     const cluster::Topology topo(cluster::mid_range_cluster(c.pc.ways() / 8),
                                  cluster::HeterogeneityOptions{}, seed);
     const int gpn = topo.gpus_per_node();
@@ -134,7 +169,7 @@ int main(int argc, char** argv) {
     search::SaOptions opt;
     opt.time_limit_s = std::numeric_limits<double>::infinity();  // iteration-capped
     opt.seed = search::derive_seed(seed, c.pc.str());
-    opt.max_iters = full_iters;
+    opt.max_iters = c.match_iters > 0 ? c.match_iters : full_iters;
 
     // Full re-evaluation per proposal: the copy-based generic annealer over
     // model.estimate — exactly what optimize_mapping did before the
@@ -157,6 +192,34 @@ int main(int argc, char** argv) {
     opt.max_iters = inc_iters;
     parallel::Mapping m_rate = parallel::Mapping::megatron_default(c.pc);
     const auto res_inc = search::optimize_mapping(m_rate, model, gpn, opt, moves);
+
+    // Batched proposal path: block draws through the cheap-string kind
+    // weighting, columnar score_batch repricing, first-accept Metropolis
+    // sweep. Rate counts *scored* proposals (the work actually done); the
+    // telemetry totals must reconcile with the SaResult, and the fill
+    // histogram records how much of each batch was decided before the first
+    // accept cut it short.
+    search::SaOptions bopt = opt;
+    bopt.batch = batch;
+    search::AnnealTelemetry btel;
+    parallel::Mapping m_batch = parallel::Mapping::megatron_default(c.pc);
+    const auto res_batch = search::optimize_mapping(m_batch, model, gpn, bopt, cheap, &btel);
+    if (btel.total_proposed() != res_batch.iters || btel.scored != res_batch.scored) {
+      std::cerr << "TELEMETRY MISMATCH on " << c.pc.str() << ": batched run counted "
+                << btel.total_proposed() << "/" << btel.scored
+                << " decided/scored vs SaResult " << res_batch.iters << "/" << res_batch.scored
+                << "\n";
+      return 4;
+    }
+    {
+      std::vector<std::string> row = {c.pc.str(), std::to_string(c.pc.ways()),
+                                      std::to_string(batch), std::to_string(btel.batches)};
+      for (long count : btel.batch_fill) {
+        row.push_back(std::to_string(
+            btel.batches > 0 ? (100 * count + btel.batches / 2) / btel.batches : 0));
+      }
+      fill_table.add_row(row);
+    }
 
     // Per-move-kind rate breakdown: anneal with a single kind enabled (same
     // span bounds), so each rate is a bulk measurement without per-move
@@ -217,6 +280,7 @@ int main(int argc, char** argv) {
     // is the multi-chain throughput; a serial run of the identical replica
     // set must reproduce the merged result bit for bit.
     search::SaOptions mopt = opt;
+    mopt.batch = batch;  // mc_det asserts thread-count determinism at B>1
     mopt.max_iters = std::max<long>(1, inc_iters / chains);
     parallel::Mapping m_mc = parallel::Mapping::megatron_default(c.pc);
     const common::Stopwatch t_mc;
@@ -230,16 +294,17 @@ int main(int argc, char** argv) {
 
     const double full_rate = static_cast<double>(res_full.iters) / res_full.wall_s;
     const double inc_rate = static_cast<double>(res_inc.iters) / res_inc.wall_s;
-    const double mc_rate = static_cast<double>(res_mc.iters) / mc_wall;
+    const double batch_rate = static_cast<double>(res_batch.scored) / res_batch.wall_s;
+    const double mc_rate = static_cast<double>(res_mc.scored) / mc_wall;
     const double speedup = inc_rate / full_rate;
-    if (c.pc.ways() == 32) min_speedup_32gpu = std::min(min_speedup_32gpu, speedup);
+    const double bspeedup = batch_rate / full_rate;
+    if (c.pc.ways() == 32) min_speedup_32gpu = std::min(min_speedup_32gpu, bspeedup);
 
     table.add_row({c.pc.str(), std::to_string(c.pc.ways()), common::fmt_count(full_rate),
-                   common::fmt_count(inc_rate), common::fmt_fixed(speedup, 1) + "x",
-                   common::fmt_fixed(speedup * seed_model_factor, 1) + "x",
+                   common::fmt_count(inc_rate), common::fmt_count(batch_rate),
+                   common::fmt_fixed(speedup, 1) + "x", common::fmt_fixed(bspeedup, 1) + "x",
                    match ? "yes" : "NO", fmt_hist(dirt_hist, probes),
-                   common::fmt_count(mc_rate), common::fmt_fixed(mc_rate / inc_rate, 2) + "x",
-                   mc_det ? "yes" : "NO"});
+                   common::fmt_count(mc_rate), mc_det ? "yes" : "NO"});
     if (!match) {
       std::cerr << "MISMATCH on " << c.pc.str()
                 << ": incremental and full-evaluation SA diverged\n";
@@ -307,21 +372,97 @@ int main(int argc, char** argv) {
             << ", nspan=" << moves.node_span << "):\n";
   kinds_table.print(std::cout);
   std::cout << "dirt hist buckets: % of moves with <=4/<=8/<=16/<=32/<=64/65+ dirtied entries\n";
+  std::cout << "\nbatch fill (% of batches whose decided prefix fell in each eighth of --batch="
+            << batch << "):\n";
+  fill_table.print(std::cout);
   if (!csv.empty()) {
     const std::size_t dot = csv.find_last_of('.');
-    const std::string kcsv =
-        (dot == std::string::npos ? csv : csv.substr(0, dot)) + "_kinds.csv";
-    if (table.write_csv(csv) && kinds_table.write_csv(kcsv)) {
-      std::cout << "(csv written to " << csv << " and " << kcsv << ")\n";
+    const std::string stem = dot == std::string::npos ? csv : csv.substr(0, dot);
+    const std::string kcsv = stem + "_kinds.csv";
+    const std::string fcsv = stem + "_fill.csv";
+    if (table.write_csv(csv) && kinds_table.write_csv(kcsv) && fill_table.write_csv(fcsv)) {
+      std::cout << "(csv written to " << csv << ", " << kcsv << " and " << fcsv << ")\n";
     } else {
       std::cout << "(failed to write csv to " << csv << ")\n";
       return 1;
     }
   }
   if (min_speedup32 > 0.0 && min_speedup_32gpu < min_speedup32) {
-    std::cerr << "REGRESSION: 32-GPU mixed-move speedup " << min_speedup_32gpu
-              << "x fell below the stored floor " << min_speedup32 << "x\n";
+    std::cerr << "REGRESSION: 32-GPU batched cheap-string speedup " << min_speedup_32gpu
+              << "x over the full model fell below the stored floor " << min_speedup32 << "x\n";
     return 3;
+  }
+
+  // Adaptive-stopping savings gate: fixed rung budgets vs the Hoeffding
+  // stopper on four small configure() instances. Stop decisions are pure
+  // per-chain functions, so the adaptive run must recommend the identical
+  // plan; the gate additionally requires a real iteration cut on at least
+  // two of the four (easy instances converge early, hard ones may not).
+  if (adaptive_savings > 0.0) {
+    struct MiniCase {
+      int nodes;
+      model::TransformerConfig cfg;
+      int global_batch;
+    };
+    const MiniCase minis[] = {
+        {4, model::gpt_3_1b(), 512},
+        {2, model::gpt_774m(), 64},
+        {4, model::gpt_1_1b(), 128},
+        {2, model::gpt_3_1b(), 256},
+    };
+    common::Table atable(
+        {"nodes", "model", "batch", "fixed iters", "adaptive iters", "saved", "cut", "same plan"});
+    int cut_enough = 0;
+    bool plans_match = true;
+    for (const MiniCase& mc2 : minis) {
+      const cluster::Topology topo(cluster::mid_range_cluster(mc2.nodes),
+                                   cluster::HeterogeneityOptions{}, seed);
+      const model::TrainingJob mjob{mc2.cfg, mc2.global_batch};
+      core::PipetteOptions base;
+      base.use_memory_filter = false;
+      base.sa_top_k = 0;
+      // Generous per-chain budget: converged chains stop at the same absolute
+      // iteration whatever the grant, so the visible cut grows with it — this
+      // is exactly the regime adaptive stopping exists for.
+      base.sa.max_iters = 12000;
+      base.sa.time_limit_s = std::numeric_limits<double>::infinity();
+      base.sa_halving.enabled = true;
+      base.memory_training.hidden = {64, 64};
+      base.memory_training.train.iters = 4000;
+      base.memory_training.max_profile_nodes = 3;
+      base.memory_training.profile_global_batches = {128};
+
+      core::PipetteConfigurator fixed(base);
+      const auto rf = fixed.configure(topo, mjob);
+      auto aopt = base;
+      aopt.memory = fixed.memory_estimator();  // train once per instance
+      aopt.sa_halving.stopping.enabled = true;
+      aopt.sa_halving.stopping.window = 128;
+      core::PipetteConfigurator adaptive(aopt);
+      const auto ra = adaptive.configure(topo, mjob);
+
+      const bool same = rf.found && ra.found && rf.best == ra.best;
+      plans_match = plans_match && same;
+      const double cut =
+          static_cast<double>(rf.sa_iters) / std::max<long>(1, ra.sa_iters);
+      if (same && cut >= adaptive_savings) ++cut_enough;
+      atable.add_row({std::to_string(mc2.nodes), mc2.cfg.name,
+                      std::to_string(mc2.global_batch), std::to_string(rf.sa_iters),
+                      std::to_string(ra.sa_iters), std::to_string(ra.sa_iters_saved),
+                      common::fmt_fixed(cut, 1) + "x", same ? "yes" : "NO"});
+    }
+    std::cout << "\nadaptive stopping vs fixed rung budgets (threshold " << adaptive_savings
+              << "x on >=2 instances):\n";
+    atable.print(std::cout);
+    if (!plans_match) {
+      std::cerr << "MISMATCH: adaptive stopping changed a recommended plan\n";
+      return 5;
+    }
+    if (cut_enough < 2) {
+      std::cerr << "REGRESSION: only " << cut_enough << " instance(s) cut SA iterations by "
+                << adaptive_savings << "x or more (need 2)\n";
+      return 5;
+    }
   }
   return 0;
 }

@@ -75,7 +75,10 @@ struct ConfiguratorResult {
   int mem_est_reused = 0;    ///< memory estimates served from a memo
   long sa_iters = 0;         ///< SA proposals explored across all chains/rungs
   long sa_iters_granted = 0; ///< SA budget the policy allotted (0 = uncapped)
+  long sa_iters_saved = 0;   ///< granted iterations handed back by adaptive stopping
   int sa_rungs = 0;          ///< successive-halving rungs run (0 = legacy loop)
+  int sa_chains_stopped = 0; ///< chains terminated by the Hoeffding stopper
+  int sa_batch = 1;          ///< proposal batch size the SA phase ran with
   bool warm_started = false; ///< produced by reconfigure() reusing a prior result
 
   // Artifact provenance when served through the engine's ClusterCache: which

@@ -32,7 +32,14 @@ void flush_request_metrics(obs::Registry* reg, const ConfiguratorResult& res,
   reg->counter("pipette.shapes.reused").add(res.shapes_reused);
   reg->counter("pipette.mem_est.reused").add(res.mem_est_reused);
   reg->counter("pipette.sa.iters").add(res.sa_iters);
+  reg->counter("pipette.sa.iters_saved").add(res.sa_iters_saved);
   reg->counter("pipette.sa.rungs").add(res.sa_rungs);
+  // Stop decisions keyed by reason (only kConverged exists today) plus the
+  // batch size the SA phase ran with, as a gauge for dashboards.
+  if (res.sa_chains_stopped != 0) {
+    reg->counter("pipette.sa.stop.converged").add(res.sa_chains_stopped);
+  }
+  reg->gauge("pipette.sa.batch.size").set(res.sa_batch);
   for (int k = 0; k < search::AnnealTelemetry::kKinds; ++k) {
     if (telem.proposed[k] != 0) {
       reg->counter(std::string("pipette.sa.proposals.") + search::AnnealTelemetry::kind_name(k))
@@ -85,7 +92,9 @@ ConfiguratorResult PipetteConfigurator::reconfigure(const cluster::Topology& new
     out.search_wall_s = out.search_cpu_s = 0.0;
     out.sa_iters = 0;
     out.sa_iters_granted = 0;
+    out.sa_iters_saved = 0;
     out.sa_rungs = 0;
+    out.sa_chains_stopped = 0;
     out.shapes_profiled = 0;
     out.shapes_reused = 0;
     out.mem_est_reused = 0;
@@ -456,6 +465,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     const common::Stopwatch t_sa;
     const int gpn = topo.gpus_per_node();
     const int chains = std::max(1, opt_.sa_chains);
+    res.sa_batch = std::max(1, opt_.sa.batch);
     // Chain seeds mirror optimize_mapping_multichain exactly: chain 0 is the
     // candidate seed (derived from the candidate itself, not its rank, so
     // serial and parallel schedules anneal each candidate identically),
@@ -500,6 +510,9 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           race.sa_chains.push_back(std::make_unique<search::ResumableMappingAnneal>(
               *race.model, parallel::Mapping::megatron_default(s.cand.pc), gpn,
               chain_opts(s.cand, c), opt_.moves));
+          if (opt_.sa_halving.stopping.enabled) {
+            race.sa_chains.back()->enable_stopping(opt_.sa_halving.stopping);
+          }
           if (telem_ptr) {
             race.sa_chains.back()->set_telemetry(&race.telems[static_cast<std::size_t>(c)]);
           }
@@ -521,9 +534,23 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
             ->best_cost();
       };
 
+      // Counts stopped chains among the alive candidates (the set the next
+      // rung would still grant iterations to). Stop decisions are pure
+      // functions of each chain's trajectory, so this count — and the early
+      // rung-loop exit below — is identical on every thread count.
+      auto stopped_among_alive = [&](const std::vector<int>& alive_set) {
+        int stopped = 0;
+        for (const int i : alive_set) {
+          for (const auto& chain : races[static_cast<std::size_t>(i)].sa_chains) {
+            if (chain->stopped()) ++stopped;
+          }
+        }
+        return stopped;
+      };
       std::vector<int> alive(width);
       std::iota(alive.begin(), alive.end(), 0);
       long prev_target = 0;
+      int prev_stopped = 0;
       for (int r = 0; r < rungs; ++r) {
         // rung0 << r clamped to full, shift-before-compare so a user-set
         // rung0_iters can never signed-overflow: the cap doubles per rung
@@ -566,6 +593,25 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         });
         if (sink) sink->end_span("sa.rung");
         ++res.sa_rungs;
+        if (opt_.sa_halving.stopping.enabled) {
+          const int stopped = stopped_among_alive(alive);
+          if (sink && stopped > prev_stopped) {
+            obs::JsonWriter w;
+            w.begin_object();
+            w.key("rung");
+            w.value(r);
+            w.key("stopped_chains");
+            w.value(stopped);
+            w.key("alive_chains");
+            w.value(static_cast<long>(alive.size()) * chains);
+            w.end_object();
+            sink->instant("sa.early_stop", w.str());
+          }
+          prev_stopped = stopped;
+          // Every surviving chain has converged: later rungs would grant
+          // iterations nobody spends, so the race ends here.
+          if (stopped == static_cast<int>(alive.size()) * chains) break;
+        }
         if (alive.size() <= 1) continue;
         // Keep the best half plus the slack band around the leader; `alive`
         // enters in default-cost rank order, so the stable sort resolves
@@ -600,8 +646,15 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         for (const auto& chain : race.sa_chains) {
           res.sa_iters += chain->total_iters();
           res.search_cpu_s += chain->wall_s();
+          if (chain->stopped()) ++res.sa_chains_stopped;
         }
         for (const auto& t : race.telems) telem.merge(t);
+      }
+      if (opt_.sa_halving.stopping.enabled) {
+        // Iterations the fixed rung policy granted but converged chains
+        // handed back (deadline trips are excluded by gating on stopping —
+        // they are flagged separately by spent < granted in explain()).
+        res.sa_iters_saved = std::max<long>(0, res.sa_iters_granted - res.sa_iters);
       }
     } else {
       // Legacy allocation: the sa_top_k best candidates, full budget each.

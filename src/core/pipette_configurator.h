@@ -49,6 +49,15 @@ struct SaHalvingOptions {
   /// that separates them, at a small bounded work increase. 0 restores pure
   /// halving.
   double keep_slack = 0.03;
+  /// Adaptive per-chain early stopping (search/stopping.h): when enabled,
+  /// every raced chain observes its improvement rate at absolute window
+  /// boundaries and permanently stops once the Hoeffding upper confidence
+  /// bound on further improvement drops below threshold — easy instances
+  /// hand their remaining rung grants back (reported as
+  /// ConfiguratorResult::sa_iters_saved), hard ones keep the full budget.
+  /// Stop decisions are pure functions of each chain's trajectory, so
+  /// enabling this keeps configure() deterministic on every thread count.
+  search::StoppingOptions stopping;
 };
 
 struct PipetteOptions {

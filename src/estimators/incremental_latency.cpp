@@ -128,43 +128,302 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   undo_g_max_same_.resize(static_cast<std::size_t>(groups));
   undo_g_num_nodes_.resize(static_cast<std::size_t>(groups));
   undo_g_nodes_.resize(static_cast<std::size_t>(groups * dp_));
+  // Member-bandwidth submatrices (n·tp and n·dp doubles — the same order as
+  // ONE full pair scan of the tables they replace). Diagonals are +inf once
+  // and never rewritten; refreshes and rebuilds only touch off-diagonals.
+  const double inf = std::numeric_limits<double>::infinity();
+  tp_bw_.assign(static_cast<std::size_t>(cells) * static_cast<std::size_t>(tp_ * tp_), inf);
+  g_bw_.assign(static_cast<std::size_t>(groups) * static_cast<std::size_t>(dp_ * dp_), inf);
+  flow_bw_fwd_.assign(static_cast<std::size_t>(std::max(1, flows)), 1.0);
+  flow_bw_bwd_.assign(static_cast<std::size_t>(std::max(1, flows)), 1.0);
+  cell_slot_gpu_.assign(static_cast<std::size_t>(cells) * static_cast<std::size_t>(tp_), -1);
+  cell_changed_.resize(static_cast<std::size_t>(cells) * static_cast<std::size_t>(tp_));
+  cell_changed_len_.assign(static_cast<std::size_t>(cells), 0);
+  group_changed_.resize(static_cast<std::size_t>(groups) * static_cast<std::size_t>(dp_));
+  group_changed_len_.assign(static_cast<std::size_t>(groups), 0);
+  cell_add_.resize(static_cast<std::size_t>(tp_));
+  cell_rem_.resize(static_cast<std::size_t>(tp_));
+  pair_head_.assign(pair_count_.size(), -1);
+  flow_next_.assign(static_cast<std::size_t>(std::max(1, flows)), -1);
+  flow_prev_.assign(static_cast<std::size_t>(std::max(1, flows)), -1);
+  // Worst-case logs: every cell's / ring's refresh is capped at its full
+  // off-diagonal block (the rebuild threshold in refresh_*_bw enforces it).
+  undo_tp_bw_.reserve(tp_bw_.size());
+  undo_g_bw_.reserve(g_bw_.size());
+  undo_cell_slot_.reserve(cell_slot_gpu_.size());
+  undo_flow_bwf_.resize(static_cast<std::size_t>(std::max(1, flows)));
+  undo_flow_bwb_.resize(static_cast<std::size_t>(std::max(1, flows)));
   scratch_gpu_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_node_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_counts_.assign(static_cast<std::size_t>(num_nodes_), 0);
   scratch_row_.resize(static_cast<std::size_t>(groups));
+  col_bytes_.resize(static_cast<std::size_t>(tp_));
+  col_bw_fwd_.resize(static_cast<std::size_t>(tp_));
+  col_bw_bwd_.resize(static_cast<std::size_t>(tp_));
+  col_lat_.resize(static_cast<std::size_t>(tp_));
   // The relabel-aware node-move kernel treats a node move as a label
   // permutation σ of the cost model's node blocks — valid only when the move
   // blocks coincide with them.
   node_sigma_ok_ = move_gpn_ == model.links_.gpus_per_node;
 
+  // Tiered bandwidth tables (see bw_at): only worth building once the full
+  // matrix outgrows the cache (2MB at 512 GPUs); the verification scan is one
+  // sequential pass over the matrix, negligible next to cluster profiling.
+  link_gpn_ = std::max(1, model.links_.gpus_per_node);
+  bw_tiered_ = false;
+  if (num_gpus >= 256 && num_gpus > link_gpn_) {
+    const auto* bwm = model.bw_;
+    const auto nn = static_cast<std::size_t>(num_nodes_);
+    node_bw_.assign(nn * nn, 0.0);
+    intra_bw_.assign(static_cast<std::size_t>(num_gpus) * static_cast<std::size_t>(link_gpn_),
+                     0.0);
+    for (int n1 = 0; n1 < num_nodes_; ++n1) {
+      for (int n2 = 0; n2 < num_nodes_; ++n2) {
+        if (n1 == n2) continue;
+        node_bw_[static_cast<std::size_t>(n1) * nn + static_cast<std::size_t>(n2)] =
+            bwm->at(n1 * link_gpn_, n2 * link_gpn_);
+      }
+    }
+    for (int g1 = 0; g1 < num_gpus; ++g1) {
+      const int nb = node_of_gpu_[static_cast<std::size_t>(g1)] * link_gpn_;
+      for (int o2 = 0; o2 < link_gpn_ && nb + o2 < num_gpus; ++o2) {
+        intra_bw_[static_cast<std::size_t>(g1) * static_cast<std::size_t>(link_gpn_) +
+                  static_cast<std::size_t>(o2)] = bwm->at(g1, nb + o2);
+      }
+    }
+    // Intra rows are verbatim copies; only the inter-node fold is a claim
+    // that needs checking.
+    bw_tiered_ = true;
+    for (int g1 = 0; g1 < num_gpus && bw_tiered_; ++g1) {
+      const auto n1 = static_cast<std::size_t>(node_of_gpu_[static_cast<std::size_t>(g1)]);
+      for (int g2 = 0; g2 < num_gpus; ++g2) {
+        const auto n2 = static_cast<std::size_t>(node_of_gpu_[static_cast<std::size_t>(g2)]);
+        if (n1 == n2) continue;
+        if (bwm->at(g1, g2) != node_bw_[n1 * nn + n2]) {
+          bw_tiered_ = false;
+          break;
+        }
+      }
+    }
+    if (!bw_tiered_) {
+      node_bw_ = {};
+      intra_bw_ = {};
+    }
+  }
+
   full_recompute();
 }
 
-void IncrementalLatencyEvaluator::recompute_tp_cell(int stage, int dpr) {
-  // Mirrors PipetteLatencyModel::tp_time with members hoisted into scratch
-  // (same pair order, so the same mins); for tp < 2 the ring term is zero
-  // either way.
-  const auto* bw = model_->bw_;
+double IncrementalLatencyEvaluator::bw_at(int g1, int g2) const {
+  if (bw_tiered_) {
+    const int n1 = node_of_gpu_[static_cast<std::size_t>(g1)];
+    const int n2 = node_of_gpu_[static_cast<std::size_t>(g2)];
+    if (n1 != n2) {
+      return node_bw_[static_cast<std::size_t>(n1) * static_cast<std::size_t>(num_nodes_) +
+                      static_cast<std::size_t>(n2)];
+    }
+    return intra_bw_[static_cast<std::size_t>(g1) * static_cast<std::size_t>(link_gpn_) +
+                     static_cast<std::size_t>(g2 - n1 * link_gpn_)];
+  }
+  return model_->bw_->at(g1, g2);
+}
+
+void IncrementalLatencyEvaluator::link_flow(int fl, int idx) {
+  const int h = pair_head_[static_cast<std::size_t>(idx)];
+  flow_next_[static_cast<std::size_t>(fl)] = h;
+  flow_prev_[static_cast<std::size_t>(fl)] = -1;
+  if (h >= 0) flow_prev_[static_cast<std::size_t>(h)] = fl;
+  pair_head_[static_cast<std::size_t>(idx)] = fl;
+}
+
+void IncrementalLatencyEvaluator::unlink_flow(int fl, int idx) {
+  const int nx = flow_next_[static_cast<std::size_t>(fl)];
+  const int pv = flow_prev_[static_cast<std::size_t>(fl)];
+  if (pv >= 0) {
+    flow_next_[static_cast<std::size_t>(pv)] = nx;
+  } else {
+    pair_head_[static_cast<std::size_t>(idx)] = nx;
+  }
+  if (nx >= 0) flow_prev_[static_cast<std::size_t>(nx)] = pv;
+}
+
+void IncrementalLatencyEvaluator::rebuild_cell_bw(int stage, int dpr) {
+  const int cell = stage * dp_ + dpr;
+  const auto base =
+      static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_) * static_cast<std::size_t>(tp_);
+  double* sub = tp_bw_.data() + base;
+  int* slots = cell_slot_gpu_.data() +
+               static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_);
   const int* perm = cur_.raw().data();
   const int wbase = (dpr * pp_ + stage) * tp_;  // members are consecutive in y
-  for (int y = 0; y < tp_; ++y) {
-    const int g = perm[wbase + y];
-    scratch_gpu_[static_cast<std::size_t>(y)] = g;
-    scratch_node_[static_cast<std::size_t>(y)] = node_of_gpu_[static_cast<std::size_t>(g)];
-  }
-  double min_bw = std::numeric_limits<double>::infinity();
-  bool crosses_node = false;
-  for (int y1 = 0; y1 < tp_; ++y1) {
-    const int g1 = scratch_gpu_[static_cast<std::size_t>(y1)];
-    const int n1 = scratch_node_[static_cast<std::size_t>(y1)];
-    for (int y2 = 0; y2 < tp_; ++y2) {
-      if (y1 == y2) continue;
-      min_bw = std::min(min_bw, bw->at(g1, scratch_gpu_[static_cast<std::size_t>(y2)]));
-      if (n1 != scratch_node_[static_cast<std::size_t>(y2)]) crosses_node = true;
+  for (int s = 0; s < tp_; ++s) slots[s] = perm[wbase + s];
+  for (int s1 = 0; s1 < tp_; ++s1) {
+    const int g1 = slots[s1];
+    for (int s2 = 0; s2 < tp_; ++s2) {
+      if (s1 == s2) continue;
+      sub[s1 * tp_ + s2] = bw_at(g1, slots[s2]);
     }
   }
+}
+
+bool IncrementalLatencyEvaluator::refresh_cell_bw(int stage, int dpr) {
+  const int cell = stage * dp_ + dpr;
+  const int k = cell_changed_len_[static_cast<std::size_t>(cell)];
+  const int* evts =
+      cell_changed_.data() + static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_);
+  // Multiset diff of the cell's replaced positions: olds not matched by a
+  // new GPU departed, news not matched by an old arrived. A pure
+  // within-cell permutation cancels completely.
+  int rem_n = 0;
+  for (int e = 0; e < k; ++e) cell_rem_[static_cast<std::size_t>(rem_n++)] = undo_gpu_[static_cast<std::size_t>(evts[e])];
+  int add_n = 0;
+  for (int e = 0; e < k; ++e) {
+    const int g = cur_.gpu_at(touched_pos_[static_cast<std::size_t>(evts[e])]);
+    int j = 0;
+    while (j < rem_n && cell_rem_[static_cast<std::size_t>(j)] != g) ++j;
+    if (j < rem_n) {
+      cell_rem_[static_cast<std::size_t>(j)] = cell_rem_[static_cast<std::size_t>(--rem_n)];
+    } else {
+      cell_add_[static_cast<std::size_t>(add_n++)] = g;
+    }
+  }
+  if (add_n == 0) return false;  // members only permuted: the block is current
+  const auto base =
+      static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_) * static_cast<std::size_t>(tp_);
+  double* sub = tp_bw_.data() + base;
+  int* slots = cell_slot_gpu_.data() +
+               static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_);
+  const auto sbase = static_cast<int>(static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_));
+  if (2 * add_n >= tp_) {
+    // With half the slots replaced a full rebuild is fewer big-matrix reads
+    // than per-slot row+column gathers (and caps this cell's undo log at
+    // its off-diagonal block).
+    const int* perm = cur_.raw().data();
+    const int wbase = (dpr * pp_ + stage) * tp_;
+    for (int s = 0; s < tp_; ++s) {
+      undo_cell_slot_.push_back({sbase + s, slots[s]});
+      slots[s] = perm[wbase + s];
+    }
+    for (int s1 = 0; s1 < tp_; ++s1) {
+      const int g1 = slots[s1];
+      for (int s2 = 0; s2 < tp_; ++s2) {
+        if (s1 == s2) continue;
+        const int i = s1 * tp_ + s2;
+        undo_tp_bw_.push_back({static_cast<int>(base) + i, sub[i]});
+        sub[i] = bw_at(g1, slots[s2]);
+      }
+    }
+    return true;
+  }
+  for (int a = 0; a < add_n; ++a) {
+    const int g = cell_add_[static_cast<std::size_t>(a)];
+    const int dead = cell_rem_[static_cast<std::size_t>(a)];  // |rem| == |add|
+    int s = 0;
+    while (slots[s] != dead) ++s;  // slot of a departed member always exists
+    undo_cell_slot_.push_back({sbase + s, dead});
+    slots[s] = g;
+    for (int s2 = 0; s2 < tp_; ++s2) {
+      if (s2 == s) continue;
+      const int g2 = slots[s2];
+      const int i1 = s * tp_ + s2, i2 = s2 * tp_ + s;
+      undo_tp_bw_.push_back({static_cast<int>(base) + i1, sub[i1]});
+      sub[i1] = bw_at(g, g2);
+      undo_tp_bw_.push_back({static_cast<int>(base) + i2, sub[i2]});
+      sub[i2] = bw_at(g2, g);
+    }
+  }
+  return true;
+}
+
+void IncrementalLatencyEvaluator::rebuild_group_bw(int stage, int tpr) {
+  const auto base = static_cast<std::size_t>(stage * tp_ + tpr) * static_cast<std::size_t>(dp_) *
+                    static_cast<std::size_t>(dp_);
+  double* sub = g_bw_.data() + base;
+  const int* perm = cur_.raw().data();
+  const int wbase = stage * tp_ + tpr;
+  const int wstride = pp_ * tp_;  // members stride pp·tp in z
+  for (int z1 = 0; z1 < dp_; ++z1) {
+    const int g1 = perm[wbase + z1 * wstride];
+    for (int z2 = 0; z2 < dp_; ++z2) {
+      if (z1 == z2) continue;
+      sub[z1 * dp_ + z2] = bw_at(g1, perm[wbase + z2 * wstride]);
+    }
+  }
+}
+
+void IncrementalLatencyEvaluator::refresh_group_bw(int stage, int tpr) {
+  const int gidx = stage * tp_ + tpr;
+  const auto base =
+      static_cast<std::size_t>(gidx) * static_cast<std::size_t>(dp_) * static_cast<std::size_t>(dp_);
+  double* sub = g_bw_.data() + base;
+  const int* perm = cur_.raw().data();
+  const int wbase = stage * tp_ + tpr;
+  const int wstride = pp_ * tp_;
+  const int k = group_changed_len_[static_cast<std::size_t>(gidx)];
+  if (2 * k >= dp_) {
+    for (int z1 = 0; z1 < dp_; ++z1) {
+      const int g1 = perm[wbase + z1 * wstride];
+      for (int z2 = 0; z2 < dp_; ++z2) {
+        if (z1 == z2) continue;
+        const int i = z1 * dp_ + z2;
+        undo_g_bw_.push_back({static_cast<int>(base) + i, sub[i]});
+        sub[i] = bw_at(g1, perm[wbase + z2 * wstride]);
+      }
+    }
+    return;
+  }
+  const int* changed =
+      group_changed_.data() + static_cast<std::size_t>(gidx) * static_cast<std::size_t>(dp_);
+  for (int e = 0; e < k; ++e) {
+    const int z = changed[e];
+    const int g = perm[wbase + z * wstride];
+    for (int z2 = 0; z2 < dp_; ++z2) {
+      if (z2 == z) continue;
+      const int g2 = perm[wbase + z2 * wstride];
+      const int i1 = z * dp_ + z2, i2 = z2 * dp_ + z;
+      undo_g_bw_.push_back({static_cast<int>(base) + i1, sub[i1]});
+      sub[i1] = bw_at(g, g2);
+      undo_g_bw_.push_back({static_cast<int>(base) + i2, sub[i2]});
+      sub[i2] = bw_at(g2, g);
+    }
+  }
+}
+
+void IncrementalLatencyEvaluator::recompute_tp_cell(int stage, int dpr) {
+  // Mirrors PipetteLatencyModel::tp_time over the cell's cached member
+  // bandwidths — the min folds the same pair values (min is exact, so the
+  // scan order is free); for tp < 2 the ring term is zero either way.
+  const int cell = stage * dp_ + dpr;
+  const int* perm = cur_.raw().data();
+  const int wbase = (dpr * pp_ + stage) * tp_;  // members are consecutive in y
+  const int n0 = node_of_gpu_[static_cast<std::size_t>(perm[wbase])];
+  bool crosses_node = false;
+  for (int y = 1; y < tp_; ++y) {
+    if (node_of_gpu_[static_cast<std::size_t>(perm[wbase + y])] != n0) {
+      crosses_node = true;
+      break;
+    }
+  }
+  // Branch-free fold over the whole block: diagonals are +inf by invariant.
+  const double* sub =
+      tp_bw_.data() +
+      static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_) * static_cast<std::size_t>(tp_);
+  // Four independent accumulators break the serial min dependency chain
+  // (min is exact and order-free, so regrouping is bit-identical).
+  const double inf = std::numeric_limits<double>::infinity();
+  double m0 = inf, m1 = inf, m2 = inf, m3 = inf;
+  const int nn = tp_ * tp_;
+  int i = 0;
+  for (; i + 4 <= nn; i += 4) {
+    m0 = std::min(m0, sub[i]);
+    m1 = std::min(m1, sub[i + 1]);
+    m2 = std::min(m2, sub[i + 2]);
+    m3 = std::min(m3, sub[i + 3]);
+  }
+  for (; i < nn; ++i) m0 = std::min(m0, sub[i]);
+  const double min_bw = std::min(std::min(m0, m1), std::min(m2, m3));
   const double lat = crosses_node ? model_->links_.inter_latency_s : model_->links_.intra_latency_s;
-  tp_term_[static_cast<std::size_t>(stage * dp_ + dpr)] =
+  tp_term_[static_cast<std::size_t>(cell)] =
       4.0 * layers_[static_cast<std::size_t>(stage)] *
       detail::ring_allreduce(model_->tp_msg_bytes_, tp_, min_bw, lat);
 }
@@ -182,29 +441,37 @@ void IncrementalLatencyEvaluator::reprice_hop_column(int hop, int dpr) {
   // Mirrors the per-replica flow pricing of PipetteLatencyModel::pp_comm_term;
   // the NIC-sharing counts are maintained incrementally in pair_count_, so
   // the full model's O(dp·tp) sharing scan per flow becomes one lookup.
-  const auto* bw = model_->bw_;
   const double intra_lat = model_->links_.intra_latency_s;
   const double inter_lat = model_->links_.inter_latency_s;
   const int base = (hop * dp_ + dpr) * tp_;
-  // Worker positions of the column's flow endpoints: (dpr, hop, y) and
-  // (dpr, hop + 1, y) are tp_ apart and consecutive in y.
-  const int* perm = cur_.raw().data();
-  const int wbase = (dpr * pp_ + hop) * tp_;
+  // Gather phase (SoA): per-flow byte count, both endpoint bandwidths, and
+  // the link latency land in columnar scratch so the pricing loop below is
+  // pure arithmetic. The endpoint bandwidths come from flow_bw_* (kept
+  // current by the dirty-flow refresh), so a column repriced only because a
+  // sharing count moved never touches the num_gpus² profiled matrix.
+  double* bytes = col_bytes_.data();
+  double* bwf = col_bw_fwd_.data();
+  double* bwb = col_bw_bwd_.data();
+  double* lat = col_lat_.data();
+  for (int y = 0; y < tp_; ++y) {
+    const int pair = flow_pair_[static_cast<std::size_t>(base + y)];
+    if (pair < 0) {
+      bytes[y] = flow_bytes_;
+      lat[y] = intra_lat;
+    } else {
+      bytes[y] = shared_sum_[static_cast<std::size_t>(
+          pair_count_[static_cast<std::size_t>(hop * pair_stride_ + pair)])];
+      lat[y] = inter_lat;
+    }
+    bwf[y] = flow_bw_fwd_[static_cast<std::size_t>(base + y)];
+    bwb[y] = flow_bw_bwd_[static_cast<std::size_t>(base + y)];
+  }
+  // Pricing phase: per-element expressions and the sequential max fold are
+  // the full model's exactly (pp_comm_term), so costs stay bit-identical.
   double h = 0.0;
   for (int y = 0; y < tp_; ++y) {
-    const int g1 = perm[wbase + y];
-    const int g2 = perm[wbase + tp_ + y];
-    const int pair = flow_pair_[static_cast<std::size_t>(base + y)];
-    double fwd, bwd;
-    if (pair < 0) {
-      fwd = flow_bytes_ / bw->at(g1, g2) + intra_lat;
-      bwd = flow_bytes_ / bw->at(g2, g1) + intra_lat;
-    } else {
-      const double shared_bytes = shared_sum_[static_cast<std::size_t>(
-          pair_count_[static_cast<std::size_t>(hop * pair_stride_ + pair)])];
-      fwd = shared_bytes / bw->at(g1, g2) + inter_lat;
-      bwd = shared_bytes / bw->at(g2, g1) + inter_lat;
-    }
+    const double fwd = bytes[y] / bwf[y] + lat[y];
+    const double bwd = bytes[y] / bwb[y] + lat[y];
     h = std::max(h, fwd + bwd);
   }
   hop_[static_cast<std::size_t>(hop * dp_ + dpr)] = h;
@@ -218,7 +485,7 @@ void IncrementalLatencyEvaluator::recompute_path(int dpr) {
 
 void IncrementalLatencyEvaluator::recompute_group(int stage, int tpr) {
   const int gidx = stage * tp_ + tpr;
-  // Bandwidth mins first (also hoists the members into scratch_gpu_/_node_),
+  // Bandwidth mins first (also hoists the member nodes into scratch_node_),
   // then the census from the hoisted nodes. The two halves are independent,
   // so sharing the min scan with the σ kernel keeps one copy of the pair
   // order the bit-identity contract depends on.
@@ -249,26 +516,43 @@ void IncrementalLatencyEvaluator::recompute_group_mins(int stage, int tpr) {
   const int* perm = cur_.raw().data();
   const int wstride = pp_ * tp_;
   for (int z = 0, w = stage * tp_ + tpr; z < dp_; ++z, w += wstride) {
-    const int g = perm[w];
-    scratch_gpu_[static_cast<std::size_t>(z)] = g;
-    scratch_node_[static_cast<std::size_t>(z)] = node_of_gpu_[static_cast<std::size_t>(g)];
+    scratch_node_[static_cast<std::size_t>(z)] =
+        node_of_gpu_[static_cast<std::size_t>(perm[w])];
   }
-  const auto* bw = model_->bw_;
-  double min_intra = std::numeric_limits<double>::infinity();
-  double min_inter = std::numeric_limits<double>::infinity();
+  // The pair bandwidths come from the cached member block (kept current by
+  // refresh_group_bw); the intra/inter split reads the hoisted nodes. The
+  // diagonal is +inf and z1's own node matches itself, so folding it into
+  // min_intra is a no-op — no branch needed to skip it.
+  const double* sub =
+      g_bw_.data() +
+      static_cast<std::size_t>(gidx) * static_cast<std::size_t>(dp_) * static_cast<std::size_t>(dp_);
+  // Branchless selects feed +inf to the other accumulator (a no-op on an
+  // exact min), and two accumulators per class break the serial min
+  // dependency chain — both regroupings are bit-identical.
+  const double inf = std::numeric_limits<double>::infinity();
+  double ia0 = inf, ia1 = inf, ie0 = inf, ie1 = inf;
+  const int* nodes2 = scratch_node_.data();
   for (int z1 = 0; z1 < dp_; ++z1) {
-    const int g1 = scratch_gpu_[static_cast<std::size_t>(z1)];
-    const int n1 = scratch_node_[static_cast<std::size_t>(z1)];
-    for (int z2 = 0; z2 < dp_; ++z2) {
-      if (z1 == z2) continue;
-      const double b = bw->at(g1, scratch_gpu_[static_cast<std::size_t>(z2)]);
-      if (n1 == scratch_node_[static_cast<std::size_t>(z2)]) {
-        min_intra = std::min(min_intra, b);
-      } else {
-        min_inter = std::min(min_inter, b);
-      }
+    const int n1 = nodes2[z1];
+    const double* row = sub + z1 * dp_;
+    int z2 = 0;
+    for (; z2 + 2 <= dp_; z2 += 2) {
+      const double b0 = row[z2], b1 = row[z2 + 1];
+      const bool s0 = n1 == nodes2[z2], s1 = n1 == nodes2[z2 + 1];
+      ia0 = std::min(ia0, s0 ? b0 : inf);
+      ie0 = std::min(ie0, s0 ? inf : b0);
+      ia1 = std::min(ia1, s1 ? b1 : inf);
+      ie1 = std::min(ie1, s1 ? inf : b1);
+    }
+    for (; z2 < dp_; ++z2) {
+      const double b = row[z2];
+      const bool s = n1 == nodes2[z2];
+      ia0 = std::min(ia0, s ? b : inf);
+      ie0 = std::min(ie0, s ? inf : b);
     }
   }
+  const double min_intra = std::min(ia0, ia1);
+  const double min_inter = std::min(ie0, ie1);
   g_min_intra_[static_cast<std::size_t>(gidx)] = min_intra;
   g_min_inter_[static_cast<std::size_t>(gidx)] = min_inter;
   g_flows_[static_cast<std::size_t>(gidx)] = -1;  // force a term re-derivation
@@ -413,18 +697,33 @@ void IncrementalLatencyEvaluator::full_recompute() {
     inv_pos_[static_cast<std::size_t>(cur_.gpu_at(p))] = p;
   }
   for (int x = 0; x < pp_; ++x) {
-    for (int z = 0; z < dp_; ++z) recompute_tp_cell(x, z);
+    for (int z = 0; z < dp_; ++z) {
+      rebuild_cell_bw(x, z);
+      recompute_tp_cell(x, z);
+    }
     recompute_block(x);
   }
   std::fill(pair_count_.begin(), pair_count_.end(), 0);
+  std::fill(pair_head_.begin(), pair_head_.end(), -1);
+  std::fill(flow_next_.begin(), flow_next_.end(), -1);
+  std::fill(flow_prev_.begin(), flow_prev_.end(), -1);
   for (int e = 0; e + 1 < pp_; ++e) {
     for (int z = 0; z < dp_; ++z) {
       for (int y = 0; y < tp_; ++y) {
-        const int n1 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(e, y, z))];
-        const int n2 = node_of_gpu_[static_cast<std::size_t>(cur_.gpu_of(e + 1, y, z))];
+        const int g1 = cur_.gpu_of(e, y, z);
+        const int g2 = cur_.gpu_of(e + 1, y, z);
+        const int n1 = node_of_gpu_[static_cast<std::size_t>(g1)];
+        const int n2 = node_of_gpu_[static_cast<std::size_t>(g2)];
         const int pair = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
-        flow_pair_[static_cast<std::size_t>((e * dp_ + z) * tp_ + y)] = pair;
-        if (pair >= 0) ++pair_count_[static_cast<std::size_t>(e * pair_stride_ + pair)];
+        const auto fl = static_cast<std::size_t>((e * dp_ + z) * tp_ + y);
+        flow_pair_[fl] = pair;
+        flow_bw_fwd_[fl] = bw_at(g1, g2);
+        flow_bw_bwd_[fl] = bw_at(g2, g1);
+        if (pair >= 0) {
+          const int idx = e * pair_stride_ + pair;
+          link_flow(static_cast<int>(fl), idx);
+          ++pair_count_[static_cast<std::size_t>(idx)];
+        }
       }
     }
   }
@@ -439,6 +738,7 @@ void IncrementalLatencyEvaluator::full_recompute() {
   std::fill(node_group_pos_.begin(), node_group_pos_.end(), -1);
   for (int x = 0; x < pp_; ++x) {
     for (int y = 0; y < tp_; ++y) {
+      rebuild_group_bw(x, y);
       recompute_group(x, y);
       const int gidx = x * tp_ + y;
       update_group_flows(gidx, &g_nodes_[static_cast<std::size_t>(gidx * dp_)],
@@ -548,6 +848,9 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   changed_nodes_.clear();
   changed_pairs_.clear();
   pair_deltas_.clear();
+  undo_tp_bw_.clear();
+  undo_g_bw_.clear();
+  undo_cell_slot_.clear();
   apply_and_collect(mv);
   if (touched_pos_.empty()) {
     // Self-inverse draw (a == b): the mapping is unchanged, so the cost is
@@ -572,7 +875,8 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   // dp < 2 zeroes the whole DP term — skip the respective bookkeeping.
   const bool track_cells = tp_ >= 2;
   const bool track_groups = dp_ >= 2;
-  for (int p : touched_pos_) {
+  for (std::size_t ti = 0; ti < touched_pos_.size(); ++ti) {
+    const int p = touched_pos_[ti];
     const int x = pos_stage_[static_cast<std::size_t>(p)];
     const int y = pos_tpr_[static_cast<std::size_t>(p)];
     const int z = pos_dpr_[static_cast<std::size_t>(p)];
@@ -581,7 +885,14 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       if (stamp_cell_[static_cast<std::size_t>(cell)] != epoch_) {
         stamp_cell_[static_cast<std::size_t>(cell)] = epoch_;
         dirty_cells_.push_back({cell, x, z});
+        cell_changed_len_[static_cast<std::size_t>(cell)] = 0;
       }
+      // Record the touched-event index (positions are unique, so no dedup):
+      // the submatrix refresh reads the event's old GPU from undo_gpu_ and
+      // its new one from the mapping to diff the member multisets.
+      cell_changed_[static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_) +
+                    static_cast<std::size_t>(cell_changed_len_[static_cast<std::size_t>(cell)]++)] =
+          static_cast<int>(ti);
       if (stamp_stage_[static_cast<std::size_t>(x)] != epoch_) {
         stamp_stage_[static_cast<std::size_t>(x)] = epoch_;
         dirty_stages_.push_back(x);
@@ -592,7 +903,11 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       if (stamp_group_[static_cast<std::size_t>(gidx)] != epoch_) {
         stamp_group_[static_cast<std::size_t>(gidx)] = epoch_;
         dirty_groups_.push_back({gidx, x, y, false});
+        group_changed_len_[static_cast<std::size_t>(gidx)] = 0;
       }
+      group_changed_[static_cast<std::size_t>(gidx) * static_cast<std::size_t>(dp_) +
+                     static_cast<std::size_t>(
+                         group_changed_len_[static_cast<std::size_t>(gidx)]++)] = z;
     }
     // The flow into this worker's stage and the flow out of it, both for
     // this worker's own (tp, dp) lane.
@@ -615,7 +930,9 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   for (std::size_t i = 0; i < dirty_cells_.size(); ++i) {
     const DirtyCell& dc = dirty_cells_[i];
     undo_tp_[i] = tp_term_[static_cast<std::size_t>(dc.idx)];
-    recompute_tp_cell(dc.stage, dc.dpr);
+    // A pure within-cell permutation leaves the member multiset — and hence
+    // this set-valued term — unchanged: skip the recompute entirely.
+    if (refresh_cell_bw(dc.stage, dc.dpr)) recompute_tp_cell(dc.stage, dc.dpr);
   }
   for (std::size_t i = 0; i < dirty_stages_.size(); ++i) {
     const int x = dirty_stages_[i];
@@ -630,10 +947,19 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
   const int* perm = cur_.raw().data();
   for (std::size_t fi = 0; fi < dirty_flows_.size(); ++fi) {
     const DirtyFlow& df = dirty_flows_[fi];
-    const int n1 = node_of_gpu_[static_cast<std::size_t>(perm[df.w1])];
-    const int n2 = node_of_gpu_[static_cast<std::size_t>(perm[df.w1 + tp_])];
+    const int g1 = perm[df.w1];
+    const int g2 = perm[df.w1 + tp_];
+    const int n1 = node_of_gpu_[static_cast<std::size_t>(g1)];
+    const int n2 = node_of_gpu_[static_cast<std::size_t>(g2)];
+    // A dirty flow has at least one replaced endpoint: refresh its cached
+    // fwd/bwd bandwidths (the only big-matrix reads on the flow path).
+    const auto fl = static_cast<std::size_t>(df.idx);
+    undo_flow_bwf_[fi] = flow_bw_fwd_[fl];
+    undo_flow_bwb_[fi] = flow_bw_bwd_[fl];
+    flow_bw_fwd_[fl] = bw_at(g1, g2);
+    flow_bw_bwd_[fl] = bw_at(g2, g1);
     const int new_pair = n1 == n2 ? -1 : n1 * num_nodes_ + n2;
-    const int old_pair = flow_pair_[static_cast<std::size_t>(df.idx)];
+    const int old_pair = flow_pair_[fl];
     undo_flow_pair_[fi] = old_pair;
     const int col = df.hop * dp_ + df.dpr;
     if (stamp_col_[static_cast<std::size_t>(col)] != epoch_) {
@@ -644,6 +970,7 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
     flow_pair_[static_cast<std::size_t>(df.idx)] = new_pair;
     if (old_pair >= 0) {
       const int idx = df.hop * pair_stride_ + old_pair;
+      unlink_flow(df.idx, idx);
       --pair_count_[static_cast<std::size_t>(idx)];
       pair_deltas_.push_back({idx, -1});
       if (stamp_pair_[static_cast<std::size_t>(idx)] != epoch_) {
@@ -653,6 +980,7 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
     }
     if (new_pair >= 0) {
       const int idx = df.hop * pair_stride_ + new_pair;
+      link_flow(df.idx, idx);
       ++pair_count_[static_cast<std::size_t>(idx)];
       pair_deltas_.push_back({idx, +1});
       if (stamp_pair_[static_cast<std::size_t>(idx)] != epoch_) {
@@ -661,19 +989,16 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       }
     }
   }
+  // Every flow sharing a changed (hop, pair) needs its column repriced: the
+  // intrusive sharing list yields exactly those flows, replacing a dp x tp
+  // column sweep per changed pair with a walk over its members.
   for (const ChangedPair& cp : changed_pairs_) {
-    const int base = cp.hop * dp_;
-    for (int z = 0; z < dp_; ++z) {
-      const int col = base + z;
+    for (int fl = pair_head_[static_cast<std::size_t>(cp.idx)]; fl >= 0;
+         fl = flow_next_[static_cast<std::size_t>(fl)]) {
+      const int col = fl / tp_;
       if (stamp_col_[static_cast<std::size_t>(col)] == epoch_) continue;  // already dirty
-      const int fbase = col * tp_;
-      for (int y = 0; y < tp_; ++y) {
-        if (flow_pair_[static_cast<std::size_t>(fbase + y)] == cp.pair) {
-          stamp_col_[static_cast<std::size_t>(col)] = epoch_;
-          dirty_cols_.push_back({col, cp.hop, z});
-          break;
-        }
-      }
+      stamp_col_[static_cast<std::size_t>(col)] = epoch_;
+      dirty_cols_.push_back({col, cp.hop, col - cp.hop * dp_});
     }
   }
   for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
@@ -726,6 +1051,7 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
         }
       }
       mark_term_dirty(dg.gidx);
+      refresh_group_bw(dg.stage, dg.tpr);
       recompute_group_mins(dg.stage, dg.tpr);
       dg.census_changed = false;  // σ already moved the node-side state
     }
@@ -742,6 +1068,7 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
       int* old_nodes = &undo_g_nodes_[i * static_cast<std::size_t>(dp_)];
       for (int j = 0; j < old_num; ++j) old_nodes[j] = cur_nodes[j];
       mark_term_dirty(dg.gidx);  // saves the committed term before any change
+      refresh_group_bw(dg.stage, dg.tpr);
       recompute_group(dg.stage, dg.tpr);
       const int new_num = g_num_nodes_[gidx];
       bool census_changed = new_num != old_num;
@@ -766,6 +1093,20 @@ double IncrementalLatencyEvaluator::propose(const parallel::MappingMoveDesc& mv)
 
   pending_cost_ = reduce();
   return pending_cost_;
+}
+
+void IncrementalLatencyEvaluator::score_batch(const parallel::MappingMoveDesc* mvs, int count,
+                                              double* costs) {
+  assert(!pending_ && "score_batch() requires a commit() or rollback() first");
+  // Each candidate is priced by the O(touched) propose machinery and undone
+  // before the next, so every cost is measured against the same committed
+  // state — the shared shell (epoch stamping, dirty-list reuse, the SoA
+  // column scratch) stays hot across the whole block instead of being
+  // re-entered from the annealer per proposal.
+  for (int i = 0; i < count; ++i) {
+    costs[i] = propose(mvs[i]);
+    rollback();
+  }
 }
 
 void IncrementalLatencyEvaluator::commit() {
@@ -795,7 +1136,27 @@ void IncrementalLatencyEvaluator::rollback() {
     pair_count_[static_cast<std::size_t>(pd.idx)] -= pd.delta;
   }
   for (std::size_t fi = 0; fi < dirty_flows_.size(); ++fi) {
-    flow_pair_[static_cast<std::size_t>(dirty_flows_[fi].idx)] = undo_flow_pair_[fi];
+    const DirtyFlow& df = dirty_flows_[fi];
+    const auto fl = static_cast<std::size_t>(df.idx);
+    const int old_pair = undo_flow_pair_[fi];
+    if (flow_pair_[fl] != old_pair) {  // re-home the flow in the sharing lists
+      if (flow_pair_[fl] >= 0) unlink_flow(df.idx, df.hop * pair_stride_ + flow_pair_[fl]);
+      if (old_pair >= 0) link_flow(df.idx, df.hop * pair_stride_ + old_pair);
+    }
+    flow_pair_[fl] = old_pair;
+    flow_bw_fwd_[fl] = undo_flow_bwf_[fi];
+    flow_bw_bwd_[fl] = undo_flow_bwb_[fi];
+  }
+  // Reverse replay unwinds overlapping row/column writes (a slot saved
+  // twice gets its oldest value back last).
+  for (std::size_t i = undo_tp_bw_.size(); i-- > 0;) {
+    tp_bw_[static_cast<std::size_t>(undo_tp_bw_[i].idx)] = undo_tp_bw_[i].val;
+  }
+  for (std::size_t i = undo_cell_slot_.size(); i-- > 0;) {
+    cell_slot_gpu_[static_cast<std::size_t>(undo_cell_slot_[i].idx)] = undo_cell_slot_[i].gpu;
+  }
+  for (std::size_t i = undo_g_bw_.size(); i-- > 0;) {
+    g_bw_[static_cast<std::size_t>(undo_g_bw_[i].idx)] = undo_g_bw_[i].val;
   }
   for (std::size_t i = 0; i < dirty_cols_.size(); ++i) {
     hop_[static_cast<std::size_t>(dirty_cols_[i].idx)] = undo_hop_[i];

@@ -15,6 +15,12 @@
 //     reverse index, so a ring term is recomputed only when its own stats or
 //     its NIC-sharing factor changed.
 //
+// Past ~1K GPUs the profiled bandwidth matrix no longer fits in cache, so
+// the recompute scans additionally run against per-cell / per-ring member
+// bandwidth submatrices (tp_bw_ / g_bw_ / flow_bw_*): a move refreshes only
+// the rows and columns of the members it replaced — O(changed·tp) scattered
+// reads instead of O(tp²) — and the min scans fold the compact cached block.
+//
 // The final reduction is itself incremental: per-replica pipeline path sums
 // and per-group DP ring terms are cached, so reduce() folds O(pp + dp +
 // pp·tp) already-priced doubles instead of re-deriving them. The sums are
@@ -71,6 +77,16 @@ class IncrementalLatencyEvaluator {
   /// recomputing only the term-table entries the move dirtied.
   double propose(const parallel::MappingMoveDesc& mv);
 
+  /// Scores `count` candidate moves against the *committed* state, writing
+  /// each move's resulting total latency to `costs[i]`. Every cost is
+  /// bit-identical to what propose(mvs[i]) would return from the same
+  /// committed state (the batched annealer's acceptance decisions therefore
+  /// match a serial re-proposal exactly); the evaluator is left with no
+  /// pending proposal. last_dirty() afterwards reflects the final scored
+  /// move only — batched callers account dirty stats for the re-applied
+  /// winner instead.
+  void score_batch(const parallel::MappingMoveDesc* mvs, int count, double* costs);
+
   /// Accepts the pending move: the proposed mapping becomes committed state.
   void commit();
 
@@ -85,12 +101,35 @@ class IncrementalLatencyEvaluator {
   /// Dirty-set sizes of the last propose() (valid until the next propose).
   DirtyStats last_dirty() const;
 
+  /// Whether the tiered node-pair bandwidth tables engaged at construction
+  /// (large cluster whose matrix verified as node-pair-structured).
+  bool bw_tiered() const { return bw_tiered_; }
+
  private:
   void full_recompute();
   void apply_and_collect(const parallel::MappingMoveDesc& mv);
   /// Appends the live workers of node block `node` to the touched/undo/new
   /// scratch, relabelled by `delta_nodes` blocks (node-move collection).
   void collect_node_block(int node, int delta_nodes);
+  /// Rebuilds cell (stage, dpr)'s member bandwidth block from the profiled
+  /// matrix (no undo; full_recompute), re-seating the slot→GPU assignment.
+  void rebuild_cell_bw(int stage, int dpr);
+  /// Reconciles the cell's slot-keyed block with its pending member multiset
+  /// (cell_changed_ events): members that merely permuted within the cell
+  /// cost nothing, each net-new member replaces a departed member's slot
+  /// (one row+column gather), and at least half the slots replaced falls
+  /// back to a full rebuild. All writes are logged for rollback. Returns
+  /// whether the multiset changed at all — when it did not, the TP term
+  /// (a min over member pairs plus a node-crossing test, both set-valued)
+  /// cannot have moved and recompute_tp_cell may be skipped.
+  bool refresh_cell_bw(int stage, int dpr);
+  void rebuild_group_bw(int stage, int tpr);
+  void refresh_group_bw(int stage, int tpr);
+  /// Intrusive per-(hop, node-pair) sharing-list maintenance: flows with
+  /// flow_pair_ == pair are enumerable in O(sharing flows) instead of the
+  /// O(dp·tp) column scan per changed pair.
+  void link_flow(int fl, int idx);
+  void unlink_flow(int fl, int idx);
   void recompute_tp_cell(int stage, int dpr);
   void recompute_block(int stage);
   void reprice_hop_column(int hop, int dpr);
@@ -118,6 +157,10 @@ class IncrementalLatencyEvaluator {
   void update_group_flows(int gidx, const int* nodes, int num, int delta);
   /// Marks group `gidx`'s ring term dirty (dedup by stamp), saving its undo.
   void mark_term_dirty(int gidx);
+  /// Reads bandwidth(g1, g2), preferring the tiered node-pair/intra-node
+  /// tables over the full num_gpus² matrix (defined in the .cpp; every call
+  /// site lives there, so it inlines within the translation unit).
+  double bw_at(int g1, int g2) const;
   /// Folds the cached decomposition into Eq. (3): O(pp + dp + pp·tp) reads,
   /// bracketed exactly like PipetteLatencyModel::estimate.
   double reduce() const;
@@ -159,6 +202,44 @@ class IncrementalLatencyEvaluator {
   std::vector<int> g_nodes_;     ///< [gidx*dp + i] distinct member nodes
   std::vector<int> node_flows_;  ///< crossing rings resident per node
   std::vector<double> g_term_;   ///< [gidx] cached DP ring term of Eq. (6)
+  // Member-bandwidth submatrices: the profiled matrix is num_gpus² and
+  // random-access (DRAM-resident past ~1K GPUs), so the O(tp²)/O(dp²)
+  // min scans gather each cell's / ring's pairwise bandwidths once into a
+  // compact per-cell block and keep it current by refreshing only the rows
+  // and columns of members a move actually replaced. The mins are exact
+  // (no FP-order sensitivity), so scanning the cached block instead of the
+  // big matrix is bit-identical. Diagonals are +inf from construction and
+  // never written, which lets the TP scan fold the whole block branch-free.
+  // The cell block is SLOT-keyed, not position-keyed: cell_slot_gpu_ names
+  // the GPU each slot prices, in arbitrary order. The TP term only consumes
+  // set-valued folds (min over pairs, node-crossing), so a move that merely
+  // permutes members within a cell — the common case for span-bounded
+  // string moves — leaves the block (and the term) untouched.
+  std::vector<double> tp_bw_;      ///< [cell*tp² + s1*tp + s2] bw(slot s1, s2)
+  std::vector<int> cell_slot_gpu_; ///< [cell*tp + slot] GPU the slot prices
+  std::vector<double> g_bw_;       ///< [gidx*dp² + z1*dp + z2] bw(member z1, z2)
+  /// Per-flow endpoint bandwidths ([(hop*dp + dpr)*tp + tpr], fwd/bwd),
+  /// refreshed alongside flow_pair_ — a column repriced only because a
+  /// sharing count moved re-reads them without touching the big matrix.
+  std::vector<double> flow_bw_fwd_, flow_bw_bwd_;
+  /// Sharing lists: pair_head_[hop*pair_stride + pair] heads an intrusive
+  /// doubly-linked list (flow_next_/flow_prev_) of the flows currently on
+  /// that ordered node pair. List order is arbitrary (it only drives which
+  /// columns get marked dirty, a set); membership mirrors flow_pair_.
+  std::vector<int> pair_head_, flow_next_, flow_prev_;
+  // Tiered bandwidth view: profile_network measures inter-node bandwidth at
+  // node-pair resolution (every GPU pair crossing the same ordered node pair
+  // shares one averaged probe), so the num_gpus² matrix folds into a
+  // num_nodes² table plus per-GPU intra-node rows — cache-resident where the
+  // full matrix thrashes DRAM on every gather. The fold is verified
+  // entry-for-entry at construction and abandoned (bw_tiered_ = false,
+  // direct reads) if any inter-node entry deviates, so an arbitrary
+  // user-supplied matrix keeps exact behavior. Values are exact copies
+  // either way: bit-identity with PipetteLatencyModel::estimate holds.
+  bool bw_tiered_ = false;
+  int link_gpn_ = 1;               ///< fabric node width (model.links_)
+  std::vector<double> node_bw_;    ///< [n1*num_nodes + n2] inter-node bw
+  std::vector<double> intra_bw_;   ///< [g1*link_gpn + o2] same-node bw
   std::vector<int> g_flows_;     ///< [gidx] sharing factor the term was
                                  ///< derived at; -1 after a stats change
   // node→groups reverse index: which crossing rings have a member on a node
@@ -229,9 +310,33 @@ class IncrementalLatencyEvaluator {
   std::vector<PairDelta> pair_deltas_;
   std::vector<double> undo_g_min_intra_, undo_g_min_inter_;
   std::vector<int> undo_g_max_same_, undo_g_num_nodes_, undo_g_nodes_;
+  // Changed-member lists per dirty cell/ring (reset when the stamp first
+  // marks the owner dirty): cells record the touched-event index (the
+  // multiset diff needs old and new GPU), rings record the replaced
+  // dp-replica — exactly the submatrix rows refresh must re-gather.
+  std::vector<int> cell_changed_, cell_changed_len_;   ///< [cell*tp + i] / [cell]
+  std::vector<int> group_changed_, group_changed_len_; ///< [gidx*dp + i] / [gidx]
+  std::vector<int> cell_add_, cell_rem_;               ///< multiset-diff scratch
+  /// Submatrix undo: (flat index, overwritten value) pairs, replayed in
+  /// reverse on rollback so overlapping row/column writes unwind correctly.
+  struct BwUndo {
+    int idx;
+    double val;
+  };
+  std::vector<BwUndo> undo_tp_bw_, undo_g_bw_;
+  struct SlotUndo {
+    int idx, gpu;
+  };
+  std::vector<SlotUndo> undo_cell_slot_;               ///< reverse-replayed too
+  std::vector<double> undo_flow_bwf_, undo_flow_bwb_;  ///< parallel to dirty_flows_
 
   // Recompute scratch (member GPU/node hoists; one node-list row for σ).
   std::vector<int> scratch_gpu_, scratch_node_, scratch_counts_, scratch_row_;
+
+  // Columnar (SoA) scratch for reprice_hop_column: per-flow byte counts,
+  // endpoint bandwidths, and latency are gathered first, then priced in a
+  // branch-free arithmetic loop the compiler can vectorize. Sized tp_.
+  std::vector<double> col_bytes_, col_bw_fwd_, col_bw_bwd_, col_lat_;
 };
 
 }  // namespace pipette::estimators

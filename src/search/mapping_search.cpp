@@ -20,6 +20,9 @@ void AnnealTelemetry::merge(const AnnealTelemetry& other) {
     accepted[k] += other.accepted[k];
   }
   rollbacks += other.rollbacks;
+  scored += other.scored;
+  batches += other.batches;
+  for (int i = 0; i < kFillBuckets; ++i) batch_fill[i] += other.batch_fill[i];
   dirty.cells += other.dirty.cells;
   dirty.stages += other.dirty.stages;
   dirty.flows += other.dirty.flows;
@@ -42,7 +45,97 @@ int draw_second_endpoint(common::Rng& rng, int first, int n, int span) {
   return rng.uniform_int(lo, hi);
 }
 
+/// Endpoint draws for one already-chosen kind — the case bodies of the legacy
+/// retry loop, factored out so the weighted sampler path consumes the exact
+/// same per-kind endpoint stream. Pre: `kind` is enabled and feasible.
+parallel::MappingMoveDesc draw_move_of_kind(int kind, common::Rng& rng, const MoveSet& moves,
+                                            int n, int nodes) {
+  using parallel::MoveKind;
+  switch (kind) {
+    case 0: {
+      const int from = rng.uniform_int(0, n - 1);
+      const int to = draw_second_endpoint(rng, from, n, moves.wide_span);
+      return {MoveKind::kMigrate, from, to};
+    }
+    case 1: {
+      const int i = rng.uniform_int(0, n - 1);
+      const int j = rng.uniform_int(0, n - 1);
+      return {MoveKind::kSwap, i, j};
+    }
+    case 2: {
+      const int i = rng.uniform_int(0, n - 1);
+      const int j = draw_second_endpoint(rng, i, n, moves.wide_span);
+      return {MoveKind::kReverse, i, j};
+    }
+    case 3: {
+      const int n1 = rng.uniform_int(0, nodes - 1);
+      const int n2 = rng.uniform_int(0, nodes - 1);
+      return {MoveKind::kNodeSwap, n1, n2};
+    }
+    default: {
+      const int n1 = rng.uniform_int(0, nodes - 1);
+      const int n2 = draw_second_endpoint(rng, n1, nodes, moves.node_span);
+      return {MoveKind::kNodeReverse, n1, n2};
+    }
+  }
+}
+
 }  // namespace
+
+MoveSet cheap_string_moves(MoveSet base) {
+  // 90% strings (migrate/swap slightly over reverse, whose column refolds
+  // touch more state), 10% node moves split evenly.
+  base.kind_weights[0] = 0.32;
+  base.kind_weights[1] = 0.32;
+  base.kind_weights[2] = 0.26;
+  base.kind_weights[3] = 0.05;
+  base.kind_weights[4] = 0.05;
+  return base;
+}
+
+MoveKindSampler::MoveKindSampler(const MoveSet& moves, int nodes) {
+  const bool feasible_nodes = nodes >= 2;
+  const bool enabled[5] = {moves.migrate, moves.swap, moves.reverse,
+                           moves.node_swap && feasible_nodes,
+                           moves.node_reverse && feasible_nodes};
+  bool any_weight = false;
+  for (const double w : moves.kind_weights) any_weight = any_weight || w > 0.0;
+  if (!any_weight) return;  // weighting off: stay inactive, legacy stream
+  int ids[5];
+  double scaled[5];
+  int k = 0;
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    if (enabled[i] && moves.kind_weights[i] > 0.0) {
+      ids[k] = i;
+      scaled[k] = moves.kind_weights[i];
+      total += moves.kind_weights[i];
+      ++k;
+    }
+  }
+  if (k == 0) return;  // all weighted kinds disabled/infeasible: legacy draw
+  k_ = k;
+  // Walker's method: normalize to mean 1, pair each under-full slot with a
+  // donor from the over-full stack. Deterministic (stack order fixed by kind
+  // index), O(k), and every slot ends with prob + alias covering its mass.
+  for (int i = 0; i < k; ++i) {
+    scaled[i] = scaled[i] * k / total;
+    prob_[i] = 1.0;
+    kind_[i] = ids[i];
+    alias_[i] = ids[i];
+  }
+  int small[5], large[5];
+  int ns = 0, nl = 0;
+  for (int i = 0; i < k; ++i) (scaled[i] < 1.0 ? small[ns++] : large[nl++]) = i;
+  while (ns > 0 && nl > 0) {
+    const int s = small[--ns];
+    const int l = large[--nl];
+    prob_[s] = scaled[s];
+    alias_[s] = ids[l];
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small[ns++] : large[nl++]) = l;
+  }
+}
 
 parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
                                             const MoveSet& moves, int gpus_per_node) {
@@ -61,39 +154,37 @@ parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::
     return {MoveKind::kSwap, i, j};
   }
   for (;;) {
-    switch (rng.uniform_int(0, 4)) {
-      case 0: {
+    // Kind selector and per-kind endpoint draws are unchanged from the
+    // historical inline switch (draw_move_of_kind holds the old case
+    // bodies verbatim), so the uniform stream is preserved bit for bit.
+    const int k = rng.uniform_int(0, 4);
+    switch (k) {
+      case 0:
         if (!moves.migrate) break;
-        const int from = rng.uniform_int(0, n - 1);
-        const int to = draw_second_endpoint(rng, from, n, moves.wide_span);
-        return {MoveKind::kMigrate, from, to};
-      }
-      case 1: {
+        return draw_move_of_kind(k, rng, moves, n, nodes);
+      case 1:
         if (!moves.swap) break;
-        const int i = rng.uniform_int(0, n - 1);
-        const int j = rng.uniform_int(0, n - 1);
-        return {MoveKind::kSwap, i, j};
-      }
-      case 2: {
+        return draw_move_of_kind(k, rng, moves, n, nodes);
+      case 2:
         if (!moves.reverse) break;
-        const int i = rng.uniform_int(0, n - 1);
-        const int j = draw_second_endpoint(rng, i, n, moves.wide_span);
-        return {MoveKind::kReverse, i, j};
-      }
-      case 3: {
+        return draw_move_of_kind(k, rng, moves, n, nodes);
+      case 3:
         if (!moves.node_swap || nodes < 2) break;
-        const int n1 = rng.uniform_int(0, nodes - 1);
-        const int n2 = rng.uniform_int(0, nodes - 1);
-        return {MoveKind::kNodeSwap, n1, n2};
-      }
-      default: {
+        return draw_move_of_kind(k, rng, moves, n, nodes);
+      default:
         if (!moves.node_reverse || nodes < 2) break;
-        const int n1 = rng.uniform_int(0, nodes - 1);
-        const int n2 = draw_second_endpoint(rng, n1, nodes, moves.node_span);
-        return {MoveKind::kNodeReverse, n1, n2};
-      }
+        return draw_move_of_kind(k, rng, moves, n, nodes);
     }
   }
+}
+
+parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
+                                            const MoveSet& moves, int gpus_per_node,
+                                            const MoveKindSampler* sampler) {
+  if (!sampler || !sampler->active()) return draw_mapping_move(m, rng, moves, gpus_per_node);
+  const int n = m.num_workers();
+  const int nodes = (n + gpus_per_node - 1) / gpus_per_node;
+  return draw_move_of_kind(sampler->draw(rng), rng, moves, n, nodes);
 }
 
 MappingMove random_mapping_move(parallel::Mapping& m, common::Rng& rng, const MoveSet& moves,
@@ -113,15 +204,18 @@ namespace {
 struct MappingAnnealProblem {
   estimators::IncrementalLatencyEvaluator* eval;
   const MoveSet* moves;
+  const MoveKindSampler* sampler = nullptr;  ///< null/inactive = legacy draws
   int gpus_per_node;
   std::vector<int> best;  // raw permutation snapshot; assign() reuses capacity
   AnnealTelemetry* telemetry = nullptr;
   int last_kind = 0;  ///< kind of the pending proposal (telemetry only)
+  std::vector<parallel::MappingMoveDesc> batch_mvs;
+  std::vector<double> batch_costs;
 
   double cost() const { return eval->cost(); }
   double propose(common::Rng& rng) {
-    const parallel::MappingMoveDesc mv = draw_mapping_move(eval->mapping(), rng, *moves,
-                                                           gpus_per_node);
+    const parallel::MappingMoveDesc mv =
+        draw_mapping_move(eval->mapping(), rng, *moves, gpus_per_node, sampler);
     const double c = eval->propose(mv);
     if (telemetry) {
       last_kind = static_cast<int>(mv.kind);
@@ -140,6 +234,40 @@ struct MappingAnnealProblem {
   }
   void save_best() { best = eval->mapping().raw(); }
   void restore_best() { eval->reset(best); }
+
+  // Batched extension (see simulated_annealing_incremental). Move draws
+  // depend only on worker/node counts — never on the permutation — so the
+  // phase-1 block draw produces the same descriptors an interleaved loop
+  // would.
+  void draw_batch(common::Rng& rng, int b) {
+    batch_mvs.clear();
+    for (int j = 0; j < b; ++j) {
+      batch_mvs.push_back(draw_mapping_move(eval->mapping(), rng, *moves, gpus_per_node, sampler));
+    }
+  }
+  const double* score_batch(int b) {
+    batch_costs.resize(static_cast<std::size_t>(b));
+    eval->score_batch(batch_mvs.data(), b, batch_costs.data());
+    return batch_costs.data();
+  }
+  double apply_scored(int j) {
+    const parallel::MappingMoveDesc& mv = batch_mvs[static_cast<std::size_t>(j)];
+    const double c = eval->propose(mv);
+    if (telemetry) {
+      last_kind = static_cast<int>(mv.kind);
+      telemetry->add_dirty(eval->last_dirty());
+    }
+    return c;
+  }
+  void note_batch(int b, int decided, int accept_j, bool serial_counted) {
+    if (!telemetry) return;
+    telemetry->note_batch(b, decided);
+    if (serial_counted) return;  // propose()/commit()/rollback() already counted
+    for (int j = 0; j < decided; ++j) {
+      ++telemetry->proposed[static_cast<int>(batch_mvs[static_cast<std::size_t>(j)].kind)];
+    }
+    telemetry->rollbacks += decided - (accept_j >= 0 ? 1 : 0);
+  }
 };
 
 }  // namespace
@@ -148,7 +276,9 @@ SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatency
                           int gpus_per_node, const SaOptions& opt, const MoveSet& moves,
                           AnnealTelemetry* telemetry) {
   estimators::IncrementalLatencyEvaluator eval(model, m, gpus_per_node);
-  MappingAnnealProblem prob{&eval, &moves, gpus_per_node, m.raw(), telemetry};
+  const MoveKindSampler sampler(moves, (m.num_workers() + gpus_per_node - 1) / gpus_per_node);
+  MappingAnnealProblem prob{&eval,  &moves,    sampler.active() ? &sampler : nullptr,
+                            gpus_per_node, m.raw(), telemetry, 0, {}, {}};
   const SaResult res = simulated_annealing_incremental(prob, opt);
   m = eval.mapping();  // restore_best left the evaluator on the best mapping
   return res;
@@ -191,6 +321,7 @@ SaResult optimize_mapping_multichain(parallel::Mapping& m,
     if (i == best) continue;
     out.iters += slots[i].res.iters;
     out.accepted += slots[i].res.accepted;
+    out.scored += slots[i].res.scored;
   }
   out.wall_s = watch.seconds();
   m = std::move(slots[best].mapping);
@@ -202,6 +333,7 @@ ResumableMappingAnneal::ResumableMappingAnneal(const estimators::PipetteLatencyM
                                                const SaOptions& opt, const MoveSet& moves)
     : eval_(model, start, gpus_per_node),
       moves_(moves),
+      sampler_(moves, (start.num_workers() + gpus_per_node - 1) / gpus_per_node),
       gpn_(gpus_per_node),
       opt_(opt),
       rng_(opt.seed) {
@@ -212,37 +344,74 @@ ResumableMappingAnneal::ResumableMappingAnneal(const estimators::PipetteLatencyM
   temp_ = std::max(opt.init_temp_frac * cur_cost_, 1e-300);
 }
 
+void ResumableMappingAnneal::enable_stopping(const StoppingOptions& sopt) {
+  stopper_ = HoeffdingStopper(sopt);
+  if (!sopt.enabled) {
+    next_obs_ = std::numeric_limits<long>::max();
+    return;
+  }
+  // Seed the improvement baseline at the current (typically zeroth)
+  // iteration boundary; subsequent observations land on absolute multiples
+  // of the window, so any run_to() split schedule sees the same boundaries.
+  stopper_.observe(best_cost_, initial_cost_);
+  next_obs_ = (iters_ / stopper_.window() + 1) * stopper_.window();
+}
+
+bool ResumableMappingAnneal::observe_boundaries() {
+  while (next_obs_ <= iters_) {
+    next_obs_ += stopper_.window();
+    if (stopper_.observe(best_cost_, initial_cost_)) return true;
+  }
+  return false;
+}
+
+void ResumableMappingAnneal::accept_pending(double c) {
+  eval_.commit();
+  cur_cost_ = c;
+  ++accepted_;
+  if (cur_cost_ < best_cost_) {
+    best_cost_ = cur_cost_;
+    best_ = eval_.mapping().raw();
+  }
+}
+
 void ResumableMappingAnneal::run_to(long target_iters) {
+  if (stopper_.stopped()) return;
   const common::Stopwatch watch;
-  // Exactly simulated_annealing_incremental's loop body, with every
-  // loop-carried variable a member: a run split across rungs consumes the
-  // identical rng stream and trajectory as an uninterrupted run. The
-  // deadline check mirrors the generic annealer's batching and counts the
-  // chain's *cumulative* wall time across rungs, so a caller mixing a finite
-  // time_limit_s with an iteration cap still stops at whichever bound hits
-  // first (as everywhere else, a tripping wall-clock bound is inherently
-  // schedule-dependent; generous limits never trip and stay bit-exact).
+  // Exactly simulated_annealing_incremental's loop bodies, with every
+  // loop-carried variable a member (see run_to's header contract for the
+  // serial/batched split semantics). The deadline check mirrors the generic
+  // annealer's batching and counts the chain's *cumulative* wall time across
+  // rungs, so a caller mixing a finite time_limit_s with an iteration cap
+  // still stops at whichever bound hits first (as everywhere else, a
+  // tripping wall-clock bound is inherently schedule-dependent; generous
+  // limits never trip and stay bit-exact).
   const bool timed = std::isfinite(opt_.time_limit_s);
+  if (opt_.batch > 1) {
+    run_batched(target_iters, watch, timed);
+  } else {
+    run_serial(target_iters, watch, timed);
+  }
+  wall_s_ += watch.seconds();
+}
+
+void ResumableMappingAnneal::run_serial(long target_iters, const common::Stopwatch& watch,
+                                        bool timed) {
+  const MoveKindSampler* sampler = sampler_.active() ? &sampler_ : nullptr;
   while (iters_ < target_iters) {
     if (timed && (since_temp_step_ == 0 || (iters_ & 255) == 0)) {
       if (wall_s_ + watch.seconds() >= opt_.time_limit_s) break;
     }
-    const parallel::MappingMoveDesc mv = draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_);
+    const parallel::MappingMoveDesc mv =
+        draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_, sampler);
     const double c = eval_.propose(mv);
     if (telemetry_) {
       ++telemetry_->proposed[static_cast<int>(mv.kind)];
       telemetry_->add_dirty(eval_.last_dirty());
     }
-    const double delta = c - cur_cost_;
-    if (detail::metropolis_accept(delta, temp_, rng_)) {
-      eval_.commit();
-      cur_cost_ = c;
-      ++accepted_;
+    if (detail::metropolis_accept(c - cur_cost_, temp_, rng_)) {
+      accept_pending(c);
       if (telemetry_) ++telemetry_->accepted[static_cast<int>(mv.kind)];
-      if (cur_cost_ < best_cost_) {
-        best_cost_ = cur_cost_;
-        best_ = eval_.mapping().raw();
-      }
     } else {
       eval_.rollback();
       if (telemetry_) ++telemetry_->rollbacks;
@@ -252,8 +421,67 @@ void ResumableMappingAnneal::run_to(long target_iters) {
       since_temp_step_ = 0;
     }
     ++iters_;
+    ++scored_;
+    if (iters_ >= next_obs_ && observe_boundaries()) break;
   }
-  wall_s_ += watch.seconds();
+}
+
+void ResumableMappingAnneal::run_batched(long target_iters, const common::Stopwatch& watch,
+                                         bool timed) {
+  const MoveKindSampler* sampler = sampler_.active() ? &sampler_ : nullptr;
+  while (iters_ < target_iters) {
+    // Deadline granularity is the batch: one wall-clock read per sweep.
+    if (timed && wall_s_ + watch.seconds() >= opt_.time_limit_s) break;
+    const long remaining = target_iters - iters_;
+    if (remaining == 1) {
+      // Single-iteration tail: the serial body consumes the exact stream the
+      // two-phase path would at b = 1, without the score-then-reapply double
+      // evaluation on an accept.
+      const long before = iters_;
+      run_serial(target_iters, watch, timed);
+      if (telemetry_ && iters_ != before) telemetry_->note_batch(1, 1);
+      return;
+    }
+    const int b = static_cast<int>(std::min<long>(opt_.batch, remaining));
+    batch_mvs_.clear();
+    for (int j = 0; j < b; ++j) {
+      batch_mvs_.push_back(draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_, sampler));
+    }
+    batch_costs_.resize(static_cast<std::size_t>(b));
+    eval_.score_batch(batch_mvs_.data(), b, batch_costs_.data());
+    int decided = b;
+    int accept_j = -1;
+    for (int j = 0; j < b; ++j) {
+      const bool acc = detail::metropolis_accept(batch_costs_[static_cast<std::size_t>(j)] - cur_cost_,
+                                                 temp_, rng_);
+      if (++since_temp_step_ >= opt_.iters_per_temp) {
+        temp_ *= opt_.alpha;
+        since_temp_step_ = 0;
+      }
+      if (acc) {
+        accept_j = j;
+        decided = j + 1;
+        break;
+      }
+    }
+    if (accept_j >= 0) {
+      const parallel::MappingMoveDesc& mv = batch_mvs_[static_cast<std::size_t>(accept_j)];
+      const double c = eval_.propose(mv);  // re-apply the winner; bit-identical cost
+      if (telemetry_) telemetry_->add_dirty(eval_.last_dirty());
+      accept_pending(c);
+      if (telemetry_) ++telemetry_->accepted[static_cast<int>(mv.kind)];
+    }
+    if (telemetry_) {
+      for (int j = 0; j < decided; ++j) {
+        ++telemetry_->proposed[static_cast<int>(batch_mvs_[static_cast<std::size_t>(j)].kind)];
+      }
+      telemetry_->rollbacks += decided - (accept_j >= 0 ? 1 : 0);
+      telemetry_->note_batch(b, decided);
+    }
+    iters_ += decided;
+    scored_ += b;
+    if (iters_ >= next_obs_ && observe_boundaries()) return;
+  }
 }
 
 parallel::Mapping ResumableMappingAnneal::best_mapping() const {

@@ -7,11 +7,14 @@
 // O(touched groups) instead of a full model re-evaluation.
 #pragma once
 
+#include <algorithm>
+
 #include "common/executor.h"
 #include "estimators/incremental_latency.h"
 #include "estimators/latency_models.h"
 #include "parallel/mapping.h"
 #include "search/sa.h"
+#include "search/stopping.h"
 
 namespace pipette::search {
 
@@ -36,6 +39,55 @@ struct MoveSet {
   int wide_span = 0;
   /// Same bound for node_reverse, in node labels. 0 = unbounded.
   int node_span = 0;
+  /// Relative draw weights per move kind, indexed by parallel::MoveKind
+  /// (migrate, swap, reverse, node_swap, node_reverse). All <= 0 (the
+  /// default) disables weighting: kinds are drawn by the historical
+  /// uniform retry loop and the rng stream is preserved bit for bit
+  /// (regression-tested). With any weight > 0, enabled kinds with positive
+  /// weight are drawn via a Walker alias table (MoveKindSampler) — a
+  /// different, documented rng stream: two draws per kind selection
+  /// (uniform_int over table slots + one uniform) instead of the retry
+  /// loop's variable-length stream. Kinds that are disabled, non-positive,
+  /// or infeasible (node moves on < 2 nodes) get probability zero.
+  double kind_weights[5] = {0, 0, 0, 0, 0};
+};
+
+/// The documented "cheap-string" preset targeting the 32-GPU mixed-move gap
+/// in BENCH_sa_throughput.json: node moves relabel whole node blocks and
+/// dirty several times more evaluator state than the paper's string moves
+/// (migrate/swap/reverse run 1.5–2.2M proposals/s where the uniform mix is
+/// dragged to 1.2M on the slowest shape), so this preset draws strings 90%
+/// of the time and keeps a 10% residual of node moves for the coarse
+/// regroupings only they can express. Returns `base` with kind_weights set;
+/// every other field (enables, spans) passes through.
+MoveSet cheap_string_moves(MoveSet base = {});
+
+/// Walker alias-table sampler over the enabled, positively-weighted, feasible
+/// move kinds of a MoveSet. Built once per anneal (O(kinds)); draw() is O(1)
+/// and consumes exactly two rng draws. inactive (and never consulted) when
+/// all kind_weights <= 0, preserving the legacy uniform stream.
+class MoveKindSampler {
+ public:
+  MoveKindSampler() = default;
+  /// `nodes` gates feasibility of the node-granular kinds (need >= 2 nodes).
+  MoveKindSampler(const MoveSet& moves, int nodes);
+
+  /// True when weighted drawing is in effect (some weight > 0 and at least
+  /// one weighted kind is enabled and feasible).
+  bool active() const { return k_ > 0; }
+
+  /// Draws a move kind: one uniform_int over table slots, one uniform for
+  /// the alias test. Pre: active().
+  int draw(common::Rng& rng) const {
+    const int i = rng.uniform_int(0, k_ - 1);
+    return rng.uniform() < prob_[i] ? kind_[i] : alias_[i];
+  }
+
+ private:
+  int k_ = 0;           ///< table size (number of participating kinds)
+  double prob_[5] = {};  ///< acceptance threshold per slot
+  int kind_[5] = {};     ///< kind landed on acceptance
+  int alias_[5] = {};    ///< kind landed on rejection
 };
 
 /// SA-loop telemetry accumulated locally by the annealers — per-move-kind
@@ -52,6 +104,25 @@ struct AnnealTelemetry {
   long proposed[kKinds] = {};
   long accepted[kKinds] = {};
   long rollbacks = 0;
+  /// Batched-path accounting. `proposed`/`accepted` keep counting *decided*
+  /// proposals only (total_proposed() == SaResult::iters stays an invariant,
+  /// gated in bench/sa_throughput); `scored` additionally counts the
+  /// discarded batch tails, `batches` the sweeps, and `batch_fill` a
+  /// histogram of decided/b per batch in eighths (bucket 7 = the whole batch
+  /// was consumed before an accept, bucket 0 = the first eighth accepted).
+  static constexpr int kFillBuckets = 8;
+  long scored = 0;
+  long batches = 0;
+  long batch_fill[kFillBuckets] = {};
+
+  /// Records one completed batch sweep of size `b` with `decided` decisions.
+  void note_batch(int b, int decided) {
+    scored += b;
+    ++batches;
+    const int bucket =
+        std::min(kFillBuckets - 1, std::max(0, (decided * kFillBuckets - 1) / b));
+    ++batch_fill[bucket];
+  }
   /// Aggregated dirty-set sizes over every proposal (long: a chain can run
   /// millions of proposals, overflowing DirtyStats' per-move ints).
   struct DirtyTotals {
@@ -86,6 +157,14 @@ struct AnnealTelemetry {
 /// forever) — fall back to a swap so the annealer still explores.
 parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
                                             const MoveSet& moves, int gpus_per_node);
+
+/// Sampler-aware overload: when `sampler` is non-null and active, the kind is
+/// drawn from its alias table (see MoveSet::kind_weights for the stream
+/// contract) and only the endpoints are drawn per-kind; otherwise identical
+/// to the overload above.
+parallel::MappingMoveDesc draw_mapping_move(const parallel::Mapping& m, common::Rng& rng,
+                                            const MoveSet& moves, int gpus_per_node,
+                                            const MoveKindSampler* sampler);
 
 /// Draws and applies one enabled move (draw_mapping_move + apply_move, same
 /// rng stream). `gpus_per_node` defines the node blocks.
@@ -159,8 +238,29 @@ class ResumableMappingAnneal {
   ResumableMappingAnneal& operator=(const ResumableMappingAnneal&) = delete;
 
   /// Advances the chain until `total_iters() == target_iters` (no-op when
-  /// already past the target).
+  /// already past the target, or once the chain has early-stopped). With
+  /// `opt.batch > 1` the loop runs the batched two-phase sweep of
+  /// SaOptions::batch; iteration targets count decided proposals. Each batch
+  /// clamps to the remaining gap to the target, so the trajectory is a pure
+  /// function of the *sequence* of run_to() targets — any fixed target
+  /// schedule (e.g. the configurator's rungs) is bit-reproducible on every
+  /// executor and thread count, while different split points regroup the
+  /// draws differently. batch <= 1 keeps the historical serial loop, which
+  /// is additionally split-invariant (run to k then n == run to n).
   void run_to(long target_iters);
+
+  /// Arms Hoeffding-style early stopping (search/stopping.h): the chain
+  /// observes its best cost at absolute iteration multiples of
+  /// `sopt.window` and permanently stops — subsequent run_to() calls no-op —
+  /// once the confidence bound says further improvement is below threshold.
+  /// Observation boundaries depend only on the iteration count, never on
+  /// rung splits or thread schedules, so stopping is deterministic.
+  /// Observing never touches the rng stream: an armed chain that has not
+  /// stopped is bit-identical to an unarmed one.
+  void enable_stopping(const StoppingOptions& sopt);
+
+  bool stopped() const { return stopper_.stopped(); }
+  StopReason stop_reason() const { return stopper_.reason(); }
 
   /// Attaches (or detaches, with null) a telemetry accumulator for
   /// subsequent run_to() calls. The chain only ever appends to it between
@@ -170,6 +270,9 @@ class ResumableMappingAnneal {
 
   long total_iters() const { return iters_; }
   long accepted() const { return accepted_; }
+  /// Proposals scored including discarded batch tails (== total_iters() for
+  /// serial chains).
+  long scored() const { return scored_; }
   double initial_cost() const { return initial_cost_; }
   double best_cost() const { return best_cost_; }
   /// Current temperature of the geometric schedule (trace trajectories).
@@ -181,8 +284,16 @@ class ResumableMappingAnneal {
   parallel::Mapping best_mapping() const;
 
  private:
+  void run_serial(long target_iters, const common::Stopwatch& watch, bool timed);
+  void run_batched(long target_iters, const common::Stopwatch& watch, bool timed);
+  void accept_pending(double c);
+  /// Feeds the stopper at every window boundary crossed up to iters_.
+  /// Returns true once the chain stopped.
+  bool observe_boundaries();
+
   estimators::IncrementalLatencyEvaluator eval_;
   MoveSet moves_;
+  MoveKindSampler sampler_;
   int gpn_;
   SaOptions opt_;
   common::Rng rng_;
@@ -193,9 +304,14 @@ class ResumableMappingAnneal {
   int since_temp_step_ = 0;
   long iters_ = 0;
   long accepted_ = 0;
+  long scored_ = 0;
   double wall_s_ = 0.0;
   std::vector<int> best_;
+  std::vector<parallel::MappingMoveDesc> batch_mvs_;
+  std::vector<double> batch_costs_;
   AnnealTelemetry* telemetry_ = nullptr;
+  HoeffdingStopper stopper_;
+  long next_obs_ = std::numeric_limits<long>::max();
 };
 
 }  // namespace pipette::search

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -26,13 +27,35 @@ struct SaOptions {
   double alpha = 0.999;          ///< paper's temperature reduction coefficient
   int iters_per_temp = 16;       ///< proposals evaluated per temperature step
   std::uint64_t seed = 13;
+  /// Proposal batch size for incremental problems that expose the batched
+  /// extension (see simulated_annealing_incremental). batch <= 1 runs the
+  /// historical serial loop verbatim.
+  ///
+  /// RNG-stream contract for batch > 1, per batch of size b (b = batch,
+  /// clamped to the remaining iteration budget):
+  ///   phase 1 — b move descriptors are drawn sequentially from the chain's
+  ///     single rng stream (move draws depend only on the problem's shape,
+  ///     never on its current state, so the descriptors are the same ones an
+  ///     interleaved draw/decide loop would produce);
+  ///   phase 2 — all b proposals are scored against the committed state, then
+  ///     the Metropolis sweep visits them in draw order, consuming exactly
+  ///     one uniform per positive-delta decision and stepping the temperature
+  ///     schedule once per *decided* proposal; the first accepted proposal is
+  ///     applied and ends the batch, and the remaining scored proposals are
+  ///     discarded (they count toward SaResult::scored, not iters).
+  /// At b = 1 the two phases collapse to draw-decide-draw-decide — the serial
+  /// loop's exact rng stream and trajectory, bit for bit.
+  int batch = 1;
 };
 
 struct SaResult {
   double initial_cost = 0.0;
   double best_cost = 0.0;
-  long iters = 0;
+  long iters = 0;     ///< decided proposals (advance temperature + budget)
   long accepted = 0;
+  /// Proposals scored including discarded batch tails; == iters for serial
+  /// runs, >= iters when batch > 1.
+  long scored = 0;
   double wall_s = 0.0;
 };
 
@@ -103,9 +126,24 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
 
   state = std::move(best);
   res.best_cost = best_cost;
+  res.scored = res.iters;
   res.wall_s = watch.seconds();
   return res;
 }
+
+namespace detail {
+
+/// Compile-time probe for the optional batched extension of the incremental
+/// problem API (see simulated_annealing_incremental).
+template <typename Problem>
+constexpr bool has_batch_api = requires(Problem& p, common::Rng& rng, int b) {
+  p.draw_batch(rng, b);
+  { p.score_batch(b) } -> std::convertible_to<const double*>;
+  { p.apply_scored(b) } -> std::convertible_to<double>;
+  p.note_batch(b, b, b, true);
+};
+
+}  // namespace detail
 
 /// Incremental simulated annealing: the timed-deadline check is batched to
 /// the temperature-step boundary exactly like simulated_annealing above.
@@ -124,6 +162,18 @@ SaResult simulated_annealing(State& state, CostFn&& cost, MutateFn&& mutate, con
 /// so a problem whose propose() draws moves the same way and returns
 /// bit-identical costs follows the exact same trajectory — the property
 /// tests/incremental_test.cpp locks in for the mapping problem.
+///
+/// Batched extension (used when opt.batch > 1 and the problem provides it;
+/// see SaOptions::batch for the rng-stream contract):
+///
+///   void draw_batch(common::Rng&, int b);  // draw b moves into a buffer
+///   const double* score_batch(int b);      // score them vs the committed
+///                                          // state; no pending proposal left
+///   double apply_scored(int j);            // re-apply scored move j as the
+///                                          // pending proposal (cost is
+///                                          // bit-identical to score_batch's)
+///   void note_batch(int b, int decided, int accept_j, bool serial_counted);
+///                                          // telemetry hook, once per batch
 template <typename Problem>
 SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
   const common::Stopwatch watch;
@@ -139,6 +189,77 @@ SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
 
   double temp = std::max(opt.init_temp_frac * cur_cost, 1e-300);
   int since_temp_step = 0;
+
+  if constexpr (detail::has_batch_api<Problem>) {
+    if (opt.batch > 1) {
+      while (res.iters < opt.max_iters) {
+        // Deadline granularity is the batch: one wall-clock read per sweep.
+        if (timed && watch.seconds() >= opt.time_limit_s) break;
+        const int b =
+            static_cast<int>(std::min<long>(opt.batch, opt.max_iters - res.iters));
+        if (b == 1) {
+          // Partial tail batch: the serial body, which consumes the exact
+          // stream the two-phase path would at b = 1 without paying the
+          // score-then-reapply double evaluation on accepts.
+          const double c = prob.propose(rng);
+          const bool acc = detail::metropolis_accept(c - cur_cost, temp, rng);
+          if (acc) {
+            prob.commit();
+            cur_cost = c;
+            ++res.accepted;
+            if (cur_cost < best_cost) {
+              best_cost = cur_cost;
+              prob.save_best();
+            }
+          } else {
+            prob.rollback();
+          }
+          if (++since_temp_step >= opt.iters_per_temp) {
+            temp *= opt.alpha;
+            since_temp_step = 0;
+          }
+          prob.note_batch(1, 1, acc ? 0 : -1, /*serial_counted=*/true);
+          ++res.iters;
+          ++res.scored;
+          continue;
+        }
+        prob.draw_batch(rng, b);
+        const double* costs = prob.score_batch(b);
+        int decided = b;
+        int accept_j = -1;
+        for (int j = 0; j < b; ++j) {
+          const bool acc = detail::metropolis_accept(costs[j] - cur_cost, temp, rng);
+          if (++since_temp_step >= opt.iters_per_temp) {
+            temp *= opt.alpha;
+            since_temp_step = 0;
+          }
+          if (acc) {
+            accept_j = j;
+            decided = j + 1;
+            break;
+          }
+        }
+        if (accept_j >= 0) {
+          const double c = prob.apply_scored(accept_j);
+          prob.commit();
+          cur_cost = c;
+          ++res.accepted;
+          if (cur_cost < best_cost) {
+            best_cost = cur_cost;
+            prob.save_best();
+          }
+        }
+        prob.note_batch(b, decided, accept_j, /*serial_counted=*/false);
+        res.iters += decided;
+        res.scored += b;
+      }
+      prob.restore_best();
+      res.best_cost = best_cost;
+      res.wall_s = watch.seconds();
+      return res;
+    }
+  }
+
   while (res.iters < opt.max_iters) {
     if (timed && (since_temp_step == 0 || (res.iters & 255) == 0)) {
       if (watch.seconds() >= opt.time_limit_s) break;
@@ -165,6 +286,7 @@ SaResult simulated_annealing_incremental(Problem& prob, const SaOptions& opt) {
 
   prob.restore_best();
   res.best_cost = best_cost;
+  res.scored = res.iters;
   res.wall_s = watch.seconds();
   return res;
 }

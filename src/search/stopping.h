@@ -1,0 +1,141 @@
+// Statistical early stopping for annealing chains: Hoeffding-style
+// confidence bounds on the rate of further improvement, so the racing
+// allocator can hand easy instances back in microseconds while hard ones
+// keep their full iteration grant.
+//
+// The method, self-contained:
+//
+//   A chain reports its best cost at every `window` iterations. Observation
+//   t is the windowed relative improvement
+//
+//       X_t = (best_{t-1} - best_t) / initial_cost   (>= 0: best is monotone)
+//
+//   i.e. "what fraction of the starting cost did the last window shave off".
+//   The X_t are bounded in [0, R] where R is tracked as the largest
+//   observation seen so far (floored at `rel_threshold` so R is never 0).
+//   Hoeffding's inequality says that for t independent samples from any
+//   [0, R]-bounded distribution, the true mean mu exceeds the empirical
+//   mean by more than eps with probability at most exp(-2 t eps^2 / R^2);
+//   solving for the radius at confidence 1 - delta gives
+//
+//       eps(t) = R * sqrt(ln(1/delta) / (2 t))
+//
+//   so  UCB(t) = mean_t + eps(t)  is a (1 - delta) upper confidence bound on
+//   the chain's per-window improvement rate. Once
+//
+//       t >= min_windows   and   UCB(t) < rel_threshold
+//
+//   the chain is, with confidence 1 - delta, improving by less than
+//   rel_threshold of the initial cost per window — further iterations are
+//   statistically not worth their budget, and the chain stops with
+//   StopReason::kConverged. (Annealing windows are not literally i.i.d.;
+//   the bound is used as a principled heuristic, the standard practice for
+//   racing/bandit budget allocators.)
+//
+//   A perfectly flat chain (every X_t = 0) has mean 0 and R = rel_threshold,
+//   so it stops as soon as eps(t) < rel_threshold, i.e. after
+//
+//       t > ln(1/delta) / 2
+//
+//   windows — flat_stop_bound() exposes this worst-case count (plus the
+//   min_windows floor) and the unit tests pin it. A chain still improving
+//   by >= rel_threshold per window keeps its empirical mean at or above the
+//   threshold, so UCB >= mean >= rel_threshold and it never stops.
+//
+// Determinism: observations are taken at absolute iteration multiples of
+// `window` (the annealer calls observe() when total_iters % window == 0), so
+// the decision sequence is a pure function of the chain's trajectory — a run
+// split across successive-halving rungs observes the identical boundaries as
+// an uninterrupted run, and no thread schedule or rung restructuring can
+// perturb where a chain stops.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipette::search {
+
+/// Tuning for HoeffdingStopper. Disabled by default: stopping is opt-in per
+/// call site (the configurator's racing allocator enables it).
+struct StoppingOptions {
+  bool enabled = false;
+  /// Observation cadence in iterations. Boundaries are absolute multiples,
+  /// so rung splits cannot shift them. Must be >= 1.
+  long window = 2048;
+  /// Stop once the upper confidence bound on per-window relative improvement
+  /// (fraction of the initial cost) falls below this.
+  double rel_threshold = 1e-4;
+  /// Confidence parameter: the bound holds with probability 1 - delta.
+  double delta = 0.05;
+  /// Never stop before this many observations, however flat the chain.
+  int min_windows = 4;
+};
+
+enum class StopReason {
+  kNone = 0,       ///< still running (or stopping disabled)
+  kConverged = 1,  ///< UCB on further improvement fell below rel_threshold
+};
+
+/// Per-chain improvement tracker implementing the bound above. Plain value
+/// type, no allocation; one instance per annealing chain.
+class HoeffdingStopper {
+ public:
+  HoeffdingStopper() = default;
+  explicit HoeffdingStopper(const StoppingOptions& opt) : opt_(opt) {
+    opt_.window = std::max<long>(1, opt_.window);
+    opt_.min_windows = std::max(1, opt_.min_windows);
+    opt_.delta = std::min(0.5, std::max(1e-12, opt_.delta));
+  }
+
+  const StoppingOptions& options() const { return opt_; }
+  bool enabled() const { return opt_.enabled; }
+  long window() const { return opt_.window; }
+  bool stopped() const { return reason_ != StopReason::kNone; }
+  StopReason reason() const { return reason_; }
+  long observations() const { return t_; }
+
+  /// Feeds one window-boundary observation (the chain's current best cost;
+  /// the first call also fixes the improvement scale from `initial_cost`).
+  /// Returns true once the chain should stop. Idempotent after stopping.
+  bool observe(double best_cost, double initial_cost) {
+    if (!opt_.enabled || stopped()) return stopped();
+    if (t_ == 0) {
+      scale_ = initial_cost > 0.0 ? initial_cost : 1.0;
+      prev_best_ = best_cost;
+      ++t_;
+      return false;
+    }
+    const double x = std::max(0.0, (prev_best_ - best_cost) / scale_);
+    prev_best_ = best_cost;
+    sum_ += x;
+    range_ = std::max(range_, x);
+    ++t_;
+    const auto n = static_cast<double>(t_ - 1);  // improvement samples so far
+    if (t_ < opt_.min_windows || n < 1.0) return false;
+    const double r = std::max(range_, opt_.rel_threshold);
+    const double eps = r * std::sqrt(std::log(1.0 / opt_.delta) / (2.0 * n));
+    if (sum_ / n + eps < opt_.rel_threshold) reason_ = StopReason::kConverged;
+    return stopped();
+  }
+
+  /// Upper bound on the observations a perfectly flat chain survives: with
+  /// every X_t = 0 the mean is 0 and R floors at rel_threshold, so the stop
+  /// condition eps(t) < rel_threshold reduces to n > ln(1/delta) / 2
+  /// improvement samples (one observation seeds the baseline and yields no
+  /// sample, hence the +2). The min_windows floor still applies.
+  long flat_stop_bound() const {
+    const auto n = static_cast<long>(std::floor(std::log(1.0 / opt_.delta) / 2.0)) + 2;
+    return std::max(static_cast<long>(opt_.min_windows), n);
+  }
+
+ private:
+  StoppingOptions opt_;
+  double scale_ = 1.0;
+  double prev_best_ = 0.0;
+  double sum_ = 0.0;
+  double range_ = 0.0;
+  long t_ = 0;
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace pipette::search

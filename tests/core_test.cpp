@@ -261,6 +261,54 @@ TEST(PipetteConfigurator, SharedComputeProfilesAreBitIdenticalToUnshared) {
   EXPECT_EQ(seed_res.best, a.best) << "PPT-L head should also agree on this job";
 }
 
+TEST(PipetteConfigurator, AdaptiveStoppingKeepsPlansIdenticalAndSavesIterations) {
+  // Fixed rung budgets vs Hoeffding early stopping across four shape/job
+  // combos. Stop decisions are pure per-chain functions, so the adaptive run
+  // must recommend the same plan — it may only hand back iterations.
+  struct Case {
+    int nodes;
+    model::TransformerConfig cfg;
+    int global_batch;
+  };
+  const Case cases[] = {
+      {4, model::gpt_3_1b(), 512},
+      {2, model::gpt_774m(), 64},
+      {4, model::gpt_1_1b(), 128},
+      {2, model::gpt_3_1b(), 256},
+  };
+  long total_saved = 0;
+  int chains_stopped = 0;
+  for (const Case& c : cases) {
+    cluster::Topology topo(cluster::mid_range_cluster(c.nodes), cluster::HeterogeneityOptions{},
+                           2024);
+    const model::TrainingJob job{c.cfg, c.global_batch};
+    auto fixed = capped_pipette(true);
+    fixed.use_memory_filter = false;
+    fixed.sa_top_k = 0;
+    fixed.sa.max_iters = 4000;
+    fixed.sa_halving.enabled = true;
+    auto adaptive = fixed;
+    adaptive.sa_halving.stopping.enabled = true;
+    adaptive.sa_halving.stopping.window = 128;
+
+    core::PipetteConfigurator f(fixed);
+    const auto rf = f.configure(topo, job);
+    core::PipetteConfigurator a(adaptive);
+    const auto ra = a.configure(topo, job);
+    ASSERT_TRUE(rf.found);
+    ASSERT_TRUE(ra.found);
+    EXPECT_EQ(rf.best, ra.best) << "adaptive stopping changed the winner on " << c.nodes
+                                << " nodes, batch " << c.global_batch;
+    EXPECT_LE(ra.sa_iters, rf.sa_iters);
+    EXPECT_EQ(rf.sa_iters_saved, 0) << "fixed budgets must not report savings";
+    EXPECT_EQ(ra.sa_iters_saved, std::max<long>(0, ra.sa_iters_granted - ra.sa_iters));
+    total_saved += ra.sa_iters_saved;
+    chains_stopped += ra.sa_chains_stopped;
+  }
+  EXPECT_GT(total_saved, 0) << "no case converged early at window 128";
+  EXPECT_GT(chains_stopped, 0);
+}
+
 TEST(PipetteConfigurator, SuccessiveHalvingExploresFewerMovesThanLegacy) {
   auto topo = small_cluster(12);
   const model::TrainingJob job{model::gpt_1_1b(), 128};

@@ -122,6 +122,57 @@ TEST(IncrementalEquivalence, SingleNodeClusterDegeneratesSafely) {
   }
 }
 
+TEST(TieredBandwidth, EngagesOnLargeClustersAndStaysBitIdentical) {
+  // 256 GPUs crosses the tiering threshold: the evaluator folds the profiled
+  // matrix into node-pair + intra-node tables. Costs must stay bit-identical
+  // to the full model, which still reads the num_gpus² matrix directly.
+  const Fixture fx({4, 8, 8}, 2);
+  const auto model = fx.model();
+  const int gpn = fx.topo.gpus_per_node();
+  parallel::Mapping committed = parallel::Mapping::megatron_default(fx.pc);
+  estimators::IncrementalLatencyEvaluator eval(model, committed, gpn);
+  ASSERT_TRUE(eval.bw_tiered()) << "profile_network output should fold";
+  ASSERT_EQ(eval.cost(), model.estimate(committed));
+
+  common::Rng rng(2026);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto mv = search::draw_mapping_move(committed, rng, {}, gpn);
+    parallel::Mapping moved = committed;
+    parallel::apply_move(moved, mv, gpn);
+    ASSERT_EQ(eval.propose(mv), model.estimate(moved)) << "iter " << iter;
+    if (rng.bernoulli(0.5)) {
+      eval.commit();
+      committed = std::move(moved);
+    } else {
+      eval.rollback();
+      ASSERT_EQ(eval.cost(), model.estimate(committed));
+    }
+  }
+}
+
+TEST(TieredBandwidth, FallsBackOnUnstructuredMatrix) {
+  // Break the node-pair fold for a single inter-node entry: construction
+  // must detect it, keep direct matrix reads, and stay bit-identical.
+  Fixture fx({4, 8, 8}, 2);
+  const int gpn = fx.topo.gpus_per_node();
+  fx.profiled.bw.set(1, gpn + 1, fx.profiled.bw.at(1, gpn + 1) * 1.5);
+  const auto model = fx.model();
+  parallel::Mapping committed = parallel::Mapping::megatron_default(fx.pc);
+  estimators::IncrementalLatencyEvaluator eval(model, committed, gpn);
+  EXPECT_FALSE(eval.bw_tiered());
+  ASSERT_EQ(eval.cost(), model.estimate(committed));
+
+  common::Rng rng(31);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto mv = search::draw_mapping_move(committed, rng, {}, gpn);
+    parallel::Mapping moved = committed;
+    parallel::apply_move(moved, mv, gpn);
+    ASSERT_EQ(eval.propose(mv), model.estimate(moved)) << "iter " << iter;
+    eval.commit();
+    committed = std::move(moved);
+  }
+}
+
 TEST(IncrementalEquivalence, ResetReseatsOnNewPermutation) {
   const Fixture fx({4, 2, 4}, 2);
   const auto model = fx.model();

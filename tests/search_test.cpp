@@ -431,3 +431,264 @@ TEST(ResumableAnneal, ResumingStrictlyExtendsTheRun) {
   EXPECT_LE(chain.best_cost(), cost_at_400) << "best cost is monotone in the budget";
   EXPECT_DOUBLE_EQ(model.estimate(chain.best_mapping()), chain.best_cost());
 }
+
+TEST(BatchedAnneal, BatchOneDispatchesToTheSerialLoopBitForBit) {
+  // batch = 1 (explicit or default) must follow the historical serial
+  // trajectory exactly — the B=1 leg of the batched-path contract.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 17;
+  search::SaOptions b1 = opt;
+  b1.batch = 1;
+
+  parallel::Mapping ms = parallel::Mapping::megatron_default(fx.plan.pc);
+  parallel::Mapping mb = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto rs = search::optimize_mapping(ms, fx.model, 8, opt);
+  const auto rb = search::optimize_mapping(mb, fx.model, 8, b1);
+  EXPECT_EQ(rs.best_cost, rb.best_cost);
+  EXPECT_EQ(rs.iters, rb.iters);
+  EXPECT_EQ(rs.accepted, rb.accepted);
+  EXPECT_EQ(rs.scored, rs.iters) << "serial runs score exactly what they decide";
+  EXPECT_EQ(ms.raw(), mb.raw());
+}
+
+TEST(BatchedAnneal, ScoreBatchCostsAreBitIdenticalToSerialPropose) {
+  const SearchFixture fx({4, 2, 4});
+  estimators::IncrementalLatencyEvaluator eval(
+      fx.model, parallel::Mapping::megatron_default(fx.plan.pc), 8);
+  common::Rng rng(31);
+  std::vector<parallel::MappingMoveDesc> mvs;
+  for (int i = 0; i < 64; ++i) {
+    mvs.push_back(search::draw_mapping_move(eval.mapping(), rng, {}, 8));
+  }
+  std::vector<double> costs(mvs.size());
+  eval.score_batch(mvs.data(), static_cast<int>(mvs.size()), costs.data());
+  for (std::size_t i = 0; i < mvs.size(); ++i) {
+    const double serial = eval.propose(mvs[i]);
+    eval.rollback();
+    EXPECT_EQ(serial, costs[i]) << "move " << i;
+  }
+  // Scoring left no pending proposal: the committed cost is untouched.
+  EXPECT_EQ(eval.cost(), fx.model.estimate(eval.mapping()));
+}
+
+TEST(BatchedAnneal, BatchedRunIsDeterministicAndAccountsScoredWork) {
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 4000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 23;
+  opt.batch = 32;
+
+  search::AnnealTelemetry t1, t2;
+  parallel::Mapping m1 = parallel::Mapping::megatron_default(fx.plan.pc);
+  parallel::Mapping m2 = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto r1 = search::optimize_mapping(m1, fx.model, 8, opt, {}, &t1);
+  const auto r2 = search::optimize_mapping(m2, fx.model, 8, opt, {}, &t2);
+
+  // Deterministic replay, telemetry attached or not.
+  EXPECT_EQ(r1.best_cost, r2.best_cost);
+  EXPECT_EQ(r1.iters, r2.iters);
+  EXPECT_EQ(r1.scored, r2.scored);
+  EXPECT_EQ(m1.raw(), m2.raw());
+
+  // The run is a genuine anneal: exact budget, improvement, and a best cost
+  // that re-evaluates bit-identically under the full model.
+  EXPECT_EQ(r1.iters, opt.max_iters);
+  EXPECT_GE(r1.scored, r1.iters);
+  EXPECT_LE(r1.best_cost, r1.initial_cost);
+  EXPECT_DOUBLE_EQ(fx.model.estimate(m1), r1.best_cost);
+
+  // Counting contract: proposed[] counts decided proposals only; scored and
+  // the fill histogram capture the discarded batch tails.
+  EXPECT_EQ(t1.total_proposed(), r1.iters);
+  EXPECT_EQ(t1.scored, r1.scored);
+  EXPECT_GT(t1.batches, 0);
+  long fill = 0;
+  for (const long b : t1.batch_fill) fill += b;
+  EXPECT_EQ(fill, t1.batches);
+  EXPECT_EQ(t1.total_proposed(), t1.total_accepted() + t1.rollbacks);
+}
+
+TEST(BatchedAnneal, ResumableBatchedMatchesGenericAnnealerAndRespectsTargets) {
+  // The resumable chain's batched loop is the generic annealer's: one
+  // uninterrupted run_to(max_iters) reproduces optimize_mapping at the same
+  // batch size, and iteration targets are hit exactly (decided proposals).
+  const SearchFixture fx({2, 8, 2});
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 29;
+  opt.batch = 16;
+
+  parallel::Mapping m = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto ref = search::optimize_mapping(m, fx.model, 8, opt);
+
+  search::ResumableMappingAnneal chain(fx.model, parallel::Mapping::megatron_default(fx.plan.pc),
+                                       8, opt);
+  chain.run_to(3000);
+  EXPECT_EQ(chain.total_iters(), 3000);
+  EXPECT_EQ(chain.scored(), ref.scored);
+  EXPECT_EQ(chain.accepted(), ref.accepted);
+  EXPECT_DOUBLE_EQ(chain.best_cost(), ref.best_cost);
+  EXPECT_EQ(chain.best_mapping().raw(), m.raw());
+}
+
+TEST(BatchedAnneal, MultichainDeterministicAcrossThreadCountsAtBatchSize) {
+  // The B>1 determinism leg: same plans, costs, and counters on 1, 4, and 16
+  // pool threads under sa_chains-style multichain annealing.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 2000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 21;
+  opt.batch = 8;
+  const int chains = 4;
+
+  parallel::Mapping ref = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_ref =
+      search::optimize_mapping_multichain(ref, fx.model, 8, opt, {chains, nullptr});
+  EXPECT_GE(res_ref.scored, res_ref.iters);
+
+  for (int threads : {1, 4, 16}) {
+    engine::ThreadPool pool(threads);
+    parallel::Mapping m = parallel::Mapping::megatron_default(fx.plan.pc);
+    const auto res =
+        search::optimize_mapping_multichain(m, fx.model, 8, opt, {chains, &pool});
+    EXPECT_EQ(res.best_cost, res_ref.best_cost) << threads << " threads";
+    EXPECT_EQ(res.iters, res_ref.iters) << threads << " threads";
+    EXPECT_EQ(res.scored, res_ref.scored) << threads << " threads";
+    EXPECT_EQ(res.accepted, res_ref.accepted) << threads << " threads";
+    EXPECT_EQ(m.raw(), ref.raw()) << threads << " threads";
+  }
+}
+
+TEST(MoveWeights, DefaultZeroWeightsPreserveTheHistoricalStream) {
+  // kind_weights all <= 0 builds an inactive sampler, and the sampler-aware
+  // overload must then consume the legacy retry-loop stream bit for bit.
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::Mapping m = parallel::Mapping::megatron_default(pc);
+  const search::MoveSet moves;
+  const search::MoveKindSampler sampler(moves, 4);
+  EXPECT_FALSE(sampler.active());
+
+  common::Rng legacy(77), weighted(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = search::draw_mapping_move(m, legacy, moves, 8);
+    const auto b = search::draw_mapping_move(m, weighted, moves, 8, &sampler);
+    ASSERT_EQ(a.kind, b.kind) << "draw " << i;
+    ASSERT_EQ(a.a, b.a) << "draw " << i;
+    ASSERT_EQ(a.b, b.b) << "draw " << i;
+  }
+  EXPECT_EQ(legacy.next_u64(), weighted.next_u64()) << "streams diverged";
+}
+
+TEST(MoveWeights, CheapStringPresetSkewsDrawsAndStillAnneals) {
+  const search::MoveSet moves = search::cheap_string_moves();
+  const search::MoveKindSampler sampler(moves, 4);
+  ASSERT_TRUE(sampler.active());
+
+  common::Rng rng(11);
+  long counts[5] = {};
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.draw(rng)];
+  const long strings = counts[0] + counts[1] + counts[2];
+  const long nodes = counts[3] + counts[4];
+  EXPECT_GT(strings, static_cast<long>(0.85 * draws)) << "preset should favour string moves";
+  EXPECT_GT(nodes, 0) << "node moves keep a residual probability";
+
+  // A weighted anneal still optimizes and replays deterministically.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 3;
+  search::AnnealTelemetry telem;
+  parallel::Mapping m1 = parallel::Mapping::megatron_default(fx.plan.pc);
+  parallel::Mapping m2 = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto r1 = search::optimize_mapping(m1, fx.model, 8, opt, moves, &telem);
+  const auto r2 = search::optimize_mapping(m2, fx.model, 8, opt, moves);
+  EXPECT_EQ(r1.best_cost, r2.best_cost);
+  EXPECT_EQ(m1.raw(), m2.raw());
+  EXPECT_LE(r1.best_cost, r1.initial_cost);
+  EXPECT_DOUBLE_EQ(fx.model.estimate(m1), r1.best_cost);
+  const long t_strings = telem.proposed[0] + telem.proposed[1] + telem.proposed[2];
+  const long t_nodes = telem.proposed[3] + telem.proposed[4];
+  EXPECT_GT(t_strings, t_nodes * 4) << "proposal mix should reflect the preset";
+}
+
+TEST(MoveWeights, InfeasibleWeightedKindsFallBackToLegacyDraws) {
+  // Node-only positive weights on a single-node cluster leave nothing for
+  // the alias table; the sampler deactivates and legacy drawing (with its
+  // own degenerate fallback) takes over.
+  search::MoveSet moves;
+  moves.kind_weights[3] = 1.0;
+  moves.kind_weights[4] = 1.0;
+  EXPECT_FALSE(search::MoveKindSampler(moves, 1).active());
+  EXPECT_TRUE(search::MoveKindSampler(moves, 2).active());
+
+  search::MoveSet disabled = moves;
+  disabled.node_swap = false;
+  disabled.node_reverse = false;
+  EXPECT_FALSE(search::MoveKindSampler(disabled, 4).active());
+}
+
+TEST(ResumableAnneal, StopperHaltsConvergedChainAndFurtherRunsNoOp) {
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 1000000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 41;
+
+  search::StoppingOptions sopt;
+  sopt.enabled = true;
+  sopt.window = 64;
+  // A threshold this large declares everything converged: the chain must
+  // stop within a few windows of min_windows, proving the wiring; realistic
+  // thresholds are exercised end-to-end in core_test.
+  sopt.rel_threshold = 1.0;
+  sopt.min_windows = 4;
+
+  search::ResumableMappingAnneal chain(fx.model, parallel::Mapping::megatron_default(fx.plan.pc),
+                                       8, opt);
+  chain.enable_stopping(sopt);
+  chain.run_to(100000);
+  EXPECT_TRUE(chain.stopped());
+  EXPECT_EQ(chain.stop_reason(), search::StopReason::kConverged);
+  EXPECT_LT(chain.total_iters(), 100000);
+  const long at = chain.total_iters();
+  chain.run_to(200000);
+  EXPECT_EQ(chain.total_iters(), at) << "a stopped chain must never run again";
+}
+
+TEST(ResumableAnneal, ArmedButUnstoppedChainIsBitIdenticalToUnarmed) {
+  // Observation never touches the rng stream, so a chain whose stopper never
+  // fires (a tiny threshold on a still-improving heterogeneous instance)
+  // matches the unarmed chain exactly.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 2000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 43;
+
+  search::StoppingOptions sopt;
+  sopt.enabled = true;
+  sopt.window = 64;
+  sopt.rel_threshold = 1e-12;  // effectively unreachable at this budget
+  sopt.min_windows = 4;
+
+  search::ResumableMappingAnneal armed(fx.model, parallel::Mapping::megatron_default(fx.plan.pc),
+                                       8, opt);
+  armed.enable_stopping(sopt);
+  search::ResumableMappingAnneal plain(fx.model, parallel::Mapping::megatron_default(fx.plan.pc),
+                                       8, opt);
+  armed.run_to(2000);
+  plain.run_to(2000);
+  ASSERT_FALSE(armed.stopped());
+  EXPECT_EQ(armed.total_iters(), plain.total_iters());
+  EXPECT_EQ(armed.accepted(), plain.accepted());
+  EXPECT_EQ(armed.best_cost(), plain.best_cost());
+  EXPECT_EQ(armed.best_mapping().raw(), plain.best_mapping().raw());
+}

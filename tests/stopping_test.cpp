@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "search/stopping.h"
+
+using namespace pipette;
+
+namespace {
+
+search::StoppingOptions enabled_opts() {
+  search::StoppingOptions opt;
+  opt.enabled = true;
+  opt.window = 64;
+  opt.rel_threshold = 1e-4;
+  opt.delta = 0.05;
+  opt.min_windows = 4;
+  return opt;
+}
+
+}  // namespace
+
+TEST(HoeffdingStopper, DisabledNeverStops) {
+  search::HoeffdingStopper stopper{search::StoppingOptions{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(stopper.observe(100.0, 100.0));
+  }
+  EXPECT_FALSE(stopper.stopped());
+  EXPECT_EQ(stopper.reason(), search::StopReason::kNone);
+  EXPECT_EQ(stopper.observations(), 0);
+}
+
+TEST(HoeffdingStopper, NeverStopsStillImprovingChain) {
+  // A chain shaving >= rel_threshold of the initial cost every window keeps
+  // its empirical mean at or above the threshold, so UCB >= mean >= threshold
+  // and the stop condition can never fire — however many windows pass.
+  search::HoeffdingStopper stopper{enabled_opts()};
+  const double initial = 1000.0;
+  double best = initial;
+  for (int t = 0; t < 2000; ++t) {
+    EXPECT_FALSE(stopper.observe(best, initial)) << "stopped at observation " << t;
+    best -= initial * 2e-4;  // 2x the relative threshold, every window
+  }
+  EXPECT_FALSE(stopper.stopped());
+}
+
+TEST(HoeffdingStopper, AlwaysStopsFlatChainWithinBound) {
+  // A perfectly flat chain must converge within flat_stop_bound()
+  // observations: mean 0, R floored at rel_threshold, eps shrinking as
+  // 1/sqrt(n).
+  const auto opt = enabled_opts();
+  search::HoeffdingStopper stopper{opt};
+  const long bound = stopper.flat_stop_bound();
+  ASSERT_GE(bound, opt.min_windows);
+  long stopped_at = -1;
+  for (long t = 1; t <= bound; ++t) {
+    if (stopper.observe(42.0, 42.0)) {
+      stopped_at = t;
+      break;
+    }
+  }
+  ASSERT_GT(stopped_at, 0) << "flat chain survived past flat_stop_bound() = " << bound;
+  EXPECT_TRUE(stopper.stopped());
+  EXPECT_EQ(stopper.reason(), search::StopReason::kConverged);
+  // Never before the min_windows floor, however flat.
+  EXPECT_GE(stopper.observations(), opt.min_windows);
+}
+
+TEST(HoeffdingStopper, MinWindowsFloorDelaysFlatStop) {
+  auto opt = enabled_opts();
+  opt.min_windows = 32;
+  search::HoeffdingStopper stopper{opt};
+  for (int t = 0; t < 31; ++t) {
+    EXPECT_FALSE(stopper.observe(7.0, 7.0)) << "stopped before min_windows at " << t;
+  }
+  // From observation 32 onward the flat chain is past both the floor and the
+  // ln(1/delta)/2 sample requirement, so it stops immediately.
+  EXPECT_TRUE(stopper.observe(7.0, 7.0));
+  EXPECT_EQ(stopper.observations(), 32);
+}
+
+TEST(HoeffdingStopper, DecayingImprovementEventuallyStops) {
+  // Improvement that decays geometrically drops below the threshold rate;
+  // the growing sample count then closes the confidence interval and stops
+  // the chain — but only after the mean has genuinely fallen.
+  search::HoeffdingStopper stopper{enabled_opts()};
+  const double initial = 1000.0;
+  double best = initial;
+  double step = initial * 0.01;
+  long stopped_at = -1;
+  // R is inflated to the first (large) observation, so the interval needs
+  // ~R^2/threshold^2 samples to close — tens of thousands here.
+  for (long t = 1; t <= 40000; ++t) {
+    if (stopper.observe(best, initial)) {
+      stopped_at = t;
+      break;
+    }
+    best -= step;
+    step *= 0.5;
+  }
+  ASSERT_GT(stopped_at, 0);
+  EXPECT_EQ(stopper.reason(), search::StopReason::kConverged);
+  // The early large observations inflate R and the mean, so convergence takes
+  // more evidence than a flat chain needs.
+  EXPECT_GT(stopped_at, stopper.flat_stop_bound());
+}
+
+TEST(HoeffdingStopper, StopIsIdempotentAndSticky) {
+  search::HoeffdingStopper stopper{enabled_opts()};
+  while (!stopper.observe(5.0, 5.0)) {
+  }
+  const long at = stopper.observations();
+  // A huge improvement after the stop cannot revive the chain.
+  EXPECT_TRUE(stopper.observe(0.1, 5.0));
+  EXPECT_TRUE(stopper.stopped());
+  EXPECT_EQ(stopper.observations(), at);
+}
+
+TEST(HoeffdingStopper, FlatStopBoundMatchesFormula) {
+  // delta = 0.05: ln(20)/2 ~= 1.5, so 3 observations (baseline + strict
+  // inequality included) — floored by min_windows.
+  auto opt = enabled_opts();
+  opt.min_windows = 1;
+  EXPECT_EQ(search::HoeffdingStopper{opt}.flat_stop_bound(), 3);
+  opt.min_windows = 10;
+  EXPECT_EQ(search::HoeffdingStopper{opt}.flat_stop_bound(), 10);
+}
