@@ -76,6 +76,9 @@ struct ConfiguratorResult {
   long sa_iters = 0;         ///< SA proposals explored across all chains/rungs
   long sa_iters_granted = 0; ///< SA budget the policy allotted (0 = uncapped)
   long sa_iters_saved = 0;   ///< granted iterations handed back by adaptive stopping
+  /// Rung increments released by stopped chains and re-granted to
+  /// still-improving survivors (SaHalvingOptions::redistribute).
+  long sa_iters_redistributed = 0;
   int sa_rungs = 0;          ///< successive-halving rungs run (0 = legacy loop)
   int sa_chains_stopped = 0; ///< chains terminated by the Hoeffding stopper
   int sa_batch = 1;          ///< proposal batch size the SA phase ran with

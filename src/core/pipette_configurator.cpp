@@ -33,6 +33,7 @@ void flush_request_metrics(obs::Registry* reg, const ConfiguratorResult& res,
   reg->counter("pipette.mem_est.reused").add(res.mem_est_reused);
   reg->counter("pipette.sa.iters").add(res.sa_iters);
   reg->counter("pipette.sa.iters_saved").add(res.sa_iters_saved);
+  reg->counter("pipette.sa.iters_redistributed").add(res.sa_iters_redistributed);
   reg->counter("pipette.sa.rungs").add(res.sa_rungs);
   // Stop decisions keyed by reason (only kConverged exists today) plus the
   // batch size the SA phase ran with, as a gauge for dashboards.
@@ -93,6 +94,7 @@ ConfiguratorResult PipetteConfigurator::reconfigure(const cluster::Topology& new
     out.sa_iters = 0;
     out.sa_iters_granted = 0;
     out.sa_iters_saved = 0;
+    out.sa_iters_redistributed = 0;
     out.sa_rungs = 0;
     out.sa_chains_stopped = 0;
     out.shapes_profiled = 0;
@@ -549,6 +551,12 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       };
       std::vector<int> alive(width);
       std::iota(alive.begin(), alive.end(), 0);
+      // Per-chain iteration grants beyond the rung target, accumulated by
+      // the stopper-feedback redistribution below (global candidate index
+      // times chains + chain index, so entries survive alive-set pruning).
+      std::vector<long> bonus(width * static_cast<std::size_t>(chains), 0);
+      const bool redistribute =
+          opt_.sa_halving.stopping.enabled && opt_.sa_halving.redistribute;
       long prev_target = 0;
       int prev_stopped = 0;
       for (int r = 0; r < rungs; ++r) {
@@ -559,6 +567,37 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         // Every alive chain is granted the rung's increment; spent < granted
         // then flags a tripped per-chain deadline in the explain report.
         res.sa_iters_granted += static_cast<long>(alive.size()) * chains * (target - prev_target);
+        if (redistribute) {
+          // Stopped chains cannot spend this rung's increment: re-grant it
+          // to the still-running chains of alive candidates, split evenly in
+          // canonical order (alive is sorted by candidate index, chains by
+          // index) with the remainder to the earliest. Stop decisions are
+          // pure per-chain functions, so this reallocation is identical on
+          // every thread count.
+          const long inc = target - prev_target;
+          std::vector<std::size_t> running;
+          long released = 0;
+          for (const int i : alive) {
+            for (int c2 = 0; c2 < chains; ++c2) {
+              if (races[static_cast<std::size_t>(i)].sa_chains[static_cast<std::size_t>(c2)]
+                      ->stopped()) {
+                released += inc;
+              } else {
+                running.push_back(static_cast<std::size_t>(i) * static_cast<std::size_t>(chains) +
+                                  static_cast<std::size_t>(c2));
+              }
+            }
+          }
+          if (released > 0 && !running.empty()) {
+            const long share = released / static_cast<long>(running.size());
+            long rem = released % static_cast<long>(running.size());
+            for (const std::size_t u : running) {
+              bonus[u] += share + (rem > 0 ? 1 : 0);
+              if (rem > 0) --rem;
+            }
+            res.sa_iters_redistributed += released;
+          }
+        }
         prev_target = target;
         if (sink) {
           obs::JsonWriter w;
@@ -589,7 +628,9 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           obs::Span span(sink, "sa.chain", std::move(args));
           races[static_cast<std::size_t>(cand_i)]
               .sa_chains[static_cast<std::size_t>(chain_i)]
-              ->run_to(target);
+              ->run_to(target + bonus[static_cast<std::size_t>(cand_i) *
+                                          static_cast<std::size_t>(chains) +
+                                      static_cast<std::size_t>(chain_i)]);
         });
         if (sink) sink->end_span("sa.rung");
         ++res.sa_rungs;

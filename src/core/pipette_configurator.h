@@ -58,6 +58,16 @@ struct SaHalvingOptions {
   /// Stop decisions are pure functions of each chain's trajectory, so
   /// enabling this keeps configure() deterministic on every thread count.
   search::StoppingOptions stopping;
+  /// Feed the stopper back into rung sizing: the rung increments that
+  /// stopped chains would leave unspent are granted to the still-running
+  /// chains of alive candidates instead of being returned, split evenly in
+  /// canonical (candidate rank, chain index) order with the remainder to
+  /// the earliest chains. Stop decisions are deterministic, so the
+  /// redistribution — and thus the whole race — stays bit-reproducible on
+  /// every thread count. Only meaningful with stopping.enabled; the
+  /// re-granted iterations are reported as
+  /// ConfiguratorResult::sa_iters_redistributed.
+  bool redistribute = true;
 };
 
 struct PipetteOptions {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/simd.h"
 #include "parallel/parallel_config.h"
 #include "sim/stage_costs.h"
 
@@ -155,6 +156,7 @@ IncrementalLatencyEvaluator::IncrementalLatencyEvaluator(const PipetteLatencyMod
   undo_flow_bwb_.resize(static_cast<std::size_t>(std::max(1, flows)));
   scratch_gpu_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_node_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
+  scratch_node_d_.resize(static_cast<std::size_t>(std::max(tp_, dp_)));
   scratch_counts_.assign(static_cast<std::size_t>(num_nodes_), 0);
   scratch_row_.resize(static_cast<std::size_t>(groups));
   col_bytes_.resize(static_cast<std::size_t>(tp_));
@@ -408,20 +410,9 @@ void IncrementalLatencyEvaluator::recompute_tp_cell(int stage, int dpr) {
   const double* sub =
       tp_bw_.data() +
       static_cast<std::size_t>(cell) * static_cast<std::size_t>(tp_) * static_cast<std::size_t>(tp_);
-  // Four independent accumulators break the serial min dependency chain
-  // (min is exact and order-free, so regrouping is bit-identical).
-  const double inf = std::numeric_limits<double>::infinity();
-  double m0 = inf, m1 = inf, m2 = inf, m3 = inf;
-  const int nn = tp_ * tp_;
-  int i = 0;
-  for (; i + 4 <= nn; i += 4) {
-    m0 = std::min(m0, sub[i]);
-    m1 = std::min(m1, sub[i + 1]);
-    m2 = std::min(m2, sub[i + 2]);
-    m3 = std::min(m3, sub[i + 3]);
-  }
-  for (; i < nn; ++i) m0 = std::min(m0, sub[i]);
-  const double min_bw = std::min(std::min(m0, m1), std::min(m2, m3));
+  // Wide-lane fold (scalar fallback: the historical four-accumulator fold) —
+  // min is exact and order-free, so any regrouping is bit-identical.
+  const double min_bw = common::simd::min_fold(sub, tp_ * tp_);
   const double lat = crosses_node ? model_->links_.inter_latency_s : model_->links_.intra_latency_s;
   tp_term_[static_cast<std::size_t>(cell)] =
       4.0 * layers_[static_cast<std::size_t>(stage)] *
@@ -466,15 +457,11 @@ void IncrementalLatencyEvaluator::reprice_hop_column(int hop, int dpr) {
     bwf[y] = flow_bw_fwd_[static_cast<std::size_t>(base + y)];
     bwb[y] = flow_bw_bwd_[static_cast<std::size_t>(base + y)];
   }
-  // Pricing phase: per-element expressions and the sequential max fold are
-  // the full model's exactly (pp_comm_term), so costs stay bit-identical.
-  double h = 0.0;
-  for (int y = 0; y < tp_; ++y) {
-    const double fwd = bytes[y] / bwf[y] + lat[y];
-    const double bwd = bytes[y] / bwb[y] + lat[y];
-    h = std::max(h, fwd + bwd);
-  }
-  hop_[static_cast<std::size_t>(hop * dp_ + dpr)] = h;
+  // Pricing phase: the per-element expressions are the full model's exactly
+  // (pp_comm_term, div then add per element — IEEE-exact at any lane width)
+  // and the max fold is order-free, so the wide fold stays bit-identical.
+  hop_[static_cast<std::size_t>(hop * dp_ + dpr)] =
+      common::simd::price_max(bytes, bwf, bwb, lat, tp_);
 }
 
 void IncrementalLatencyEvaluator::recompute_path(int dpr) {
@@ -516,8 +503,11 @@ void IncrementalLatencyEvaluator::recompute_group_mins(int stage, int tpr) {
   const int* perm = cur_.raw().data();
   const int wstride = pp_ * tp_;
   for (int z = 0, w = stage * tp_ + tpr; z < dp_; ++z, w += wstride) {
-    scratch_node_[static_cast<std::size_t>(z)] =
-        node_of_gpu_[static_cast<std::size_t>(perm[w])];
+    const int n = node_of_gpu_[static_cast<std::size_t>(perm[w])];
+    scratch_node_[static_cast<std::size_t>(z)] = n;
+    // Double copy for the lane compare in the SIMD fold below (node ids are
+    // small ints, so the conversion — and the equality test — is exact).
+    scratch_node_d_[static_cast<std::size_t>(z)] = static_cast<double>(n);
   }
   // The pair bandwidths come from the cached member block (kept current by
   // refresh_group_bw); the intra/inter split reads the hoisted nodes. The
@@ -526,33 +516,12 @@ void IncrementalLatencyEvaluator::recompute_group_mins(int stage, int tpr) {
   const double* sub =
       g_bw_.data() +
       static_cast<std::size_t>(gidx) * static_cast<std::size_t>(dp_) * static_cast<std::size_t>(dp_);
-  // Branchless selects feed +inf to the other accumulator (a no-op on an
-  // exact min), and two accumulators per class break the serial min
-  // dependency chain — both regroupings are bit-identical.
-  const double inf = std::numeric_limits<double>::infinity();
-  double ia0 = inf, ia1 = inf, ie0 = inf, ie1 = inf;
-  const int* nodes2 = scratch_node_.data();
-  for (int z1 = 0; z1 < dp_; ++z1) {
-    const int n1 = nodes2[z1];
-    const double* row = sub + z1 * dp_;
-    int z2 = 0;
-    for (; z2 + 2 <= dp_; z2 += 2) {
-      const double b0 = row[z2], b1 = row[z2 + 1];
-      const bool s0 = n1 == nodes2[z2], s1 = n1 == nodes2[z2 + 1];
-      ia0 = std::min(ia0, s0 ? b0 : inf);
-      ie0 = std::min(ie0, s0 ? inf : b0);
-      ia1 = std::min(ia1, s1 ? b1 : inf);
-      ie1 = std::min(ie1, s1 ? inf : b1);
-    }
-    for (; z2 < dp_; ++z2) {
-      const double b = row[z2];
-      const bool s = n1 == nodes2[z2];
-      ia0 = std::min(ia0, s ? b : inf);
-      ie0 = std::min(ie0, s ? inf : b);
-    }
-  }
-  const double min_intra = std::min(ia0, ia1);
-  const double min_inter = std::min(ie0, ie1);
+  // Lane-compare selects feed +inf to the other accumulator (a no-op on an
+  // exact min) and the wide accumulators regroup the fold — bit-identical,
+  // exactly like the historical two-accumulators-per-class scalar code the
+  // helper falls back to when SIMD is off.
+  double min_intra, min_inter;
+  common::simd::group_class_mins(sub, scratch_node_d_.data(), dp_, &min_intra, &min_inter);
   g_min_intra_[static_cast<std::size_t>(gidx)] = min_intra;
   g_min_inter_[static_cast<std::size_t>(gidx)] = min_inter;
   g_flows_[static_cast<std::size_t>(gidx)] = -1;  // force a term re-derivation
@@ -671,23 +640,15 @@ double IncrementalLatencyEvaluator::reduce() const {
   // expressions, so the result is bit-identical. Everything priced here was
   // already recomputed along the dirty paths — this is O(pp + dp + pp·tp)
   // cached reads.
-  double max_block = 0.0;
-  for (int x = 0; x < pp_; ++x) {
-    max_block = std::max(max_block, block_[static_cast<std::size_t>(x)]);
-  }
+  // The three max folds go through the lane helper (order-free, so wide
+  // accumulators are bit-identical); the sums keep their fixed blocking.
+  const double max_block = common::simd::max_fold(block_.data(), pp_, 0.0);
   const double sum_blocks = detail::blocked_sum(block_.data(), pp_);
-  double pp_comm = 0.0;
-  for (int z = 0; z < dp_; ++z) {
-    pp_comm = std::max(pp_comm, path_[static_cast<std::size_t>(z)]);
-  }
+  const double pp_comm = common::simd::max_fold(path_.data(), dp_, 0.0);
   const double bubble = std::max(sum_blocks + ppcomm_scale_ * pp_comm, pp_ * max_block);
   const double straggler = (pp_ - 1) * max_block * fill_scale_;
-  double dp_comm = 0.0;
-  if (dp_ >= 2) {
-    for (int g = 0; g < num_groups_; ++g) {
-      dp_comm = std::max(dp_comm, g_term_[static_cast<std::size_t>(g)]);
-    }
-  }
+  const double dp_comm =
+      dp_ >= 2 ? common::simd::max_fold(g_term_.data(), num_groups_, 0.0) : 0.0;
   return bubble * rounds_ + straggler + dp_comm;
 }
 

@@ -332,10 +332,13 @@ class IncrementalLatencyEvaluator {
 
   // Recompute scratch (member GPU/node hoists; one node-list row for σ).
   std::vector<int> scratch_gpu_, scratch_node_, scratch_counts_, scratch_row_;
+  /// scratch_node_ mirrored as doubles for the SIMD group fold's lane
+  /// compares (exact conversion, so the class test is unchanged).
+  std::vector<double> scratch_node_d_;
 
   // Columnar (SoA) scratch for reprice_hop_column: per-flow byte counts,
-  // endpoint bandwidths, and latency are gathered first, then priced in a
-  // branch-free arithmetic loop the compiler can vectorize. Sized tp_.
+  // endpoint bandwidths, and latency are gathered first, then priced through
+  // the common::simd lane kernels (price_max). Sized tp_.
   std::vector<double> col_bytes_, col_bw_fwd_, col_bw_bwd_, col_lat_;
 };
 

@@ -275,6 +275,25 @@ struct MappingAnnealProblem {
 SaResult optimize_mapping(parallel::Mapping& m, const estimators::PipetteLatencyModel& model,
                           int gpus_per_node, const SaOptions& opt, const MoveSet& moves,
                           AnnealTelemetry* telemetry) {
+  if (opt.tune.any()) {
+    // The self-tuning loops live in ResumableMappingAnneal (one
+    // implementation of the adaptation boundaries); a single uninterrupted
+    // run_to the full budget is the same annealing loop, so delegation costs
+    // nothing and keeps the tuned path identical between the one-shot and
+    // the configurator's resumable callers.
+    ResumableMappingAnneal chain(model, m, gpus_per_node, opt, moves);
+    chain.set_telemetry(telemetry);
+    chain.run_to(opt.max_iters);
+    SaResult res;
+    res.initial_cost = chain.initial_cost();
+    res.best_cost = chain.best_cost();
+    res.iters = chain.total_iters();
+    res.accepted = chain.accepted();
+    res.scored = chain.scored();
+    res.wall_s = chain.wall_s();
+    m = chain.best_mapping();
+    return res;
+  }
   estimators::IncrementalLatencyEvaluator eval(model, m, gpus_per_node);
   const MoveKindSampler sampler(moves, (m.num_workers() + gpus_per_node - 1) / gpus_per_node);
   MappingAnnealProblem prob{&eval,  &moves,    sampler.active() ? &sampler : nullptr,
@@ -336,12 +355,91 @@ ResumableMappingAnneal::ResumableMappingAnneal(const estimators::PipetteLatencyM
       sampler_(moves, (start.num_workers() + gpus_per_node - 1) / gpus_per_node),
       gpn_(gpus_per_node),
       opt_(opt),
-      rng_(opt.seed) {
+      rng_(opt.seed),
+      nodes_((start.num_workers() + gpus_per_node - 1) / gpus_per_node) {
   cur_cost_ = eval_.cost();
   best_cost_ = cur_cost_;
   initial_cost_ = cur_cost_;
   best_ = eval_.mapping().raw();
   temp_ = std::max(opt.init_temp_frac * cur_cost_, 1e-300);
+  if (opt_.tune.batch_size && opt_.batch > 1) {
+    tune_batch_ = true;
+    btuner_ = BatchTuner(opt_.tune, opt_.batch);
+  }
+  if (opt_.tune.kind_weights) {
+    if (!sampler_.active()) {
+      // No caller-supplied weights: the bandit starts from a uniform mix
+      // over the enabled (and feasible) kinds so the alias sampler is live
+      // from the first draw.
+      const bool feasible = nodes_ >= 2;
+      const bool en[AnnealTelemetry::kKinds] = {moves_.migrate, moves_.swap, moves_.reverse,
+                                                moves_.node_swap && feasible,
+                                                moves_.node_reverse && feasible};
+      int k = 0;
+      for (const bool e : en) k += e ? 1 : 0;
+      if (k > 0) {
+        for (int i = 0; i < AnnealTelemetry::kKinds; ++i) {
+          moves_.kind_weights[i] = en[i] ? 1.0 / k : 0.0;
+        }
+        sampler_ = MoveKindSampler(moves_, nodes_);
+      }
+    }
+    if (sampler_.active()) {
+      tune_kw_ = true;
+      calibrate_kind_costs();
+      const long w = std::max<long>(1, opt_.tune.weight_window);
+      next_tune_ = (iters_ / w + 1) * w;
+    }
+  }
+}
+
+void ResumableMappingAnneal::calibrate_kind_costs() {
+  // A fixed number of propose/rollback probes per weighted kind, drawn from
+  // a private derive_seed'd stream: deterministic, and the committed state
+  // and chain rng are bit-exactly untouched (the rollback contract).
+  common::Rng probe(derive_seed(opt_.seed, "kind-cost-probe"));
+  const int n = eval_.mapping().num_workers();
+  constexpr int kProbes = 8;
+  for (int k = 0; k < AnnealTelemetry::kKinds; ++k) {
+    if (moves_.kind_weights[k] <= 0.0) continue;
+    long dirt = 0;
+    for (int i = 0; i < kProbes; ++i) {
+      eval_.propose(draw_move_of_kind(k, probe, moves_, n, nodes_));
+      dirt += eval_.last_dirty().total();
+      eval_.rollback();
+    }
+    kind_cost_[k] = std::max(1.0, static_cast<double>(dirt) / kProbes);
+  }
+}
+
+void ResumableMappingAnneal::retune_weights() {
+  const long w = std::max<long>(1, opt_.tune.weight_window);
+  while (next_tune_ <= iters_) next_tune_ += w;
+  double reward[AnnealTelemetry::kKinds] = {};
+  double total = 0.0;
+  int active = 0;
+  for (int k = 0; k < AnnealTelemetry::kKinds; ++k) {
+    if (moves_.kind_weights[k] <= 0.0) continue;
+    ++active;
+    // Accepted improvement per dirtied entry, scale-free: the deterministic
+    // analogue of improvement-per-microsecond (see AutoTuneOptions).
+    reward[k] = win_improve_[k] / (initial_cost_ * kind_cost_[k]);
+    win_improve_[k] = 0.0;
+  }
+  for (const double r : reward) total += r;
+  if (total <= 0.0 || active == 0) return;  // flat window: keep the mix
+  const double floor = std::min(opt_.tune.weight_floor, 1.0 / (2.0 * active));
+  const double gain = std::min(1.0, std::max(0.0, opt_.tune.weight_gain));
+  double wsum = 0.0;
+  for (int k = 0; k < AnnealTelemetry::kKinds; ++k) {
+    if (moves_.kind_weights[k] > 0.0) wsum += moves_.kind_weights[k];
+  }
+  for (int k = 0; k < AnnealTelemetry::kKinds; ++k) {
+    if (moves_.kind_weights[k] <= 0.0) continue;
+    const double target = floor + (1.0 - active * floor) * (reward[k] / total);
+    moves_.kind_weights[k] = (1.0 - gain) * (moves_.kind_weights[k] / wsum) + gain * target;
+  }
+  sampler_ = MoveKindSampler(moves_, nodes_);
 }
 
 void ResumableMappingAnneal::enable_stopping(const StoppingOptions& sopt) {
@@ -410,6 +508,9 @@ void ResumableMappingAnneal::run_serial(long target_iters, const common::Stopwat
       telemetry_->add_dirty(eval_.last_dirty());
     }
     if (detail::metropolis_accept(c - cur_cost_, temp_, rng_)) {
+      if (tune_kw_ && c < cur_cost_) {
+        win_improve_[static_cast<int>(mv.kind)] += cur_cost_ - c;
+      }
       accept_pending(c);
       if (telemetry_) ++telemetry_->accepted[static_cast<int>(mv.kind)];
     } else {
@@ -422,6 +523,7 @@ void ResumableMappingAnneal::run_serial(long target_iters, const common::Stopwat
     }
     ++iters_;
     ++scored_;
+    if (tune_kw_ && iters_ >= next_tune_) retune_weights();
     if (iters_ >= next_obs_ && observe_boundaries()) break;
   }
 }
@@ -442,7 +544,7 @@ void ResumableMappingAnneal::run_batched(long target_iters, const common::Stopwa
       if (telemetry_ && iters_ != before) telemetry_->note_batch(1, 1);
       return;
     }
-    const int b = static_cast<int>(std::min<long>(opt_.batch, remaining));
+    const int b = static_cast<int>(std::min<long>(current_batch(), remaining));
     batch_mvs_.clear();
     for (int j = 0; j < b; ++j) {
       batch_mvs_.push_back(draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_, sampler));
@@ -468,6 +570,9 @@ void ResumableMappingAnneal::run_batched(long target_iters, const common::Stopwa
       const parallel::MappingMoveDesc& mv = batch_mvs_[static_cast<std::size_t>(accept_j)];
       const double c = eval_.propose(mv);  // re-apply the winner; bit-identical cost
       if (telemetry_) telemetry_->add_dirty(eval_.last_dirty());
+      if (tune_kw_ && c < cur_cost_) {
+        win_improve_[static_cast<int>(mv.kind)] += cur_cost_ - c;
+      }
       accept_pending(c);
       if (telemetry_) ++telemetry_->accepted[static_cast<int>(mv.kind)];
     }
@@ -478,8 +583,10 @@ void ResumableMappingAnneal::run_batched(long target_iters, const common::Stopwa
       telemetry_->rollbacks += decided - (accept_j >= 0 ? 1 : 0);
       telemetry_->note_batch(b, decided);
     }
+    if (tune_batch_) btuner_.note(b, decided);
     iters_ += decided;
     scored_ += b;
+    if (tune_kw_ && iters_ >= next_tune_) retune_weights();
     if (iters_ >= next_obs_ && observe_boundaries()) return;
   }
 }

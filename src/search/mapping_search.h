@@ -268,6 +268,14 @@ class ResumableMappingAnneal {
   /// paused. Never affects the trajectory.
   void set_telemetry(AnnealTelemetry* t) { telemetry_ = t; }
 
+  /// Batch size the next sweep will use: SaOptions::batch, or the
+  /// BatchTuner's current value when fill-driven tuning is armed
+  /// (opt.tune.batch_size with batch > 1).
+  int current_batch() const { return tune_batch_ ? btuner_.current() : opt_.batch; }
+  /// The live kind-weight vector (== the caller's MoveSet weights until the
+  /// bandit's first update; see SaOptions::tune.kind_weights).
+  const double* kind_weights() const { return moves_.kind_weights; }
+
   long total_iters() const { return iters_; }
   long accepted() const { return accepted_; }
   /// Proposals scored including discarded batch tails (== total_iters() for
@@ -290,6 +298,15 @@ class ResumableMappingAnneal {
   /// Feeds the stopper at every window boundary crossed up to iters_.
   /// Returns true once the chain stopped.
   bool observe_boundaries();
+  /// Measures the per-kind work proxy (mean dirtied entries per proposal)
+  /// with a private derive_seed'd rng and propose/rollback probes — the
+  /// chain's own stream and committed state are untouched.
+  void calibrate_kind_costs();
+  /// Bandit update at an absolute weight_window boundary: re-weights the
+  /// enabled kinds by accepted improvement per unit work (floored, EMA
+  /// blended) and rebuilds the alias sampler. Deterministic: pure function
+  /// of the window's chain-local counters.
+  void retune_weights();
 
   estimators::IncrementalLatencyEvaluator eval_;
   MoveSet moves_;
@@ -312,6 +329,16 @@ class ResumableMappingAnneal {
   AnnealTelemetry* telemetry_ = nullptr;
   HoeffdingStopper stopper_;
   long next_obs_ = std::numeric_limits<long>::max();
+  // Self-tuning state (SaOptions::tune): fill-driven batch sizing and the
+  // kind-weight bandit. All counters are chain-local and adapt at
+  // deterministic boundaries of this chain's trajectory.
+  int nodes_ = 1;
+  bool tune_batch_ = false;
+  BatchTuner btuner_;
+  bool tune_kw_ = false;
+  long next_tune_ = std::numeric_limits<long>::max();
+  double kind_cost_[AnnealTelemetry::kKinds] = {1, 1, 1, 1, 1};
+  double win_improve_[AnnealTelemetry::kKinds] = {};
 };
 
 }  // namespace pipette::search

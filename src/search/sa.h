@@ -3,6 +3,7 @@
 // alpha = 0.999, seeded and fully deterministic under an iteration cap.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <concepts>
 #include <cstdint>
@@ -19,6 +20,81 @@ namespace pipette::search {
 /// never on iteration order or rank, so serial and parallel schedules anneal
 /// every candidate identically and produce the same ranking.
 std::uint64_t derive_seed(std::uint64_t base, std::string_view key);
+
+/// Telemetry-driven self-tuning of the batched annealer (opt-in per field).
+/// Determinism rules, shared by both tuners: every adaptation is a pure
+/// function of chain-local counters and fires at deterministic iteration
+/// boundaries of the chain's own trajectory — never of wall time, thread
+/// schedule, or other chains — so tuned runs are bit-reproducible for a
+/// fixed seed on every executor and thread count. Tuning does change the
+/// trajectory relative to an untuned run (that is the point); it never makes
+/// the trajectory schedule-dependent.
+struct AutoTuneOptions {
+  /// Derive the per-chain batch size from the observed first-accept fill
+  /// distribution (the batch_fill_first_eighth_pct signal): when accepts
+  /// land in the first eighth of a batch most of the scored tail is
+  /// discarded, so the batch halves; when sweeps run nearly full (accepts
+  /// are rare) the shell amortizes, so it doubles. Adapted every
+  /// `batch_window` sweeps from the chain's own fill counters.
+  bool batch_size = false;
+  int batch_min = 4;
+  int batch_max = 256;
+  int batch_window = 16;  ///< sweeps per batch-size adaptation step
+  /// Auto-tune MoveSet::kind_weights from per-kind accepted-improvement-
+  /// per-unit-work telemetry via a deterministic bandit update (replaces the
+  /// hand-picked cheap_string_moves preset). The per-kind work denominator
+  /// is the dirtied-decomposition-entry count — the deterministic stand-in
+  /// for microseconds (evaluator time per proposal is proportional to the
+  /// entries it reprices; wall clocks are schedule-dependent and would break
+  /// reproducibility). Weights update at absolute decided-iteration
+  /// multiples of `weight_window` and keep an exploration floor per kind.
+  bool kind_weights = false;
+  long weight_window = 2048;   ///< decided iterations per bandit update
+  double weight_floor = 0.05;  ///< minimum share any enabled kind keeps
+  double weight_gain = 0.5;    ///< EMA blend toward the new window's estimate
+  bool any() const { return batch_size || kind_weights; }
+};
+
+/// Chain-local batch-size controller implementing AutoTuneOptions'
+/// fill-driven rule. Advances only on note() — a pure function of the
+/// chain's sweep history, so two runs with the same trajectory tune
+/// identically.
+class BatchTuner {
+ public:
+  BatchTuner() = default;
+  BatchTuner(const AutoTuneOptions& opt, int start) : opt_(opt) {
+    cur_ = start < opt_.batch_min ? opt_.batch_min : start;
+    cur_ = cur_ > opt_.batch_max ? opt_.batch_max : cur_;
+  }
+
+  /// Batch size the next sweep should use.
+  int current() const { return cur_; }
+
+  /// Records one completed sweep of size `b` with `decided` decisions.
+  void note(int b, int decided) {
+    sum_b_ += b;
+    sum_decided_ += decided;
+    if (++sweeps_ < opt_.batch_window) return;
+    // Mean decided fill <= 1/8 of the batch: the first eighth is deciding
+    // and the scored tail is mostly waste — halve. Mean fill >= 3/4:
+    // accepts are rare enough that a bigger sweep amortizes — double.
+    if (8 * sum_decided_ <= sum_b_) {
+      cur_ = std::max(opt_.batch_min, cur_ / 2);
+    } else if (4 * sum_decided_ >= 3 * sum_b_) {
+      cur_ = std::min(opt_.batch_max, cur_ * 2);
+    }
+    sweeps_ = 0;
+    sum_b_ = 0;
+    sum_decided_ = 0;
+  }
+
+ private:
+  AutoTuneOptions opt_;
+  int cur_ = 1;
+  int sweeps_ = 0;
+  long sum_b_ = 0;
+  long sum_decided_ = 0;
+};
 
 struct SaOptions {
   double time_limit_s = 10.0;  ///< paper: "10 seconds for the SA time limit"
@@ -46,6 +122,11 @@ struct SaOptions {
   /// At b = 1 the two phases collapse to draw-decide-draw-decide — the serial
   /// loop's exact rng stream and trajectory, bit for bit.
   int batch = 1;
+  /// Self-tuning of the batch size and move-kind weights (see
+  /// AutoTuneOptions). Honored by the mapping annealers (ResumableMappingAnneal
+  /// and optimize_mapping, which delegates to it when any tuner is armed);
+  /// the generic template ignores it. batch_size tuning requires batch > 1.
+  AutoTuneOptions tune;
 };
 
 struct SaResult {

@@ -3,6 +3,7 @@
 #include "core/baselines.h"
 #include "core/evaluation.h"
 #include "core/pipette_configurator.h"
+#include "engine/thread_pool.h"
 #include "model/gpt_zoo.h"
 
 using namespace pipette;
@@ -307,6 +308,96 @@ TEST(PipetteConfigurator, AdaptiveStoppingKeepsPlansIdenticalAndSavesIterations)
   }
   EXPECT_GT(total_saved, 0) << "no case converged early at window 128";
   EXPECT_GT(chains_stopped, 0);
+}
+
+TEST(PipetteConfigurator, StopperRedistributionKeepsPlansAndRegrantsIterations) {
+  // With redistribute on (the default), rung increments released by stopped
+  // chains are re-granted to still-running survivors instead of returned.
+  // Across the adaptive-stopping cases: the recommended plan must match the
+  // no-redistribution arm everywhere, at least one case must actually
+  // re-grant, the budget invariant spent <= granted must hold, and the
+  // accounting must surface in the explain report.
+  struct Case {
+    int nodes;
+    model::TransformerConfig cfg;
+    int global_batch;
+  };
+  const Case cases[] = {
+      {4, model::gpt_3_1b(), 512},
+      {2, model::gpt_774m(), 64},
+      {4, model::gpt_1_1b(), 128},
+      {2, model::gpt_3_1b(), 256},
+  };
+  long total_redistributed = 0;
+  for (const Case& c : cases) {
+    cluster::Topology topo(cluster::mid_range_cluster(c.nodes), cluster::HeterogeneityOptions{},
+                           2024);
+    const model::TrainingJob job{c.cfg, c.global_batch};
+    auto base = capped_pipette(true);
+    base.use_memory_filter = false;
+    base.sa_top_k = 0;
+    base.sa.max_iters = 4000;
+    base.sa_halving.enabled = true;
+    base.sa_halving.stopping.enabled = true;
+    base.sa_halving.stopping.window = 128;
+    auto plain = base;
+    plain.sa_halving.redistribute = false;
+
+    core::PipetteConfigurator with(base);
+    const auto rw = with.configure(topo, job);
+    core::PipetteConfigurator without(plain);
+    const auto ro = without.configure(topo, job);
+    ASSERT_TRUE(rw.found);
+    ASSERT_TRUE(ro.found);
+    EXPECT_EQ(rw.best, ro.best) << "redistribution changed the winner on " << c.nodes
+                                << " nodes, batch " << c.global_batch;
+    EXPECT_EQ(ro.sa_iters_redistributed, 0) << "disabled arm must not re-grant";
+    EXPECT_GE(rw.sa_iters_redistributed, 0);
+    EXPECT_LE(rw.sa_iters, rw.sa_iters_granted)
+        << "re-granted iterations must never exceed the granted pool";
+    EXPECT_GE(rw.sa_iters, ro.sa_iters)
+        << "survivors spending released budget cannot shrink total work";
+    if (rw.sa_iters_redistributed > 0) {
+      EXPECT_NE(rw.explain().find("\"sa_iters_redistributed\""), std::string::npos);
+    }
+    total_redistributed += rw.sa_iters_redistributed;
+  }
+  EXPECT_GT(total_redistributed, 0)
+      << "no case released budget to survivors at window 128";
+}
+
+TEST(PipetteConfigurator, RedistributionIsDeterministicAcrossThreadCounts) {
+  // The redistribution rule reallocates in canonical (candidate rank, chain
+  // index) order from deterministic stop decisions, so the whole race —
+  // plan, costs, and the re-grant accounting — must be schedule-independent.
+  cluster::Topology topo(cluster::mid_range_cluster(4), cluster::HeterogeneityOptions{}, 2024);
+  const model::TrainingJob job{model::gpt_1_1b(), 128};
+  auto opt = capped_pipette(true);
+  opt.use_memory_filter = false;
+  opt.sa_top_k = 0;
+  opt.sa.max_iters = 4000;
+  opt.sa_chains = 2;
+  opt.sa_halving.enabled = true;
+  opt.sa_halving.stopping.enabled = true;
+  opt.sa_halving.stopping.window = 128;
+
+  core::PipetteConfigurator serial(opt);
+  const auto ref = serial.configure(topo, job);
+  ASSERT_TRUE(ref.found);
+  for (int threads : {4, 16}) {
+    engine::ThreadPool pool(threads);
+    auto popt = opt;
+    popt.executor = &pool;
+    core::PipetteConfigurator ppt(popt);
+    const auto res = ppt.configure(topo, job);
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(res.best, ref.best) << threads << " threads";
+    EXPECT_EQ(res.predicted_s, ref.predicted_s) << threads << " threads";
+    EXPECT_EQ(res.sa_iters, ref.sa_iters) << threads << " threads";
+    EXPECT_EQ(res.sa_iters_redistributed, ref.sa_iters_redistributed)
+        << threads << " threads";
+    EXPECT_EQ(res.sa_chains_stopped, ref.sa_chains_stopped) << threads << " threads";
+  }
 }
 
 TEST(PipetteConfigurator, SuccessiveHalvingExploresFewerMovesThanLegacy) {

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "cluster/profiler.h"
+#include "common/simd.h"
 #include "core/pipette_configurator.h"
 #include "estimators/compute_profile.h"
 #include "estimators/incremental_latency.h"
@@ -278,6 +279,50 @@ TEST(IncrementalSa, IterationCappedRunsAreDeterministic) {
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
 }
+
+// The SIMD kernels (common/simd.h) substitute for the evaluator's scalar
+// folds under a bit-identity contract; racing whole SA trajectories with the
+// vector path on vs forced off must produce the same best cost, the same
+// mapping, and the same accept counts on every shape — any divergence in any
+// fold anywhere in the run would cascade into a different trajectory.
+class SimdTrajectory : public testing::TestWithParam<parallel::ParallelConfig> {};
+
+TEST_P(SimdTrajectory, OnOffTrajectoriesAreBitIdentical) {
+  const Fixture fx(GetParam(), 2);
+  const auto model = fx.model();
+  const int gpn = fx.topo.gpus_per_node();
+  search::SaOptions opt;
+  opt.max_iters = 2000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 17;
+
+  auto run = [&](parallel::Mapping& m) {
+    m = parallel::Mapping::megatron_default(fx.pc);
+    const auto res = search::optimize_mapping(m, model, gpn, opt);
+    return std::make_pair(res.best_cost, res.accepted);
+  };
+  ASSERT_TRUE(common::simd::enabled());
+  parallel::Mapping m_on = parallel::Mapping::megatron_default(fx.pc);
+  parallel::Mapping m_off = m_on;
+  const auto on = run(m_on);
+  common::simd::set_enabled(false);
+  const auto off = run(m_off);
+  common::simd::set_enabled(true);
+  EXPECT_EQ(on.first, off.first) << "best cost diverged";
+  EXPECT_EQ(on.second, off.second) << "accept stream diverged";
+  EXPECT_EQ(m_on.raw(), m_off.raw()) << "best mapping diverged";
+  // And the winning cost re-evaluates identically under the (always scalar)
+  // full model.
+  EXPECT_EQ(model.estimate(m_on), on.first);
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchShapes, SimdTrajectory,
+                         testing::Values(parallel::ParallelConfig{4, 2, 4},
+                                         parallel::ParallelConfig{2, 8, 2},
+                                         parallel::ParallelConfig{8, 1, 4},
+                                         parallel::ParallelConfig{4, 4, 2},
+                                         parallel::ParallelConfig{8, 2, 4},
+                                         parallel::ParallelConfig{4, 4, 4}));
 
 // Bit-identity must hold across the whole extended plan space, not just the
 // legacy 4-tuple: for interleaved, recompute, ZeRO-1, and combined plans the

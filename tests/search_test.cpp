@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "cluster/profiler.h"
@@ -691,4 +693,213 @@ TEST(ResumableAnneal, ArmedButUnstoppedChainIsBitIdenticalToUnarmed) {
   EXPECT_EQ(armed.accepted(), plain.accepted());
   EXPECT_EQ(armed.best_cost(), plain.best_cost());
   EXPECT_EQ(armed.best_mapping().raw(), plain.best_mapping().raw());
+}
+
+TEST(MoveWeights, AllZeroAfterMaskingDisabledKindsDeactivatesSampler) {
+  // Positive weights that all land on *disabled* kinds leave the alias table
+  // empty: the sampler must report inactive and the sampler-aware overload
+  // must fall back to the legacy retry stream bit for bit.
+  search::MoveSet moves;
+  moves.kind_weights[0] = 2.0;  // migrate weighted...
+  moves.kind_weights[2] = 1.0;  // ...and reverse weighted
+  moves.migrate = false;
+  moves.reverse = false;  // ...but both disabled
+  const search::MoveKindSampler sampler(moves, 4);
+  EXPECT_FALSE(sampler.active());
+
+  const parallel::ParallelConfig pc{4, 2, 4};
+  const parallel::Mapping m = parallel::Mapping::megatron_default(pc);
+  common::Rng legacy(31), via_sampler(31);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = search::draw_mapping_move(m, legacy, moves, 8);
+    const auto b = search::draw_mapping_move(m, via_sampler, moves, 8, &sampler);
+    ASSERT_EQ(a.kind, b.kind) << "draw " << i;
+    ASSERT_EQ(a.a, b.a) << "draw " << i;
+    ASSERT_EQ(a.b, b.b) << "draw " << i;
+  }
+  EXPECT_EQ(legacy.next_u64(), via_sampler.next_u64());
+}
+
+TEST(MoveWeights, SingleWeightedKindAlwaysDrawsIt) {
+  // A one-entry alias table degenerates to a constant: every draw returns
+  // the single surviving kind (still consuming the documented two rng draws).
+  search::MoveSet moves;
+  moves.kind_weights[1] = 0.125;  // swap only
+  const search::MoveKindSampler sampler(moves, 1);
+  ASSERT_TRUE(sampler.active());
+  common::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(sampler.draw(rng), 1) << "draw " << i;
+  }
+}
+
+TEST(MoveWeights, RebuildsAndRescalingDrawIdenticalStreams) {
+  // The bandit retunes by renormalizing and rebuilding the sampler many
+  // times; the alias construction must be scale-invariant (weights times any
+  // positive constant give the same table) and drift-free (rebuilding from
+  // the same weights gives the same draw stream every time).
+  search::MoveSet base = search::cheap_string_moves();
+  search::MoveSet scaled = base;
+  for (double& w : scaled.kind_weights) w *= 1737.5;
+  const search::MoveKindSampler a(base, 4);
+  const search::MoveKindSampler b(scaled, 4);
+  ASSERT_TRUE(a.active());
+  ASSERT_TRUE(b.active());
+  common::Rng ra(9), rb(9);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.draw(ra), b.draw(rb)) << "scaled table diverged at draw " << i;
+  }
+
+  common::Rng ref_rng(13), rebuilt_rng(13);
+  const search::MoveKindSampler ref(base, 4);
+  for (int round = 0; round < 100; ++round) {
+    const search::MoveKindSampler rebuilt(base, 4);  // fresh table each round
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_EQ(ref.draw(ref_rng), rebuilt.draw(rebuilt_rng))
+          << "rebuild " << round << " draw " << i;
+    }
+  }
+}
+
+TEST(BatchTuner, AdaptsAtWindowBoundariesAndClamps) {
+  search::AutoTuneOptions tune;
+  tune.batch_size = true;
+  tune.batch_min = 4;
+  tune.batch_max = 64;
+  tune.batch_window = 4;
+
+  // Sustained first-eighth fills (decided <= b/8) halve the batch at each
+  // window boundary until the floor.
+  search::BatchTuner shrink(tune, 32);
+  EXPECT_EQ(shrink.current(), 32);
+  for (int i = 0; i < 4; ++i) shrink.note(32, 1);
+  EXPECT_EQ(shrink.current(), 16);
+  for (int i = 0; i < 4; ++i) shrink.note(16, 1);
+  EXPECT_EQ(shrink.current(), 8);
+  for (int i = 0; i < 4; ++i) shrink.note(8, 1);
+  EXPECT_EQ(shrink.current(), 4);
+  for (int i = 0; i < 4; ++i) shrink.note(4, 1);
+  EXPECT_EQ(shrink.current(), 4) << "must clamp at batch_min";
+
+  // Sustained near-full consumption (decided >= 3b/4) doubles to the cap.
+  search::BatchTuner grow(tune, 8);
+  for (int i = 0; i < 4; ++i) grow.note(8, 8);
+  EXPECT_EQ(grow.current(), 16);
+  for (int i = 0; i < 4; ++i) grow.note(16, 16);
+  EXPECT_EQ(grow.current(), 32);
+  for (int i = 0; i < 4; ++i) grow.note(32, 32);
+  EXPECT_EQ(grow.current(), 64);
+  for (int i = 0; i < 4; ++i) grow.note(64, 64);
+  EXPECT_EQ(grow.current(), 64) << "must clamp at batch_max";
+
+  // Mid-range fills hold steady, and adaptation only happens at window
+  // boundaries (three sweeps of a four-sweep window change nothing).
+  search::BatchTuner hold(tune, 16);
+  for (int i = 0; i < 3; ++i) hold.note(16, 1);
+  EXPECT_EQ(hold.current(), 16) << "no mid-window adaptation";
+  hold.note(16, 8);  // window closes on a mixed profile: 11/64 fill, no move
+  EXPECT_EQ(hold.current(), 16);
+  // A start outside [min, max] is clamped on construction.
+  EXPECT_EQ(search::BatchTuner(tune, 1024).current(), 64);
+  EXPECT_EQ(search::BatchTuner(tune, 1).current(), 4);
+}
+
+TEST(AutoTune, TunedRunsAreDeterministicAndNeverWorseThanStart) {
+  // Both tuners armed: batch size from the fill distribution, kind weights
+  // from the accepted-improvement bandit. Two identical runs must agree bit
+  // for bit (all adaptation is a pure function of chain-local counters), and
+  // the tuned anneal must still be a genuine anneal.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 6000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 23;
+  opt.batch = 32;
+  opt.tune.batch_size = true;
+  opt.tune.kind_weights = true;
+  opt.tune.weight_window = 1024;
+  const search::MoveSet moves = search::cheap_string_moves();
+
+  auto run = [&](parallel::Mapping& m) {
+    m = parallel::Mapping::megatron_default(fx.plan.pc);
+    return search::optimize_mapping(m, fx.model, 8, opt, moves);
+  };
+  parallel::Mapping m1 = parallel::Mapping::megatron_default(fx.plan.pc);
+  parallel::Mapping m2 = m1;
+  const auto r1 = run(m1);
+  const auto r2 = run(m2);
+  EXPECT_EQ(r1.best_cost, r2.best_cost);
+  EXPECT_EQ(r1.iters, r2.iters);
+  EXPECT_EQ(r1.accepted, r2.accepted);
+  EXPECT_EQ(r1.scored, r2.scored);
+  EXPECT_EQ(m1.raw(), m2.raw());
+  EXPECT_EQ(r1.iters, opt.max_iters);
+  EXPECT_LE(r1.best_cost, r1.initial_cost);
+  EXPECT_DOUBLE_EQ(fx.model.estimate(m1), r1.best_cost);
+}
+
+TEST(AutoTune, KindWeightTuningArmsFromUnweightedMoveSets) {
+  // tune.kind_weights on a default (all-zero-weight) MoveSet seeds a uniform
+  // mix over the enabled feasible kinds and adapts from there — the caller
+  // does not need to pick a preset. The run stays deterministic and the live
+  // weights remain a positive, finite distribution after retuning.
+  const SearchFixture fx({2, 8, 2});
+  search::SaOptions opt;
+  opt.max_iters = 5000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 37;
+  opt.tune.kind_weights = true;
+  opt.tune.weight_window = 512;
+
+  auto chain = [&] {
+    auto c = std::make_unique<search::ResumableMappingAnneal>(
+        fx.model, parallel::Mapping::megatron_default(fx.plan.pc), 8, opt);
+    c->run_to(opt.max_iters);
+    return c;
+  };
+  const auto c1 = chain();
+  const auto c2 = chain();
+  EXPECT_EQ(c1->best_cost(), c2->best_cost());
+  EXPECT_EQ(c1->accepted(), c2->accepted());
+  EXPECT_EQ(c1->best_mapping().raw(), c2->best_mapping().raw());
+  double sum = 0.0;
+  for (int k = 0; k < search::AnnealTelemetry::kKinds; ++k) {
+    const double w = c1->kind_weights()[k];
+    EXPECT_GE(w, 0.0) << "kind " << k;
+    EXPECT_TRUE(std::isfinite(w)) << "kind " << k;
+    sum += w;
+  }
+  EXPECT_GT(sum, 0.0) << "tuned weights must stay a usable distribution";
+}
+
+TEST(AutoTune, MultichainTunedDeterministicAcrossThreadCounts) {
+  // The self-tuning path composes with sa_chains-style multichain annealing:
+  // all adaptation state is chain-local, so 1, 4, and 16 pool threads must
+  // reproduce the serial plans, costs, and counters exactly.
+  const SearchFixture fx({4, 2, 4});
+  search::SaOptions opt;
+  opt.max_iters = 3000;
+  opt.time_limit_s = std::numeric_limits<double>::infinity();
+  opt.seed = 19;
+  opt.batch = 16;
+  opt.tune.batch_size = true;
+  opt.tune.kind_weights = true;
+  opt.tune.weight_window = 512;
+  const search::MoveSet moves = search::cheap_string_moves();
+  const int chains = 4;
+
+  parallel::Mapping ref = parallel::Mapping::megatron_default(fx.plan.pc);
+  const auto res_ref =
+      search::optimize_mapping_multichain(ref, fx.model, 8, opt, {chains, nullptr}, moves);
+  for (int threads : {1, 4, 16}) {
+    engine::ThreadPool pool(threads);
+    parallel::Mapping m = parallel::Mapping::megatron_default(fx.plan.pc);
+    const auto res =
+        search::optimize_mapping_multichain(m, fx.model, 8, opt, {chains, &pool}, moves);
+    EXPECT_EQ(res.best_cost, res_ref.best_cost) << threads << " threads";
+    EXPECT_EQ(res.iters, res_ref.iters) << threads << " threads";
+    EXPECT_EQ(res.accepted, res_ref.accepted) << threads << " threads";
+    EXPECT_EQ(res.scored, res_ref.scored) << threads << " threads";
+    EXPECT_EQ(m.raw(), ref.raw()) << threads << " threads";
+  }
 }
