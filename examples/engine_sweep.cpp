@@ -11,8 +11,15 @@
 // the service's Prometheus exposition, and --explain prints the winning
 // request's structured report.
 //
+// --faults <seed> arms the deterministic chaos schedule (engine/faults.h):
+// one seed-derived fault is injected into every profiling run and the sweep
+// reports each request's typed outcome and plan health. --deadline-ms gives
+// every request a wall-clock budget; overruns return the best-so-far plan
+// with deadline_exceeded set instead of running long.
+//
 // Run:  ./engine_sweep [--nodes 2] [--threads N] [--model gpt-774m]
 //                      [--trace sweep_trace.json] [--metrics] [--explain]
+//                      [--faults SEED] [--deadline-ms MS]
 #include <iostream>
 
 #include "common/cli.h"
@@ -31,6 +38,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get_string("trace", "");
   const bool print_metrics = cli.get_bool("metrics", false);
   const bool print_explain = cli.get_bool("explain", false);
+  const std::uint64_t faults_seed = static_cast<std::uint64_t>(cli.get_int("faults", 0));
+  const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const bool robust = faults_seed != 0 || deadline_ms > 0.0;
 
   cluster::Topology topo(cluster::mid_range_cluster(nodes), cluster::HeterogeneityOptions{},
                          /*seed=*/42);
@@ -54,6 +64,11 @@ int main(int argc, char** argv) {
   so.pipette.memory_training.profile_global_batches = {128};
   so.pipette.memory_training.soft_margin = 0.2;
   if (!trace_path.empty()) so.trace = &trace;
+  if (faults_seed != 0) {
+    so.faults.enabled = true;
+    so.faults.seed = faults_seed;
+  }
+  if (deadline_ms > 0.0) so.request_defaults.deadline_s = deadline_ms / 1000.0;
   engine::ConfigService service(so);
 
   std::vector<model::TrainingJob> jobs;
@@ -62,7 +77,23 @@ int main(int argc, char** argv) {
   std::cout << "Sweeping " << model_cfg.name << " over " << jobs.size()
             << " global batch sizes on " << topo.num_gpus() << " GPUs ("
             << service.pool().num_threads() << " engine threads)\n\n";
-  const auto results = service.sweep(topo, jobs);
+  std::vector<engine::ServiceResult> outcomes;
+  std::vector<core::ConfiguratorResult> results;
+  if (robust) {
+    if (faults_seed != 0) {
+      std::cout << "chaos schedule: seed " << faults_seed << " -> "
+                << engine::to_string(service.fault_injector()->kind()) << "\n";
+    }
+    if (deadline_ms > 0.0) {
+      std::cout << "per-request deadline: " << common::fmt_fixed(deadline_ms, 1) << " ms\n";
+    }
+    std::cout << "\n";
+    outcomes = service.sweep_requests(topo, jobs, so.request_defaults);
+    results.reserve(outcomes.size());
+    for (const auto& sr : outcomes) results.push_back(sr.result);
+  } else {
+    results = service.sweep(topo, jobs);
+  }
 
   common::Table t({"global batch", "recommended", "predicted s/iter", "candidates", "oom-rejected"});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -79,6 +110,23 @@ int main(int argc, char** argv) {
   std::cout << "\ncluster cache: " << stats.lookups << " lookups, " << stats.hits
             << " hits — profiled " << stats.profiles_run << "x, trained estimator "
             << stats.trainings_run << "x for the whole study\n";
+
+  if (robust) {
+    common::Table h({"global batch", "status", "retries", "repaired", "quarantined",
+                     "deadline overrun ms"});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto& sr = outcomes[i];
+      const auto& ph = sr.result.health;
+      h.add_row({std::to_string(jobs[i].global_batch), engine::to_string(sr.status),
+                 std::to_string(ph.profile_retries), std::to_string(ph.repaired_readings),
+                 std::to_string(ph.quarantined_nodes.size()),
+                 ph.deadline_exceeded || ph.overrun_s > 0.0
+                     ? common::fmt_fixed(ph.overrun_s * 1000.0, 1)
+                     : "-"});
+    }
+    std::cout << "\nplan health:\n";
+    h.print(std::cout);
+  }
 
   const auto snap = service.metrics().snapshot();
   std::cout << "engine: " << snap.counter("pipette.requests") << " requests, "

@@ -1,5 +1,7 @@
 #include "cluster/profiler.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
 
 namespace pipette::cluster {
@@ -7,6 +9,9 @@ namespace pipette::cluster {
 using common::Rng;
 
 ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt) {
+  ProfileFaultHook* faults = opt.faults;
+  if (faults != nullptr) faults->on_profile_start();
+
   ProfileResult out;
   out.bw = BandwidthMatrix(topo.num_gpus());
   Rng rng(opt.seed);
@@ -15,17 +20,31 @@ ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt) {
   const int gpn = topo.gpus_per_node();
   out.wall_time_s += opt.per_node_init_s * nn;
 
+  // Multiplicative Gaussian noise can in principle draw below -1 and flip a
+  // measurement non-positive; a real benchmark never reports <= 0 bytes/s, so
+  // clamp each reading at a tiny fraction of truth. At the default sigma the
+  // clamp is ~50 standard deviations out — existing noise streams are
+  // untouched bit for bit.
+  auto noisy = [&](double truth) {
+    const double measured = truth * (1.0 + rng.normal(0.0, opt.noise_sigma));
+    return std::max(measured, 1e-6 * truth);
+  };
+
   // Inter-node: probe each ordered node pair through its lead GPUs, average
   // `rounds` noisy measurements, and assign the result to every GPU pair that
-  // crosses those nodes (node-to-node resolution, like mpiGraph).
+  // crosses those nodes (node-to-node resolution, like mpiGraph). Pairs the
+  // fault hook drops are skipped entirely — no rng draws, no wall time — and
+  // their blocks keep the unmeasured default for the sanitizer to repair.
   for (int n1 = 0; n1 < nn; ++n1) {
     for (int n2 = 0; n2 < nn; ++n2) {
       if (n1 == n2) continue;
+      if (faults != nullptr && faults->drop_inter(nn, n1, n2)) continue;
       const int g1 = n1 * gpn, g2 = n2 * gpn;
       const double truth = topo.bandwidth(g1, g2);
       double acc = 0.0;
       for (int r = 0; r < opt.rounds; ++r) {
-        const double measured = truth * (1.0 + rng.normal(0.0, opt.noise_sigma));
+        double measured = noisy(truth);
+        if (faults != nullptr) measured = faults->corrupt_inter(nn, n1, n2, measured);
         acc += measured;
         out.wall_time_s += opt.message_bytes / truth + opt.per_measurement_setup_s;
         ++out.num_measurements;
@@ -51,7 +70,9 @@ ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt) {
         const double truth = topo.bandwidth(g1, g2);
         double acc = 0.0;
         for (int r = 0; r < opt.rounds; ++r) {
-          acc += truth * (1.0 + rng.normal(0.0, opt.noise_sigma));
+          double measured = noisy(truth);
+          if (faults != nullptr) measured = faults->corrupt_intra(n, a, b, measured);
+          acc += measured;
           if (n == 0) intra_wall += opt.message_bytes / truth + opt.per_measurement_setup_s;
           ++out.num_measurements;
         }
@@ -60,6 +81,12 @@ ProfileResult profile_network(const Topology& topo, const ProfileOptions& opt) {
     }
   }
   out.wall_time_s += intra_wall;
+
+  if (faults != nullptr) out.wall_time_s *= faults->wall_time_factor();
+
+  // Whatever the fabric or the fault hook did, hand downstream a matrix of
+  // finite positive bandwidths. No-op (and no report entries) when clean.
+  out.sanitize = sanitize_bandwidth(out.bw, nn, gpn);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "core/configurator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "obs/json.h"
@@ -125,6 +126,38 @@ std::string ConfiguratorResult::explain(int runner_ups) const {
   w.value(sa_batch);
   w.key("warm_started");
   w.value(warm_started);
+  w.end_object();
+
+  w.key("health");
+  w.begin_object();
+  w.key("degraded");
+  w.value(health.degraded());
+  w.key("confidence");
+  w.value(health.confidence);
+  w.key("repaired_readings");
+  w.value(health.repaired_readings);
+  w.key("imputed_symmetric");
+  w.value(health.imputed_symmetric);
+  w.key("imputed_neighbor");
+  w.value(health.imputed_neighbor);
+  w.key("imputed_floor");
+  w.value(health.imputed_floor);
+  w.key("quarantined_nodes");
+  w.begin_array();
+  for (const int n : health.quarantined_nodes) w.value(n);
+  w.end_array();
+  w.key("degraded_links_used");
+  w.value(health.degraded_links_used);
+  w.key("profile_retries");
+  w.value(health.profile_retries);
+  w.key("deadline_exceeded");
+  w.value(health.deadline_exceeded);
+  if (std::isfinite(health.deadline_s)) {
+    w.key("deadline_s");
+    w.value(health.deadline_s);
+    w.key("overrun_s");
+    w.value(health.overrun_s);
+  }
   w.end_object();
 
   w.key("provenance");

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +37,39 @@ struct RankedChoice {
 enum class Placement { kMegatron, kVaruna };
 
 parallel::Mapping default_mapping(Placement placement, const parallel::ParallelConfig& pc);
+
+/// How much the recommendation should be trusted: the structured health
+/// report that rides every result instead of an exception. A clean request
+/// has confidence 1.0, no repairs, no quarantines, and no deadline overrun;
+/// anything else is a best-effort plan with its degradation spelled out.
+struct PlanHealth {
+  // Bandwidth-snapshot provenance (from cluster::SanitizeReport).
+  int repaired_readings = 0;  ///< profile readings the sanitizer repaired
+  int imputed_symmetric = 0;  ///< ... from the reverse-direction reading
+  int imputed_neighbor = 0;   ///< ... from a healthy-reading median
+  int imputed_floor = 0;      ///< ... pinned to the pessimistic floor
+  std::vector<int> quarantined_nodes;  ///< nodes with no healthy inter link
+  /// Communication edges of the *winning* mapping (tp group pairs, dp ring
+  /// hops, pipeline hops) that cross a repaired or quarantined node pair:
+  /// the plan is standing on imputed numbers. 0 when the plan routes around
+  /// every repair.
+  int degraded_links_used = 0;
+  /// 1.0 minus the repaired fraction of profile readings: a scalar summary
+  /// of how much of the snapshot is measurement rather than imputation.
+  double confidence = 1.0;
+  /// Transient profiling failures retried before the snapshot was taken.
+  int profile_retries = 0;
+
+  // Deadline accounting (set by the service / configurator when armed).
+  bool deadline_exceeded = false;  ///< best-so-far returned, search truncated
+  double deadline_s = std::numeric_limits<double>::infinity();
+  double overrun_s = 0.0;  ///< how far past the deadline the request finished
+
+  bool degraded() const {
+    return repaired_readings > 0 || !quarantined_nodes.empty() || deadline_exceeded ||
+           profile_retries > 0;
+  }
+};
 
 struct ConfiguratorResult {
   std::string method;
@@ -83,6 +117,10 @@ struct ConfiguratorResult {
   int sa_chains_stopped = 0; ///< chains terminated by the Hoeffding stopper
   int sa_batch = 1;          ///< proposal batch size the SA phase ran with
   bool warm_started = false; ///< produced by reconfigure() reusing a prior result
+
+  /// Degradation provenance: what was repaired, quarantined, retried, or
+  /// truncated to produce this plan. health.degraded() false on clean runs.
+  PlanHealth health;
 
   // Artifact provenance when served through the engine's ClusterCache: which
   // per-cluster artifacts this request reused rather than built.

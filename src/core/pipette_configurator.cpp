@@ -1,6 +1,7 @@
 #include "core/pipette_configurator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -13,6 +14,7 @@
 #include "estimators/latency_models.h"
 #include "model/gpt_zoo.h"
 #include "obs/json.h"
+#include "parallel/groups.h"
 
 namespace pipette::core {
 
@@ -61,6 +63,71 @@ void flush_request_metrics(obs::Registry* reg, const ConfiguratorResult& res,
   reg->counter("pipette.sa.dirty.terms").add(telem.dirty.terms);
   reg->histogram("pipette.configure.wall_s", obs::Registry::latency_bounds_s())
       .observe(res.config_wall_s());
+  // Degradation and deadline accounting: registered only when something
+  // actually degraded, so clean fleets keep a clean exposition.
+  if (res.health.repaired_readings != 0) {
+    reg->counter("pipette.faults.repaired_readings").add(res.health.repaired_readings);
+  }
+  if (!res.health.quarantined_nodes.empty()) {
+    reg->counter("pipette.faults.quarantined_nodes")
+        .add(static_cast<long>(res.health.quarantined_nodes.size()));
+  }
+  if (res.health.degraded_links_used != 0) {
+    reg->counter("pipette.faults.degraded_links_used").add(res.health.degraded_links_used);
+  }
+  if (res.health.degraded()) reg->counter("pipette.faults.degraded_requests").inc();
+  if (res.health.deadline_exceeded) reg->counter("pipette.deadline.sa_truncated").inc();
+}
+
+/// Counts the winning mapping's communication edges — all ordered pairs of
+/// every tp group, the dp rings' hops, and the pipeline paths' hops — that
+/// cross a node pair whose bandwidth reading the sanitizer repaired (or that
+/// touch a quarantined node): the part of the plan standing on imputed
+/// numbers rather than measurements.
+int count_degraded_links(const parallel::Mapping& m, int gpus_per_node,
+                         const cluster::SanitizeReport& rep) {
+  if (rep.clean()) return 0;
+  const auto& pc = m.config();
+  auto node_of = [gpus_per_node](int g) { return g / gpus_per_node; };
+  auto bad_pair = [&](int g1, int g2) {
+    const int n1 = node_of(g1), n2 = node_of(g2);
+    if (n1 == n2 && g1 == g2) return false;
+    for (const auto& [a, b] : rep.repaired_node_pairs) {
+      if (a == n1 && b == n2) return true;
+    }
+    for (const int q : rep.quarantined_nodes) {
+      if ((n1 == q || n2 == q) && n1 != n2) return true;
+    }
+    return false;
+  };
+  int degraded = 0;
+  auto count_pairs = [&](const std::vector<int>& gpus) {
+    for (const int g1 : gpus) {
+      for (const int g2 : gpus) {
+        if (g1 != g2 && bad_pair(g1, g2)) ++degraded;
+      }
+    }
+  };
+  auto count_ring = [&](const std::vector<int>& gpus) {
+    if (gpus.size() < 2) return;
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const int g1 = gpus[i], g2 = gpus[(i + 1) % gpus.size()];
+      if (bad_pair(g1, g2)) ++degraded;
+    }
+  };
+  auto count_path = [&](const std::vector<int>& gpus) {
+    for (std::size_t i = 0; i + 1 < gpus.size(); ++i) {
+      if (bad_pair(gpus[i], gpus[i + 1])) ++degraded;
+    }
+  };
+  for (int s = 0; s < pc.pp; ++s) {
+    for (int d = 0; d < pc.dp; ++d) count_pairs(parallel::tp_group_gpus(m, s, d));
+    for (int t = 0; t < pc.tp; ++t) count_ring(parallel::dp_group_gpus(m, s, t));
+  }
+  for (int t = 0; t < pc.tp; ++t) {
+    for (int d = 0; d < pc.dp; ++d) count_path(parallel::pipeline_path_gpus(m, t, d));
+  }
+  return degraded;
 }
 }  // namespace
 
@@ -114,6 +181,12 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
   res.method = name();
   res.topo_fingerprint = topo.fingerprint();
   res.job_digest = model::job_digest(job);
+  // The request's deadline clock starts at entry. Profiling, filtering, and
+  // scoring always run — a valid plan needs them — so the deadline's teeth
+  // are in the SA phase, which is anytime (best-so-far at any cut).
+  const common::Stopwatch req_watch;
+  const bool deadlined = std::isfinite(opt_.deadline_s);
+  auto past_deadline = [&] { return deadlined && req_watch.seconds() >= opt_.deadline_s; };
   obs::TraceSink* const sink = opt_.trace_sink;
   search::AnnealTelemetry telem;
   // Annealers only pay the per-proposal telemetry increments when somebody
@@ -131,6 +204,29 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     profiled = std::make_shared<const cluster::ProfileResult>(
         cluster::profile_network(topo, opt_.profile));
     res.profile_wall_s = profiled->wall_time_s;
+  }
+  // Snapshot provenance: how much of the matrix is measurement vs repair.
+  // Applies to cached snapshots too — a degraded profile stays degraded for
+  // every request it serves.
+  const cluster::SanitizeReport& san = profiled->sanitize;
+  res.health.repaired_readings = san.repaired_readings();
+  res.health.imputed_symmetric = san.imputed_symmetric;
+  res.health.imputed_neighbor = san.imputed_neighbor;
+  res.health.imputed_floor = san.imputed_floor;
+  res.health.quarantined_nodes = san.quarantined_nodes;
+  if (san.total_readings > 0) {
+    res.health.confidence =
+        1.0 - static_cast<double>(san.repaired_readings()) / san.total_readings;
+  }
+  if (sink && !san.clean()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("repaired_readings");
+    w.value(san.repaired_readings());
+    w.key("quarantined_nodes");
+    w.value(static_cast<long>(san.quarantined_nodes.size()));
+    w.end_object();
+    sink->instant("profile.degraded", w.str());
   }
 
   // One-time memory estimator (trained from small-scale profiling runs). A
@@ -453,7 +549,12 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
   res.predicted_s = scored.front().default_cost;
   res.mapping = parallel::Mapping::megatron_default(scored.front().cand.pc);
 
-  if (opt_.use_worker_dedication) {
+  if (opt_.use_worker_dedication && past_deadline()) {
+    // The earlier phases consumed the whole budget: the default-placement
+    // ranking above is the best-so-far answer. Skip SA, flag the truncation.
+    res.health.deadline_exceeded = true;
+    if (sink) sink->instant("deadline.sa_skipped");
+  } else if (opt_.use_worker_dedication) {
     if (sink) {
       obs::JsonWriter w;
       w.begin_object();
@@ -515,6 +616,10 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           if (opt_.sa_halving.stopping.enabled) {
             race.sa_chains.back()->enable_stopping(opt_.sa_halving.stopping);
           }
+          // Shared absolute deadline across every chain of the request: N
+          // chains on fewer threads still collectively stop on time, each
+          // keeping its best-so-far (the anytime contract).
+          if (deadlined) race.sa_chains.back()->set_deadline(&req_watch, opt_.deadline_s);
           if (telem_ptr) {
             race.sa_chains.back()->set_telemetry(&race.telems[static_cast<std::size_t>(c)]);
           }
@@ -560,6 +665,12 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       long prev_target = 0;
       int prev_stopped = 0;
       for (int r = 0; r < rungs; ++r) {
+        // Between rungs is the cheap place to stop starting work; chains
+        // already running cut themselves off via their armed deadline.
+        if (past_deadline()) {
+          res.health.deadline_exceeded = true;
+          break;
+        }
         // rung0 << r clamped to full, shift-before-compare so a user-set
         // rung0_iters can never signed-overflow: the cap doubles per rung
         // and the final rung always lands exactly on the full budget.
@@ -688,6 +799,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
           res.sa_iters += chain->total_iters();
           res.search_cpu_s += chain->wall_s();
           if (chain->stopped()) ++res.sa_chains_stopped;
+          if (chain->deadline_tripped()) res.health.deadline_exceeded = true;
         }
         for (const auto& t : race.telems) telem.merge(t);
       }
@@ -731,6 +843,13 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         estimators::PipetteLatencyModel model(job, s.cand, *s.profile, &profiled->bw, links);
         auto mapping = parallel::Mapping::megatron_default(s.cand.pc);
         search::SaOptions sa = chain_opts(s.cand, 0);
+        // The legacy loop has no resumable chains to arm, so the deadline
+        // lands as a per-candidate wall-clock clamp on the budget that
+        // remains when this candidate dispatches.
+        if (deadlined) {
+          sa.time_limit_s =
+              std::min(sa.time_limit_s, std::max(0.0, opt_.deadline_s - req_watch.seconds()));
+        }
         const auto sa_res = search::optimize_mapping_multichain(
             mapping, model, gpn, sa, {opt_.sa_chains, opt_.executor}, opt_.moves,
             telem_ptr ? &slot.telem : nullptr);
@@ -756,6 +875,7 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
         res.predicted_s = sa_slots[best_i].best_cost;
         res.mapping = std::move(*sa_slots[best_i].mapping);
       }
+      if (past_deadline()) res.health.deadline_exceeded = true;
     }
 
     // Elastic warm start: continue annealing the dedicated winner from the
@@ -764,7 +884,9 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     // the cold-path mapping, so an unchanged search space reproduces the
     // cold result while a genuine resize starts from the surviving structure
     // instead of from scratch.
-    if (warm && warm->mapping) {
+    if (warm && warm->mapping && past_deadline()) {
+      res.health.deadline_exceeded = true;  // no budget left for the warm pass
+    } else if (warm && warm->mapping) {
       obs::Span span(sink, "sa.warm_start");
       const Scored& s = scored[winner];
       parallel::Mapping warm_m = parallel::project_mapping(*warm->mapping, s.cand.pc);
@@ -772,6 +894,10 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
       search::SaOptions wopt = opt_.sa;
       wopt.seed =
           search::derive_seed(search::derive_seed(opt_.sa.seed, s.cand.str()), "warm-start");
+      if (deadlined) {
+        wopt.time_limit_s =
+            std::min(wopt.time_limit_s, std::max(0.0, opt_.deadline_s - req_watch.seconds()));
+      }
       const auto wres =
           search::optimize_mapping(warm_m, model, gpn, wopt, opt_.moves, telem_ptr);
       res.sa_iters += wres.iters;
@@ -789,6 +915,15 @@ ConfiguratorResult PipetteConfigurator::configure_impl(const cluster::Topology& 
     promote_winner(res.ranking, res.best, res.predicted_s);
     res.search_wall_s = t_sa.seconds();
     if (sink) sink->end_span("phase.sa");
+  }
+  if (res.mapping) {
+    res.health.degraded_links_used =
+        count_degraded_links(*res.mapping, topo.gpus_per_node(), san);
+  }
+  if (deadlined) {
+    res.health.deadline_s = opt_.deadline_s;
+    res.health.overrun_s = std::max(0.0, req_watch.seconds() - opt_.deadline_s);
+    if (sink && res.health.deadline_exceeded) sink->instant("deadline.exceeded");
   }
   flush_request_metrics(opt_.metrics, res, telem);
   return res;

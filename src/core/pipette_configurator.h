@@ -141,6 +141,17 @@ struct PipetteOptions {
   /// Null disables metrics at the same one-branch cost; determinism holds
   /// either way (the telemetry tests race on/off at 1/4/16 threads).
   obs::Registry* metrics = nullptr;
+  /// Per-request wall-clock budget in seconds, measured from configure()
+  /// entry. The profiling, filtering, and scoring phases always run (a valid
+  /// plan needs them); the SA phase is the anytime part — chains are armed
+  /// with a shared absolute deadline (search::ResumableMappingAnneal::
+  /// set_deadline) and the rung loop stops starting work once past it, so
+  /// the request returns its best-so-far mapping with
+  /// PlanHealth::deadline_exceeded set instead of running over. Infinite
+  /// (the default) never checks a clock and is bit-identical to the
+  /// pre-deadline behaviour; a finite deadline that does not trip leaves
+  /// the recommendation bit-exact too (checks never touch seeds or costs).
+  double deadline_s = std::numeric_limits<double>::infinity();
 };
 
 class PipetteConfigurator final : public Configurator {

@@ -15,6 +15,10 @@ std::uint64_t hash_profile_options(std::uint64_t h, const cluster::ProfileOption
   h = hash_combine(h, o.per_node_init_s);
   h = hash_combine(h, o.noise_sigma);
   h = hash_combine(h, o.seed);
+  // A fault schedule changes the measured matrix; snapshots taken under
+  // different schedules (or none) must not alias. The hook's own fingerprint
+  // is hashed, never its address.
+  h = hash_combine(h, o.faults != nullptr ? o.faults->fingerprint() : std::uint64_t{0});
   return h;
 }
 

@@ -1,5 +1,11 @@
 #include "engine/config_service.h"
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/hashing.h"
+#include "common/rng.h"
 #include "obs/json.h"
 
 namespace pipette::engine {
@@ -11,44 +17,181 @@ ClusterCacheOptions with_metrics(ClusterCacheOptions cache, obs::Registry* metri
   return cache;
 }
 
+/// Decrements the pending count when a request finishes, however it exits.
+struct PendingGuard {
+  std::atomic<int>* pending;
+  obs::Registry* metrics;
+  ~PendingGuard() {
+    const int now = pending->fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (metrics != nullptr) metrics->gauge("pipette.service.pending").set(now);
+  }
+};
+
 }  // namespace
+
+const char* to_string(ServiceStatus s) {
+  switch (s) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kNoFeasiblePlan: return "no_feasible_plan";
+    case ServiceStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ServiceStatus::kProfileFailed: return "profile_failed";
+    case ServiceStatus::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
 
 ConfigService::ConfigService(ConfigServiceOptions opt)
     : opt_(std::move(opt)),
       owned_metrics_(opt_.metrics ? nullptr : std::make_unique<obs::Registry>()),
       metrics_(opt_.metrics ? opt_.metrics : owned_metrics_.get()),
       cache_(with_metrics(opt_.cache, metrics_)),
-      pool_(opt_.threads, metrics_) {}
+      pool_(opt_.threads, metrics_) {
+  if (opt_.faults.enabled) {
+    FaultOptions fo = opt_.faults;
+    fo.metrics = metrics_;
+    faults_ = std::make_unique<FaultInjector>(fo);
+    // Every profiling run — and every profile cache key, via the hook's
+    // fingerprint — now sees the schedule.
+    opt_.pipette.profile.faults = faults_.get();
+  }
+}
 
 std::future<core::ConfiguratorResult> ConfigService::submit(cluster::Topology topo,
                                                             model::TrainingJob job) {
-  return pool_.submit([this, topo = std::move(topo), job = std::move(job)] {
-    return configure_one(topo, job, nullptr);
+  const common::Stopwatch admitted;
+  return pool_.submit([this, topo = std::move(topo), job = std::move(job), admitted] {
+    return configure_one(topo, job, nullptr, opt_.request_defaults, admitted);
   });
 }
 
 std::future<core::ConfiguratorResult> ConfigService::reconfigure(
     cluster::Topology topo, model::TrainingJob job, core::ConfiguratorResult previous) {
-  return pool_.submit(
-      [this, topo = std::move(topo), job = std::move(job), previous = std::move(previous)] {
-        return configure_one(topo, job, &previous);
-      });
+  const common::Stopwatch admitted;
+  return pool_.submit([this, topo = std::move(topo), job = std::move(job),
+                       previous = std::move(previous), admitted] {
+    return configure_one(topo, job, &previous, opt_.request_defaults, admitted);
+  });
 }
 
-std::vector<core::ConfiguratorResult> ConfigService::sweep(
-    const cluster::Topology& topo, const std::vector<model::TrainingJob>& jobs) {
-  std::vector<std::future<core::ConfiguratorResult>> futs;
+std::future<ServiceResult> ConfigService::submit_request(cluster::Topology topo,
+                                                         model::TrainingJob job,
+                                                         RequestOptions ro) {
+  // Bounded admission: CAS so concurrent submitters can never overshoot the
+  // bound. A rejection is an already-resolved future — typed backpressure,
+  // not an exception, and no task ever enters the pool.
+  int cur = pending_.load(std::memory_order_relaxed);
+  do {
+    if (opt_.max_pending > 0 && cur >= opt_.max_pending) {
+      metrics_->counter("pipette.service.rejected_queue_full").inc();
+      if (opt_.trace) opt_.trace->instant("request.rejected");
+      ServiceResult sr;
+      sr.status = ServiceStatus::kRejectedQueueFull;
+      sr.error = "admission queue full (" + std::to_string(cur) + "/" +
+                 std::to_string(opt_.max_pending) + " pending)";
+      std::promise<ServiceResult> p;
+      p.set_value(std::move(sr));
+      return p.get_future();
+    }
+  } while (!pending_.compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed));
+  metrics_->gauge("pipette.service.pending").set(cur + 1);
+
+  const common::Stopwatch admitted;
+  return pool_.submit([this, topo = std::move(topo), job = std::move(job), ro, admitted] {
+    const PendingGuard guard{&pending_, metrics_};
+    return serve_one(topo, job, ro, admitted);
+  });
+}
+
+std::future<ServiceResult> ConfigService::submit_request(cluster::Topology topo,
+                                                         model::TrainingJob job) {
+  return submit_request(std::move(topo), std::move(job), opt_.request_defaults);
+}
+
+std::vector<ServiceResult> ConfigService::sweep_requests(
+    const cluster::Topology& topo, const std::vector<model::TrainingJob>& jobs,
+    RequestOptions ro) {
+  std::vector<std::future<ServiceResult>> futs;
   futs.reserve(jobs.size());
-  for (const auto& job : jobs) futs.push_back(submit(topo, job));
-  std::vector<core::ConfiguratorResult> out;
+  for (const auto& job : jobs) futs.push_back(submit_request(topo, job, ro));
+  std::vector<ServiceResult> out;
   out.reserve(futs.size());
   for (auto& f : futs) out.push_back(f.get());
   return out;
 }
 
+std::vector<core::ConfiguratorResult> ConfigService::sweep(
+    const cluster::Topology& topo, const std::vector<model::TrainingJob>& jobs) {
+  // One throwing job used to abort the whole sweep at future::get(); the
+  // typed surface contains each job's outcome, so the survivors always
+  // return. Failed jobs yield found == false with the status in explain()'s
+  // place (the error string is not lost — sweep_requests exposes it).
+  std::vector<core::ConfiguratorResult> out;
+  out.reserve(jobs.size());
+  for (ServiceResult& sr : sweep_requests(topo, jobs, opt_.request_defaults)) {
+    if (!sr.ok()) sr.result.found = false;
+    out.push_back(std::move(sr.result));
+  }
+  return out;
+}
+
+ServiceResult ConfigService::serve_one(const cluster::Topology& topo,
+                                       const model::TrainingJob& job, const RequestOptions& ro,
+                                       const common::Stopwatch& admitted) {
+  ServiceResult sr;
+  try {
+    sr.result = configure_one(topo, job, nullptr, ro, admitted);
+    if (!sr.result.found) {
+      sr.status = ServiceStatus::kNoFeasiblePlan;
+      sr.error = "no candidate plan fits the cluster";
+    }
+  } catch (const cluster::ProfileTransientError& e) {
+    sr.status = ServiceStatus::kProfileFailed;
+    sr.error = e.what();
+    metrics_->counter("pipette.service.profile_failed").inc();
+  } catch (const std::exception& e) {
+    sr.status = ServiceStatus::kInternalError;
+    sr.error = e.what();
+    metrics_->counter("pipette.service.internal_error").inc();
+  }
+  return sr;
+}
+
+ClusterCache::Entry ConfigService::artifacts_with_retry(const cluster::Topology& topo,
+                                                        const model::TrainingJob& job,
+                                                        const RequestOptions& ro,
+                                                        const common::Stopwatch& admitted,
+                                                        int* retries) {
+  // Jitter stream derived from the profile seed and the job: deterministic
+  // per request, decorrelated across a sweep (no retry thundering herd).
+  common::Rng jitter(
+      common::hash_combine(common::hash_combine(opt_.pipette.profile.seed, model::job_digest(job)),
+                           topo.fingerprint()));
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return cache_.get_or_compute(topo, opt_.pipette.profile, opt_.pipette.memory_training,
+                                   opt_.pipette.compute_profile);
+    } catch (const cluster::ProfileTransientError&) {
+      if (attempt >= ro.profile_retries) throw;
+      // Give up retrying once the deadline is already blown — the typed
+      // kProfileFailed answer beats burning backoff sleep past the budget.
+      if (std::isfinite(ro.deadline_s) && admitted.seconds() >= ro.deadline_s) throw;
+      ++*retries;
+      metrics_->counter("pipette.service.profile_retries").inc();
+      if (opt_.trace) opt_.trace->instant("profile.retry");
+      const double backoff =
+          ro.retry_backoff_s * static_cast<double>(1 << attempt) * jitter.uniform(0.5, 1.0);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
+}
+
 core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& topo,
                                                       const model::TrainingJob& job,
-                                                      const core::ConfiguratorResult* previous) {
+                                                      const core::ConfiguratorResult* previous,
+                                                      const RequestOptions& ro,
+                                                      const common::Stopwatch& admitted) {
   obs::TraceSink* const sink = opt_.trace;
   std::string args;
   if (sink) {
@@ -64,8 +207,8 @@ core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& t
     args = w.str();
   }
   obs::Span request_span(sink, "request", std::move(args));
-  const ClusterCache::Entry entry = cache_.get_or_compute(
-      topo, opt_.pipette.profile, opt_.pipette.memory_training, opt_.pipette.compute_profile);
+  int retries = 0;
+  const ClusterCache::Entry entry = artifacts_with_retry(topo, job, ro, admitted, &retries);
   if (sink) {
     obs::JsonWriter w;
     w.begin_object();
@@ -85,6 +228,12 @@ core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& t
   po.executor = opt_.parallel_candidates ? &pool_ : nullptr;
   po.trace_sink = sink;
   po.metrics = metrics_;
+  const bool deadlined = std::isfinite(ro.deadline_s);
+  if (deadlined) {
+    // The configurator budgets from its own entry; hand it what remains of
+    // the caller's budget after queue wait and profiling retries.
+    po.deadline_s = std::max(0.0, ro.deadline_s - admitted.seconds());
+  }
   core::PipetteConfigurator configurator(std::move(po));
   core::ConfiguratorResult res = previous ? configurator.reconfigure(topo, job, *previous)
                                           : configurator.configure(topo, job);
@@ -93,6 +242,17 @@ core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& t
   res.profile_cache_hit = entry.profile_was_cached;
   res.memory_cache_hit = entry.memory_was_cached;
   res.compute_cache_hit = entry.compute_was_cached;
+  res.health.profile_retries = retries;
+  if (deadlined) {
+    // Service-level accounting supersedes the configurator's: the promise
+    // was measured from submission, not configure() entry.
+    res.health.deadline_s = ro.deadline_s;
+    res.health.overrun_s = std::max(0.0, admitted.seconds() - ro.deadline_s);
+    metrics_->counter("pipette.deadline.requests").inc();
+    metrics_->histogram("pipette.deadline.overrun_s", obs::Registry::latency_bounds_s())
+        .observe(res.health.overrun_s);
+    if (res.health.overrun_s > 0.0) metrics_->counter("pipette.deadline.overruns").inc();
+  }
   return res;
 }
 

@@ -12,8 +12,19 @@
 // caller-participating pool as the per-candidate fan-out, and the best-of
 // merge is canonical — so a request's dedicated mapping is a pure function
 // of (topology fingerprint, job, options), never of pool size.
+//
+// Robustness: submit_request() is the typed-outcome surface — every request
+// terminates with a ServiceResult whose status says what happened (a plan,
+// no feasible plan, a typed rejection, a typed failure) instead of an
+// exception racing through a future. Admission is bounded (max_pending),
+// transient profiling failures retry with jittered exponential backoff, and
+// per-request deadlines propagate into the configurator's anytime SA budget
+// (best-so-far plan + PlanHealth::deadline_exceeded on overrun). The legacy
+// submit()/reconfigure() surface is unchanged: unbounded admission,
+// exceptions through the future.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <string>
@@ -21,11 +32,47 @@
 
 #include "core/pipette_configurator.h"
 #include "engine/cluster_cache.h"
+#include "engine/faults.h"
 #include "engine/thread_pool.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace pipette::engine {
+
+/// Typed request outcome — the error taxonomy of the service surface.
+enum class ServiceStatus {
+  kOk = 0,             ///< result.found, plan attached
+  kNoFeasiblePlan,     ///< pipeline ran clean but every candidate was rejected
+  kRejectedQueueFull,  ///< bounded admission queue was full (backpressure)
+  kProfileFailed,      ///< transient profiling failures exhausted the retries
+  kInternalError,      ///< unexpected exception; error carries what()
+};
+
+const char* to_string(ServiceStatus s);
+
+struct ServiceResult {
+  ServiceStatus status = ServiceStatus::kOk;
+  /// Human-readable detail for non-kOk statuses.
+  std::string error;
+  /// Always present; meaningful for kOk (the plan + health) and
+  /// kNoFeasiblePlan (phase accounting, health of the degraded snapshot).
+  core::ConfiguratorResult result;
+  bool ok() const { return status == ServiceStatus::kOk; }
+};
+
+/// Per-request knobs of the robust surface.
+struct RequestOptions {
+  /// Wall-clock budget measured from submission (queue wait counts: a
+  /// deadline is a promise to the caller, not to the scheduler). Propagated
+  /// into PipetteOptions::deadline_s as the remaining budget when the
+  /// request starts; infinite (default) never checks a clock.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Retries after a transient profiling failure before kProfileFailed.
+  int profile_retries = 2;
+  /// Base of the jittered exponential backoff between retries:
+  /// base * 2^attempt * uniform(0.5, 1), jitter from a seed-derived stream.
+  double retry_backoff_s = 0.02;
+};
 
 struct ConfigServiceOptions {
   /// Worker threads in the pool; <= 0 picks hardware concurrency.
@@ -46,6 +93,15 @@ struct ConfigServiceOptions {
   /// Metrics registry; null makes the service own a private obs::Registry so
   /// metrics_text() always works and tenants stay isolated by default.
   obs::Registry* metrics = nullptr;
+  /// Admission bound: submit_request() rejects (kRejectedQueueFull) while
+  /// this many requests are admitted and unfinished. 0 = unbounded. The
+  /// legacy submit()/reconfigure()/sweep() surface bypasses the bound.
+  int max_pending = 0;
+  /// Defaults for requests submitted without explicit RequestOptions.
+  RequestOptions request_defaults;
+  /// Deterministic chaos schedule: when enabled, the service owns a
+  /// FaultInjector wired into every profiling run (see engine/faults.h).
+  FaultOptions faults;
 };
 
 class ConfigService {
@@ -66,13 +122,36 @@ class ConfigService {
   std::future<core::ConfiguratorResult> reconfigure(cluster::Topology topo, model::TrainingJob job,
                                                     core::ConfiguratorResult previous);
 
+  /// The robust surface: admission-bounded, deadline-aware, retrying, and
+  /// exception-free — the future always delivers a ServiceResult, never
+  /// throws. A rejection (kRejectedQueueFull) returns an already-resolved
+  /// future without enqueueing work.
+  std::future<ServiceResult> submit_request(cluster::Topology topo, model::TrainingJob job,
+                                            RequestOptions ro);
+  /// Same, with ConfigServiceOptions::request_defaults.
+  std::future<ServiceResult> submit_request(cluster::Topology topo, model::TrainingJob job);
+
   /// Submits every job against one cluster and waits for all of them;
-  /// results are in job order.
+  /// results are in job order. Built on submit_request: one job's failure
+  /// (fault, OOM-everything, internal error) cannot abort the sweep — its
+  /// slot reports found == false and the surviving jobs return normally.
   std::vector<core::ConfiguratorResult> sweep(const cluster::Topology& topo,
                                               const std::vector<model::TrainingJob>& jobs);
 
+  /// sweep() with the full per-job outcomes (status + error + result).
+  std::vector<ServiceResult> sweep_requests(const cluster::Topology& topo,
+                                            const std::vector<model::TrainingJob>& jobs,
+                                            RequestOptions ro);
+
   ClusterCacheStats cache_stats() const { return cache_.stats(); }
   ThreadPool& pool() { return pool_; }
+
+  /// Admitted-and-unfinished requests on the robust surface (the quantity
+  /// max_pending bounds).
+  int pending() const { return pending_.load(std::memory_order_relaxed); }
+  /// The service's fault injector (null unless ConfigServiceOptions::faults
+  /// is enabled) — chaos tests inspect the resolved schedule through this.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
 
   /// The registry the engine's metrics land in (the caller's via
   /// ConfigServiceOptions::metrics, else the service-owned one).
@@ -83,12 +162,27 @@ class ConfigService {
  private:
   core::ConfiguratorResult configure_one(const cluster::Topology& topo,
                                          const model::TrainingJob& job,
-                                         const core::ConfiguratorResult* previous);
+                                         const core::ConfiguratorResult* previous,
+                                         const RequestOptions& ro,
+                                         const common::Stopwatch& admitted);
+  /// configure_one with the exception surface folded into ServiceStatus.
+  ServiceResult serve_one(const cluster::Topology& topo, const model::TrainingJob& job,
+                          const RequestOptions& ro, const common::Stopwatch& admitted);
+  /// Profiles-or-fetches the cluster artifacts, retrying transient profile
+  /// failures with jittered exponential backoff. Writes the retry count.
+  ClusterCache::Entry artifacts_with_retry(const cluster::Topology& topo,
+                                           const model::TrainingJob& job,
+                                           const RequestOptions& ro,
+                                           const common::Stopwatch& admitted, int* retries);
 
   ConfigServiceOptions opt_;
   // Declared before cache_ and pool_, which hold handles into the registry.
   std::unique_ptr<obs::Registry> owned_metrics_;
   obs::Registry* metrics_ = nullptr;
+  /// Owned chaos schedule; opt_.pipette.profile.faults points at it so every
+  /// profiling run (and every profile cache key) sees the same schedule.
+  std::unique_ptr<FaultInjector> faults_;
+  std::atomic<int> pending_{0};
   ClusterCache cache_;
   // Last member: destroyed first, so the pool drains queued configure tasks
   // (which touch cache_ and opt_) while both are still alive.

@@ -484,7 +484,7 @@ void ResumableMappingAnneal::run_to(long target_iters) {
   // still stops at whichever bound hits first (as everywhere else, a
   // tripping wall-clock bound is inherently schedule-dependent; generous
   // limits never trip and stay bit-exact).
-  const bool timed = std::isfinite(opt_.time_limit_s);
+  const bool timed = std::isfinite(opt_.time_limit_s) || deadline_watch_ != nullptr;
   if (opt_.batch > 1) {
     run_batched(target_iters, watch, timed);
   } else {
@@ -498,7 +498,7 @@ void ResumableMappingAnneal::run_serial(long target_iters, const common::Stopwat
   const MoveKindSampler* sampler = sampler_.active() ? &sampler_ : nullptr;
   while (iters_ < target_iters) {
     if (timed && (since_temp_step_ == 0 || (iters_ & 255) == 0)) {
-      if (wall_s_ + watch.seconds() >= opt_.time_limit_s) break;
+      if (over_time(watch)) break;
     }
     const parallel::MappingMoveDesc mv =
         draw_mapping_move(eval_.mapping(), rng_, moves_, gpn_, sampler);
@@ -533,7 +533,7 @@ void ResumableMappingAnneal::run_batched(long target_iters, const common::Stopwa
   const MoveKindSampler* sampler = sampler_.active() ? &sampler_ : nullptr;
   while (iters_ < target_iters) {
     // Deadline granularity is the batch: one wall-clock read per sweep.
-    if (timed && wall_s_ + watch.seconds() >= opt_.time_limit_s) break;
+    if (timed && over_time(watch)) break;
     const long remaining = target_iters - iters_;
     if (remaining == 1) {
       // Single-iteration tail: the serial body consumes the exact stream the

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/executor.h"
+#include "common/stopwatch.h"
 #include "estimators/incremental_latency.h"
 #include "estimators/latency_models.h"
 #include "parallel/mapping.h"
@@ -262,6 +265,23 @@ class ResumableMappingAnneal {
   bool stopped() const { return stopper_.stopped(); }
   StopReason stop_reason() const { return stopper_.reason(); }
 
+  /// Arms an absolute deadline shared across every chain of a request: the
+  /// chain breaks out of run_to() — keeping best-so-far — once
+  /// `watch->seconds() >= deadline_s`. This is what makes the annealer
+  /// *anytime* under the service's per-request deadlines: unlike
+  /// opt.time_limit_s (a per-chain budget on this chain's own wall time),
+  /// the deadline is read from the caller's request stopwatch, so N chains
+  /// sharing fewer threads still collectively stop on time. Checks happen at
+  /// the existing batched boundaries and never touch the rng stream; a
+  /// deadline generous enough not to trip leaves the trajectory bit-exact.
+  /// Null watch (the default) disarms. The watch must outlive the chain.
+  void set_deadline(const common::Stopwatch* watch, double deadline_s) {
+    deadline_watch_ = watch;
+    deadline_s_ = deadline_s;
+  }
+  /// True once a run_to() call was cut short by the armed deadline.
+  bool deadline_tripped() const { return deadline_tripped_; }
+
   /// Attaches (or detaches, with null) a telemetry accumulator for
   /// subsequent run_to() calls. The chain only ever appends to it between
   /// run_to entry and exit, so the caller may read it whenever the chain is
@@ -294,6 +314,18 @@ class ResumableMappingAnneal {
  private:
   void run_serial(long target_iters, const common::Stopwatch& watch, bool timed);
   void run_batched(long target_iters, const common::Stopwatch& watch, bool timed);
+  /// The batched time check: per-chain time_limit_s and the shared request
+  /// deadline, whichever trips first. `watch` is the current run_to() timer.
+  bool over_time(const common::Stopwatch& watch) {
+    if (std::isfinite(opt_.time_limit_s) && wall_s_ + watch.seconds() >= opt_.time_limit_s) {
+      return true;
+    }
+    if (deadline_watch_ != nullptr && deadline_watch_->seconds() >= deadline_s_) {
+      deadline_tripped_ = true;
+      return true;
+    }
+    return false;
+  }
   void accept_pending(double c);
   /// Feeds the stopper at every window boundary crossed up to iters_.
   /// Returns true once the chain stopped.
@@ -327,6 +359,9 @@ class ResumableMappingAnneal {
   std::vector<parallel::MappingMoveDesc> batch_mvs_;
   std::vector<double> batch_costs_;
   AnnealTelemetry* telemetry_ = nullptr;
+  const common::Stopwatch* deadline_watch_ = nullptr;
+  double deadline_s_ = std::numeric_limits<double>::infinity();
+  bool deadline_tripped_ = false;
   HoeffdingStopper stopper_;
   long next_obs_ = std::numeric_limits<long>::max();
   // Self-tuning state (SaOptions::tune): fill-driven batch sizing and the

@@ -1,14 +1,49 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster_spec.h"
 #include "cluster/profiler.h"
+#include "cluster/sanitizer.h"
 #include "cluster/topology.h"
 #include "common/units.h"
 
 namespace pcl = pipette::cluster;
 namespace pco = pipette::common;
+
+namespace {
+
+/// Writes one inter-node reading at node-pair granularity, fanned across the
+/// whole GPU block as the profiler does.
+void set_inter_block(pcl::BandwidthMatrix& m, int n1, int n2, int gpn, double v) {
+  for (int a = 0; a < gpn; ++a) {
+    for (int b = 0; b < gpn; ++b) m.set(n1 * gpn + a, n2 * gpn + b, v);
+  }
+}
+
+/// A fully healthy matrix with distinct per-reading values, so tests can tell
+/// exactly which donor a repair came from.
+pcl::BandwidthMatrix healthy_matrix(int nn, int gpn) {
+  pcl::BandwidthMatrix m(nn * gpn);
+  for (int n1 = 0; n1 < nn; ++n1) {
+    for (int n2 = 0; n2 < nn; ++n2) {
+      if (n1 != n2) set_inter_block(m, n1, n2, gpn, 1e10 + 1e8 * (n1 * nn + n2));
+    }
+  }
+  for (int n = 0; n < nn; ++n) {
+    for (int a = 0; a < gpn; ++a) {
+      for (int b = 0; b < gpn; ++b) {
+        if (a != b) m.set(n * gpn + a, n * gpn + b, 3e11 + 1e9 * (a * gpn + b));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
 
 TEST(ClusterSpec, TableOnePresets) {
   const auto mid = pcl::mid_range_cluster();
@@ -223,4 +258,108 @@ TEST(Topology, FingerprintDistinguishesSubClusterFromDirectBuild) {
   ASSERT_NE(sliced.bandwidth(8, 16), direct.bandwidth(8, 16));
   EXPECT_NE(sliced.fingerprint(), direct.fingerprint());
   EXPECT_EQ(sliced.fingerprint(), parent.sub_cluster(3).fingerprint());
+}
+
+TEST(Sanitizer, CleanMatrixIsABitExactNoOp) {
+  auto m = healthy_matrix(3, 2);
+  const auto before = m;
+  const auto rep = pcl::sanitize_bandwidth(m, 3, 2);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.total_readings, 3 * 2 + 3 * 2 * 1);
+  EXPECT_EQ(rep.repaired_readings(), 0);
+  EXPECT_TRUE(rep.repaired_node_pairs.empty());
+  for (int g1 = 0; g1 < 6; ++g1) {
+    for (int g2 = 0; g2 < 6; ++g2) {
+      EXPECT_EQ(m.at(g1, g2), before.at(g1, g2)) << g1 << "->" << g2;
+    }
+  }
+}
+
+TEST(Sanitizer, NanReadingImputedFromTheSymmetricBlock) {
+  auto m = healthy_matrix(3, 2);
+  const double reverse = m.at(1 * 2, 0 * 2);
+  set_inter_block(m, 0, 1, 2, std::numeric_limits<double>::quiet_NaN());
+  const auto rep = pcl::sanitize_bandwidth(m, 3, 2);
+  EXPECT_EQ(rep.repaired_nonfinite, 1);
+  EXPECT_EQ(rep.imputed_symmetric, 1);
+  EXPECT_TRUE(rep.quarantined_nodes.empty());
+  // The whole GPU block takes the reverse-direction reading.
+  EXPECT_DOUBLE_EQ(m.at(0, 2), reverse);
+  EXPECT_DOUBLE_EQ(m.at(1, 3), reverse);
+  ASSERT_EQ(rep.repaired_node_pairs.size(), 1u);
+  EXPECT_EQ(rep.repaired_node_pairs[0], std::make_pair(0, 1));
+}
+
+TEST(Sanitizer, BidirectionallyBadLinkFallsBackToNeighborMedian) {
+  auto m = healthy_matrix(4, 2);
+  set_inter_block(m, 0, 1, 2, 0.0);
+  set_inter_block(m, 1, 0, 2, -5.0);
+  const auto rep = pcl::sanitize_bandwidth(m, 4, 2);
+  EXPECT_EQ(rep.repaired_nonpositive, 2);
+  EXPECT_EQ(rep.imputed_symmetric, 0) << "the reverse reading is bad too";
+  EXPECT_EQ(rep.imputed_neighbor, 2);
+  EXPECT_TRUE(rep.quarantined_nodes.empty());
+  EXPECT_TRUE(std::isfinite(m.at(0, 2)));
+  EXPECT_GT(m.at(0, 2), 0.0);
+  EXPECT_TRUE(std::isfinite(m.at(2, 0)));
+  EXPECT_GT(m.at(2, 0), 0.0);
+}
+
+TEST(Sanitizer, UnreachableNodeIsQuarantinedToTheFloor) {
+  auto m = healthy_matrix(4, 2);
+  for (int n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    set_inter_block(m, 2, n, 2, std::numeric_limits<double>::quiet_NaN());
+    set_inter_block(m, n, 2, 2, 0.0);
+  }
+  const pcl::SanitizeOptions so;
+  const double before_03 = m.at(0, 2 * 3);  // healthy link 0 -> 3, untouched
+  const auto rep = pcl::sanitize_bandwidth(m, 4, 2, so);
+  ASSERT_EQ(rep.quarantined_nodes, std::vector<int>{2});
+  EXPECT_EQ(rep.imputed_floor, 6) << "quarantined links are floored, never imputed";
+  for (int n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    EXPECT_DOUBLE_EQ(m.at(2 * 2, n * 2), so.floor_bw);
+    EXPECT_DOUBLE_EQ(m.at(n * 2, 2 * 2), so.floor_bw);
+  }
+  EXPECT_EQ(m.at(0, 2 * 3), before_03) << "healthy readings must never be touched";
+}
+
+TEST(Sanitizer, IntraRepairsUseSymmetricThenNodeMedian) {
+  auto m = healthy_matrix(2, 4);  // GPUs 0..3 are node 0
+  const double reverse = m.at(1, 0);
+  m.set(0, 1, std::numeric_limits<double>::infinity());
+  m.set(2, 3, -1.0);
+  m.set(3, 2, 0.0);
+  const auto rep = pcl::sanitize_bandwidth(m, 2, 4);
+  EXPECT_EQ(rep.repaired_nonfinite, 1);
+  EXPECT_EQ(rep.repaired_nonpositive, 2);
+  EXPECT_EQ(rep.imputed_symmetric, 1);
+  EXPECT_EQ(rep.imputed_neighbor, 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), reverse);
+  EXPECT_TRUE(std::isfinite(m.at(2, 3)));
+  EXPECT_GT(m.at(2, 3), 0.0);
+  // Intra repairs are accounted as a single (n, n) node-pair entry.
+  ASSERT_EQ(rep.repaired_node_pairs.size(), 1u);
+  EXPECT_EQ(rep.repaired_node_pairs[0], std::make_pair(0, 0));
+}
+
+TEST(Profiler, ExtremeNoiseNeverProducesNonPositiveReadings) {
+  // At noise_sigma = 5 most multiplicative draws land below -1; the clamp at a
+  // small positive floor must keep every reading usable without any repair.
+  pcl::Topology t(pcl::mid_range_cluster(2), pcl::HeterogeneityOptions{}, 21);
+  pcl::ProfileOptions opt;
+  opt.noise_sigma = 5.0;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 17ull}) {
+    opt.seed = seed;
+    const auto res = pcl::profile_network(t, opt);
+    EXPECT_TRUE(res.sanitize.clean()) << "the clamp, not the sanitizer, owns noise";
+    for (int g1 = 0; g1 < 16; ++g1) {
+      for (int g2 = 0; g2 < 16; ++g2) {
+        if (g1 == g2) continue;
+        EXPECT_TRUE(std::isfinite(res.bw.at(g1, g2))) << "seed " << seed;
+        EXPECT_GT(res.bw.at(g1, g2), 0.0) << "seed " << seed;
+      }
+    }
+  }
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -68,6 +69,30 @@ TEST(ThreadPool, SubmitDeliversResultsAndExceptions) {
   auto f2 = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_EQ(f1.get(), 42);
   EXPECT_THROW(f2.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedThrowingTasks) {
+  // Queue a pile of tasks that all throw behind a parked worker, then destroy
+  // the pool: every queued task must still run (delivering its exception into
+  // its future) and the destructor must join cleanly — no hang, no drop.
+  std::vector<std::future<int>> futs;
+  {
+    engine::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto blocker = pool.submit([f = gate.get_future().share()] {
+      f.wait();
+      return 0;
+    });
+    for (int i = 0; i < 16; ++i) {
+      futs.push_back(pool.submit([]() -> int { throw std::runtime_error("queued task failure"); }));
+    }
+    gate.set_value();
+    EXPECT_EQ(blocker.get(), 0);
+  }
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_THROW(f.get(), std::runtime_error);
+  }
 }
 
 TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
