@@ -19,12 +19,22 @@
 // plan, and the p99 overrun must stay within --max-overrun-frac of the
 // deadline — the anytime-SA latency guarantee, gated in CI.
 //
+// --restart-arm measures the persistent cache tier (src/persist): a cold
+// service populates a snapshot directory while serving the request stream,
+// then a second service warm-starts from the snapshots and serves the same
+// stream. The warm side must recommend bit-identically to the cold side and
+// beat it by --min-restart-speedup (>= 5x gated in CI) — restarting a
+// configuration service must not cost a re-profile of the fleet.
+//
 // Run:  ./engine_throughput [--requests 16] [--nodes 2] [--threads N]
 //                           [--full] [--seed N] [--csv PATH]
 //                           [--deadline-arm] [--deadline-ms 300]
 //                           [--max-overrun-frac 0.10]
+//                           [--restart-arm] [--snapshot-dir D]
+//                           [--min-restart-speedup 5.0]
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
@@ -145,6 +155,67 @@ int main(int argc, char** argv) {
               << ", p99 overrun " << common::fmt_fixed(p99 * 1000.0, 1) << " ms (bound "
               << common::fmt_fixed(bound * 1000.0, 1) << " ms): "
               << (pass ? "PASS" : "FAIL") << "\n";
+    return pass ? 0 : 1;
+  }
+
+  if (cli.get_bool("restart-arm", false)) {
+    const double min_speedup = cli.get_double("min-restart-speedup", 5.0);
+    const std::string snapshot_dir = cli.get_string("snapshot-dir", "restart_arm_snapshots");
+    std::filesystem::remove_all(snapshot_dir);  // measure a genuinely cold start
+
+    std::cout << "Cluster " << topo.spec().name << " (" << topo.num_gpus() << " GPUs), "
+              << requests << " requests, cold start vs warm restart from " << snapshot_dir
+              << "\n\n";
+
+    engine::ConfigServiceOptions so;
+    so.threads = threads;
+    so.pipette = opt;
+    so.cache.snapshot_dir = snapshot_dir;
+
+    // Cold arm: profile + train while serving, persisting as it goes. The
+    // flush is inside the timed window — a fair restart story includes the
+    // cost of writing the snapshots you will depend on.
+    std::vector<core::ConfiguratorResult> cold_results;
+    const common::Stopwatch t_cold;
+    {
+      engine::ConfigService cold(so);
+      cold_results = cold.sweep(topo, jobs);
+      cold.flush_snapshots();
+    }
+    const double cold_s = t_cold.seconds();
+
+    // Warm arm: a fresh process-equivalent service on the same directory.
+    const common::Stopwatch t_warm;
+    engine::ConfigService warm(so);
+    const auto warm_results = warm.sweep(topo, jobs);
+    const double warm_s = t_warm.seconds();
+
+    const auto& lr = warm.load_report();
+    int mismatches = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!same_result(cold_results[i], warm_results[i])) ++mismatches;
+    }
+    const auto stats = warm.cache_stats();
+    const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+
+    common::Table t({"mode", "wall", "req/s", "trainings", "profiles", "speedup"});
+    t.add_row({"cold", common::fmt_duration(cold_s), common::fmt_fixed(requests / cold_s, 2),
+               "1", "1", "1.00x"});
+    t.add_row({"warm", common::fmt_duration(warm_s), common::fmt_fixed(requests / warm_s, 2),
+               std::to_string(stats.trainings_run), std::to_string(stats.profiles_run),
+               common::fmt_fixed(speedup, 2) + "x"});
+    bench::finish_table(t, env);
+
+    std::cout << "\nsnapshot load: " << lr.str() << "\n";
+    std::cout << "warm recomputed: " << stats.profiles_run << " profiles, "
+              << stats.trainings_run << " trainings\n";
+    std::cout << "recommendations identical to cold: "
+              << (mismatches == 0 ? "yes" : "NO (" + std::to_string(mismatches) + " differ)")
+              << "\n";
+    std::cout << "restart speedup: " << common::fmt_fixed(speedup, 2) << "x (target >= "
+              << common::fmt_fixed(min_speedup, 1) << "x)\n";
+    const bool pass = mismatches == 0 && lr.clean() && lr.loaded() > 0 && speedup >= min_speedup;
+    std::cout << (pass ? "PASS" : "FAIL") << "\n";
     return pass ? 0 : 1;
   }
 

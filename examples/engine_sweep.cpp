@@ -17,9 +17,21 @@
 // every request a wall-clock budget; overruns return the best-so-far plan
 // with deadline_exceeded set instead of running long.
 //
+// --snapshot-dir <d> arms the persistent cache tier: the first run profiles
+// and trains cold, then persists every artifact into <d>; a second run with
+// --restart warm-starts from the snapshots (the load report says what was
+// loaded vs skipped) and serves the same study without re-profiling.
+// --load-report <path> writes the structured LoadReport JSON (the crash
+// recovery CI uploads it), and --persist-write-delay-ms widens the
+// torn-write window so a SIGKILL mid-run reliably lands inside a write.
+// Composes with --faults and --explain.
+//
 // Run:  ./engine_sweep [--nodes 2] [--threads N] [--model gpt-774m]
 //                      [--trace sweep_trace.json] [--metrics] [--explain]
 //                      [--faults SEED] [--deadline-ms MS]
+//                      [--snapshot-dir D] [--restart] [--load-report P]
+//                      [--persist-write-delay-ms MS]
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.h"
@@ -27,6 +39,7 @@
 #include "engine/config_service.h"
 #include "model/gpt_zoo.h"
 #include "obs/trace.h"
+#include "persist/store.h"
 
 using namespace pipette;
 
@@ -40,6 +53,10 @@ int main(int argc, char** argv) {
   const bool print_explain = cli.get_bool("explain", false);
   const std::uint64_t faults_seed = static_cast<std::uint64_t>(cli.get_int("faults", 0));
   const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const std::string snapshot_dir = cli.get_string("snapshot-dir", "");
+  const bool restart = cli.get_bool("restart", false);
+  const std::string load_report_path = cli.get_string("load-report", "");
+  const double persist_delay_ms = cli.get_double("persist-write-delay-ms", 0.0);
   const bool robust = faults_seed != 0 || deadline_ms > 0.0;
 
   cluster::Topology topo(cluster::mid_range_cluster(nodes), cluster::HeterogeneityOptions{},
@@ -69,7 +86,29 @@ int main(int argc, char** argv) {
     so.faults.seed = faults_seed;
   }
   if (deadline_ms > 0.0) so.request_defaults.deadline_s = deadline_ms / 1000.0;
+  if (!snapshot_dir.empty()) {
+    so.cache.snapshot_dir = snapshot_dir;
+    so.cache.persist_write_delay_s = persist_delay_ms / 1000.0;
+  }
   engine::ConfigService service(so);
+
+  if (!snapshot_dir.empty()) {
+    const persist::LoadReport& lr = service.load_report();
+    std::cout << "snapshot load (" << snapshot_dir << "): " << lr.str() << "\n";
+    for (const auto& rec : lr.skipped) {
+      std::cout << "  skipped " << rec.file << ": " << persist::to_string(rec.reason) << " ("
+                << rec.detail << ")\n";
+    }
+    if (restart && lr.loaded() == 0) {
+      std::cout << "  (--restart but nothing loaded: cold start)\n";
+    }
+    if (!load_report_path.empty()) {
+      std::ofstream out(load_report_path);
+      out << lr.json() << "\n";
+      std::cout << "  wrote load report to " << load_report_path << "\n";
+    }
+    std::cout << "\n";
+  }
 
   std::vector<model::TrainingJob> jobs;
   for (const int batch : {128, 256, 512, 1024}) jobs.push_back({model_cfg, batch});
@@ -110,6 +149,22 @@ int main(int argc, char** argv) {
   std::cout << "\ncluster cache: " << stats.lookups << " lookups, " << stats.hits
             << " hits — profiled " << stats.profiles_run << "x, trained estimator "
             << stats.trainings_run << "x for the whole study\n";
+
+  if (!snapshot_dir.empty()) {
+    // Provenance of the first request's artifacts: "disk" is the warm
+    // restart working, "computed" is the cold path that seeds it.
+    const auto& first = results.front();
+    const auto prov = [](bool from_disk) { return from_disk ? "disk" : "computed"; };
+    std::cout << "artifact provenance: profile=" << prov(first.profile_from_disk)
+              << " estimator=" << prov(first.memory_from_disk)
+              << " compute=" << prov(first.compute_from_disk) << "\n";
+    service.flush_snapshots();
+    std::cout << "persisted " << service.persisted_records() << " records to " << snapshot_dir;
+    if (service.persist_failures() > 0) {
+      std::cout << " (" << service.persist_failures() << " writes failed after retries)";
+    }
+    std::cout << "\n";
+  }
 
   if (robust) {
     common::Table h({"global batch", "status", "retries", "repaired", "quarantined",

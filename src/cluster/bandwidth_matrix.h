@@ -29,6 +29,10 @@ class BandwidthMatrix {
   /// Minimum bandwidth along the ring g[0]->g[1]->...->g[k-1]->g[0].
   double min_along_ring(std::span<const int> gpus) const;
 
+  /// Row-major view of all G*G entries (self-pairs +infinity) — the
+  /// persist-tier serialization reads this instead of G*G at() calls.
+  std::span<const double> raw() const { return b_; }
+
  private:
   std::size_t index(int g1, int g2) const {
     return static_cast<std::size_t>(g1) * static_cast<std::size_t>(n_) +

@@ -100,6 +100,12 @@ std::string ConfiguratorResult::explain(int runner_ups) const {
   w.value(memory_cache_hit);
   w.key("compute_cache_hit");
   w.value(compute_cache_hit);
+  w.key("profile_from_disk");
+  w.value(profile_from_disk);
+  w.key("memory_estimator_from_disk");
+  w.value(memory_from_disk);
+  w.key("compute_cache_from_disk");
+  w.value(compute_from_disk);
   w.key("shapes_profiled");
   w.value(shapes_profiled);
   w.key("shapes_reused");

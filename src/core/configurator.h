@@ -127,6 +127,11 @@ struct ConfiguratorResult {
   bool profile_cache_hit = false;  ///< bandwidth profile came from the cache
   bool memory_cache_hit = false;   ///< MLP memory estimator came from the cache
   bool compute_cache_hit = false;  ///< compute-profile cache pre-existed
+  // ...and whether those artifacts were warm-started from a persisted
+  // snapshot (ClusterCache::load) rather than computed in this process.
+  bool profile_from_disk = false;
+  bool memory_from_disk = false;
+  bool compute_from_disk = false;
 
   // Provenance for elastic reconfiguration: what this result was computed
   // against, and the artifacts a warm start can reuse.

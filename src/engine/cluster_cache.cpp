@@ -1,5 +1,8 @@
 #include "engine/cluster_cache.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/hashing.h"
 #include "model/gpt_zoo.h"
 
@@ -24,14 +27,35 @@ std::uint64_t hash_profile_options(std::uint64_t h, const cluster::ProfileOption
 
 }  // namespace
 
-ClusterCache::ClusterCache(ClusterCacheOptions opt) : opt_(opt) {
+ClusterCache::ClusterCache(ClusterCacheOptions opt) : opt_(std::move(opt)) {
   if (opt_.metrics) {
     m_lookups_ = opt_.metrics->counter("engine.cluster_cache.lookups");
     m_hits_ = opt_.metrics->counter("engine.cluster_cache.hits");
     m_profiles_run_ = opt_.metrics->counter("engine.cluster_cache.profiles_run");
     m_trainings_run_ = opt_.metrics->counter("engine.cluster_cache.trainings_run");
     m_compute_created_ = opt_.metrics->counter("engine.cluster_cache.compute_caches_created");
+    m_evictions_ = opt_.metrics->counter("engine.cluster_cache.evictions");
+    m_records_loaded_ = opt_.metrics->counter("pipette.persist.records_loaded");
+    m_records_skipped_ = opt_.metrics->counter("pipette.persist.records_skipped");
   }
+  if (!opt_.snapshot_dir.empty()) {
+    persist::PersisterOptions popt;
+    popt.dir = opt_.snapshot_dir;
+    popt.write_behind = opt_.persist_write_behind;
+    popt.retries = opt_.persist_retries;
+    popt.backoff_s = opt_.persist_backoff_s;
+    popt.seed = opt_.persist_seed;
+    popt.write_delay_s = opt_.persist_write_delay_s;
+    popt.metrics = opt_.metrics;
+    persister_ = std::make_unique<persist::Persister>(std::move(popt));
+  }
+}
+
+ClusterCache::~ClusterCache() {
+  // Final flush so compute-shape caches (which fill lazily and are only
+  // snapshotted here and in flush()) survive a clean shutdown. The persister
+  // member's own destructor then drains any remaining queue.
+  flush();
 }
 
 std::uint64_t ClusterCache::profile_key(const cluster::Topology& topo,
@@ -52,10 +76,52 @@ std::uint64_t ClusterCache::compute_key(const cluster::ClusterSpec& spec,
   return estimators::compute_context_digest(spec, compute_opt);
 }
 
+void ClusterCache::erase_compute_locked(std::uint64_t key) {
+  compute_.erase(key);
+  compute_last_used_.erase(key);
+  for (auto it = compute_order_.begin(); it != compute_order_.end(); ++it) {
+    if (*it == key) {
+      compute_order_.erase(it);
+      break;
+    }
+  }
+}
+
+void ClusterCache::enforce_total_cap_locked(std::uint64_t protect_seq, int* evicted) {
+  const auto total = [this] {
+    return static_cast<int>(profiles_.cells.size() + estimators_.cells.size() + compute_.size());
+  };
+  while (total() > opt_.max_entries) {
+    const auto p = profiles_.lru_before(protect_seq);
+    const auto m = estimators_.lru_before(protect_seq);
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> c;
+    for (const auto& [key, seq] : compute_last_used_) {
+      if (seq < protect_seq && (!c || seq < c->second)) c = {{key, seq}};
+    }
+    int which = -1;
+    std::uint64_t best = 0;
+    if (p && (which < 0 || p->second < best)) which = 0, best = p->second;
+    if (m && (which < 0 || m->second < best)) which = 1, best = m->second;
+    if (c && (which < 0 || c->second < best)) which = 2, best = c->second;
+    if (which < 0) break;  // only this lookup's own entries remain — never evict those
+    if (which == 0) {
+      profiles_.erase(p->first);
+    } else if (which == 1) {
+      estimators_.erase(m->first);
+    } else {
+      erase_compute_locked(c->first);
+    }
+    ++*evicted;
+  }
+}
+
 ClusterCache::Entry ClusterCache::get_or_compute(
     const cluster::Topology& topo, const cluster::ProfileOptions& profile_opt,
     const estimators::MlpMemoryOptions& memory_opt,
     const estimators::ComputeProfileOptions& compute_opt) {
+  const std::uint64_t pkey = profile_key(topo, profile_opt);
+  const std::uint64_t mkey = memory_key(topo.spec(), memory_opt);
+  const std::uint64_t ckey = compute_key(topo.spec(), compute_opt);
   std::shared_ptr<Cell<cluster::ProfileResult>> profile_cell;
   std::shared_ptr<Cell<estimators::MlpMemoryEstimator>> memory_cell;
   Entry entry;
@@ -63,9 +129,10 @@ ClusterCache::Entry ClusterCache::get_or_compute(
     std::lock_guard lk(mu_);
     ++stats_.lookups;
     m_lookups_.inc();
-    const auto [pcell, phit] = profiles_.acquire(profile_key(topo, profile_opt), opt_.max_profiles);
-    const auto [mcell, mhit] =
-        estimators_.acquire(memory_key(topo.spec(), memory_opt), opt_.max_estimators);
+    int evicted = 0;
+    const std::uint64_t seq = ++seq_;  // one recency stamp per lookup
+    const auto [pcell, phit] = profiles_.acquire(pkey, opt_.max_profiles, seq, &evicted);
+    const auto [mcell, mhit] = estimators_.acquire(mkey, opt_.max_estimators, seq, &evicted);
     if (phit && mhit) {
       ++stats_.hits;
       m_hits_.inc();
@@ -76,21 +143,25 @@ ClusterCache::Entry ClusterCache::get_or_compute(
     memory_cell = mcell;
     // The shape cache starts empty and fills lazily inside requests, so it
     // is minted right here under the cache mutex.
-    auto& ccache = compute_[compute_key(topo.spec(), compute_opt)];
-    entry.compute_was_cached = static_cast<bool>(ccache);
-    if (!ccache) {
-      ccache = std::make_shared<estimators::ComputeProfileCache>(
-          compute_key(topo.spec(), compute_opt));
+    auto& slot = compute_[ckey];
+    entry.compute_was_cached = static_cast<bool>(slot.cache);
+    if (!slot.cache) {
+      slot.cache = std::make_shared<estimators::ComputeProfileCache>(ckey);
       ++stats_.compute_caches_created;
       m_compute_created_.inc();
-      compute_order_.push_back(compute_key(topo.spec(), compute_opt));
+      compute_order_.push_back(ckey);
       while (static_cast<int>(compute_.size()) > opt_.max_compute_caches &&
-             compute_order_.front() != compute_key(topo.spec(), compute_opt)) {
-        compute_.erase(compute_order_.front());
-        compute_order_.pop_front();
+             compute_order_.front() != ckey) {
+        erase_compute_locked(compute_order_.front());
+        ++evicted;
       }
     }
-    entry.compute = ccache;
+    entry.compute = slot.cache;
+    entry.compute_from_disk = slot.from_disk;
+    compute_last_used_[ckey] = seq;
+    enforce_total_cap_locked(seq, &evicted);
+    stats_.evictions += evicted;
+    if (evicted > 0) m_evictions_.add(evicted);
   }
 
   auto fill_profile = [&] {  // caller holds profile_cell->mu
@@ -98,20 +169,24 @@ ClusterCache::Entry ClusterCache::get_or_compute(
       profile_cell->value = std::make_shared<const cluster::ProfileResult>(
           cluster::profile_network(topo, profile_opt));
       m_profiles_run_.inc();
+      if (persister_) persister_->enqueue_profile(pkey, profile_cell->value);
       std::lock_guard slk(mu_);
       ++stats_.profiles_run;
     }
     entry.profile = profile_cell->value;
+    entry.profile_from_disk = profile_cell->from_disk;
   };
   auto fill_memory = [&] {  // caller holds memory_cell->mu
     if (!memory_cell->value) {
       memory_cell->value = std::make_shared<const estimators::MlpMemoryEstimator>(
           estimators::MlpMemoryEstimator::train_for_cluster(topo, model::gpt_zoo(), memory_opt));
       m_trainings_run_.inc();
+      if (persister_) persister_->enqueue_memory(mkey, memory_cell->value);
       std::lock_guard slk(mu_);
       ++stats_.trainings_run;
     }
     entry.memory = memory_cell->value;
+    entry.memory_from_disk = memory_cell->from_disk;
   };
 
   // The two artifacts are independent; when another request is already
@@ -134,6 +209,96 @@ ClusterCache::Entry ClusterCache::get_or_compute(
     fill_profile();
   }
   return entry;
+}
+
+persist::LoadReport ClusterCache::load() { return load(opt_.snapshot_dir); }
+
+persist::LoadReport ClusterCache::load(const std::string& dir) {
+  if (dir.empty()) return {};
+  persist::LoadSinks sinks;
+  // Lock order discipline: the sinks take mu_ to place the cell, release it,
+  // then take the cell mutex to install the value — the same mu_-before-cell
+  // never-nested order get_or_compute uses, so a load racing live requests
+  // cannot deadlock. A cell that already has a value (a request beat the
+  // loader to it) keeps the live artifact.
+  sinks.profile = [this](std::uint64_t key, std::shared_ptr<const cluster::ProfileResult> p) {
+    std::shared_ptr<Cell<cluster::ProfileResult>> cell;
+    {
+      std::lock_guard lk(mu_);
+      int evicted = 0;
+      const std::uint64_t seq = ++seq_;
+      cell = profiles_.acquire(key, opt_.max_profiles, seq, &evicted).first;
+      enforce_total_cap_locked(seq, &evicted);
+      stats_.evictions += evicted;
+      if (evicted > 0) m_evictions_.add(evicted);
+    }
+    std::lock_guard clk(cell->mu);
+    if (!cell->value) {
+      cell->value = std::move(p);
+      cell->from_disk = true;
+    }
+  };
+  sinks.memory = [this](std::uint64_t key,
+                        std::shared_ptr<const estimators::MlpMemoryEstimator> est) {
+    std::shared_ptr<Cell<estimators::MlpMemoryEstimator>> cell;
+    {
+      std::lock_guard lk(mu_);
+      int evicted = 0;
+      const std::uint64_t seq = ++seq_;
+      cell = estimators_.acquire(key, opt_.max_estimators, seq, &evicted).first;
+      enforce_total_cap_locked(seq, &evicted);
+      stats_.evictions += evicted;
+      if (evicted > 0) m_evictions_.add(evicted);
+    }
+    std::lock_guard clk(cell->mu);
+    if (!cell->value) {
+      cell->value = std::move(est);
+      cell->from_disk = true;
+    }
+  };
+  sinks.compute = [this](std::uint64_t key, std::shared_ptr<estimators::ComputeProfileCache> c) {
+    std::lock_guard lk(mu_);
+    auto& slot = compute_[key];
+    if (slot.cache) return;  // a live cache (already filling) wins the tie
+    slot.cache = std::move(c);
+    slot.from_disk = true;
+    compute_order_.push_back(key);
+    int evicted = 0;
+    while (static_cast<int>(compute_.size()) > opt_.max_compute_caches &&
+           compute_order_.front() != key) {
+      erase_compute_locked(compute_order_.front());
+      ++evicted;
+    }
+    const std::uint64_t seq = ++seq_;
+    compute_last_used_[key] = seq;
+    enforce_total_cap_locked(seq, &evicted);
+    stats_.evictions += evicted;
+    if (evicted > 0) m_evictions_.add(evicted);
+  };
+  persist::LoadReport report = persist::load_directory(dir, sinks);
+  m_records_loaded_.add(report.loaded());
+  m_records_skipped_.add(report.skipped_count());
+  return report;
+}
+
+void ClusterCache::flush() {
+  if (!persister_) return;
+  // Compute-shape caches fill lazily on the request path, so they are
+  // snapshotted here (and at shutdown) rather than on creation. Profiles and
+  // estimators were enqueued the moment they were computed.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const estimators::ComputeProfileCache>>>
+      caches;
+  {
+    std::lock_guard lk(mu_);
+    caches.reserve(compute_.size());
+    for (const auto& [key, slot] : compute_) {
+      if (slot.cache) caches.emplace_back(key, slot.cache);
+    }
+  }
+  for (auto& [key, cache] : caches) {
+    if (!cache->snapshot().empty()) persister_->enqueue_compute(key, cache);
+  }
+  persister_->flush();
 }
 
 ClusterCacheStats ClusterCache::stats() const {

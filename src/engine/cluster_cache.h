@@ -23,22 +23,35 @@
 // compute concurrently.
 //
 // Bounded: day drift mints a fresh profile key per day, so a long-running
-// service would otherwise accumulate stale bandwidth matrices forever. Both
-// maps evict their oldest entry past a cap (FIFO); in-flight users keep
-// evicted artifacts alive through their shared_ptrs, an evicted key simply
-// recomputes on its next request.
+// service would otherwise accumulate stale bandwidth matrices forever. Each
+// map evicts its oldest entry past its own cap (FIFO), and `max_entries`
+// bounds the total across all three maps with a global LRU (touch-on-hit);
+// in-flight users keep evicted artifacts alive through their shared_ptrs, an
+// evicted key simply recomputes on its next request.
+//
+// Persistent: with `snapshot_dir` set, every computed profile and estimator
+// is serialized by a write-behind persister thread (persist/persister.h) —
+// atomic per-record files, jittered retries, the request path never touches
+// disk — and compute-shape caches are snapshotted at flush()/shutdown.
+// load() warm-starts the cells from such a directory, tolerating any
+// corruption per record (typed persist::LoadReport), and tags warmed entries
+// so requests can report `from_disk` provenance.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "cluster/profiler.h"
 #include "estimators/compute_profile.h"
 #include "estimators/mlp_memory.h"
 #include "obs/registry.h"
+#include "persist/persister.h"
+#include "persist/store.h"
 
 namespace pipette::engine {
 
@@ -48,16 +61,30 @@ struct ClusterCacheStats {
   int profiles_run = 0;   ///< actual profile_network invocations
   int trainings_run = 0;  ///< actual MlpMemoryEstimator trainings
   int compute_caches_created = 0;  ///< fresh (empty) shape caches minted
+  int evictions = 0;               ///< entries dropped by any cap (FIFO or LRU)
 };
 
 struct ClusterCacheOptions {
   int max_profiles = 64;        ///< distinct (fabric, day, options) snapshots kept
   int max_estimators = 16;      ///< distinct (spec, options) trained estimators kept
   int max_compute_caches = 16;  ///< distinct compute contexts' shape caches kept
+  /// Total artifacts across all three maps; past it the globally
+  /// least-recently-used entry is evicted. Generous by default — the per-map
+  /// caps dominate unless an operator tightens this.
+  int max_entries = 256;
   /// Mirrors every ClusterCacheStats field into engine.cluster_cache.*
   /// registry counters (not owned, must outlive the cache). Null keeps the
   /// historical stats_-only accounting.
   obs::Registry* metrics = nullptr;
+
+  // --- persistent tier (inert while snapshot_dir is empty) ---
+  std::string snapshot_dir;         ///< record-per-file snapshot directory
+  bool persist_write_behind = true; ///< false = synchronous writes (tests)
+  int persist_retries = 3;          ///< extra write attempts on I/O failure
+  double persist_backoff_s = 0.01;  ///< base of the jittered retry backoff
+  std::uint64_t persist_seed = 0x5eed;  ///< retry-jitter stream seed
+  /// Widens the torn-write window (crash-recovery CI); 0 in production.
+  double persist_write_delay_s = 0.0;
 };
 
 class ClusterCache {
@@ -74,15 +101,37 @@ class ClusterCache {
     bool profile_was_cached = false;
     bool memory_was_cached = false;
     bool compute_was_cached = false;
+    // True when the artifact was warm-started from a snapshot directory by
+    // load() rather than computed in this process.
+    bool profile_from_disk = false;
+    bool memory_from_disk = false;
+    bool compute_from_disk = false;
   };
 
   explicit ClusterCache(ClusterCacheOptions opt = {});
+  /// Final flush: snapshots live compute caches and drains the persister.
+  ~ClusterCache();
 
   /// Returns the memoized artifacts for this cluster/options tuple, computing
   /// them (profile + estimator training on the gpt zoo) on first request.
   Entry get_or_compute(const cluster::Topology& topo, const cluster::ProfileOptions& profile_opt,
                        const estimators::MlpMemoryOptions& memory_opt,
                        const estimators::ComputeProfileOptions& compute_opt = {});
+
+  /// Warm-starts the cache from a snapshot directory. Every record is
+  /// independently verified; corrupt, truncated, version-skewed, or foreign
+  /// files are skipped into the returned report and the rest load — a fully
+  /// corrupt directory simply leaves the cache empty. Never throws on bad
+  /// data. Safe to call while requests are in flight (live cells win ties).
+  persist::LoadReport load(const std::string& dir);
+  /// load() from the configured snapshot_dir (no-op report when unset).
+  persist::LoadReport load();
+
+  /// Blocks until every enqueued record is on disk (or exhausted its
+  /// retries), snapshotting live compute-shape caches first. The
+  /// warm-restart handshake: flush(), then start the next service on the
+  /// same directory.
+  void flush();
 
   /// Key of the memoized bandwidth profile.
   static std::uint64_t profile_key(const cluster::Topology& topo,
@@ -99,49 +148,94 @@ class ClusterCache {
   int cached_profiles() const;
   int cached_estimators() const;
   int cached_compute_caches() const;
+  bool has_persistence() const { return persister_ != nullptr; }
+  long persisted_records() const { return persister_ ? persister_->records_written() : 0; }
+  long persist_failures() const { return persister_ ? persister_->write_failures() : 0; }
 
  private:
   template <typename T>
   struct Cell {
     std::mutex mu;
     std::shared_ptr<const T> value;  // null until computed
+    bool from_disk = false;          ///< value installed by load(), not computed
   };
 
-  /// One bounded FIFO map: insertion order doubles as eviction order.
+  /// One bounded map: insertion order drives the per-map FIFO cap, the
+  /// last_used sequence numbers drive the cache-wide LRU cap.
   template <typename T>
   struct CellMap {
     std::unordered_map<std::uint64_t, std::shared_ptr<Cell<T>>> cells;
     std::deque<std::uint64_t> order;
+    std::unordered_map<std::uint64_t, std::uint64_t> last_used;
 
     /// Returns the cell for `key` (creating and bounding as needed) and
-    /// whether it already existed. Caller must hold the cache mutex.
-    std::pair<std::shared_ptr<Cell<T>>, bool> acquire(std::uint64_t key, int cap) {
+    /// whether it already existed; stamps the key's recency with `seq`.
+    /// Caller must hold the cache mutex.
+    std::pair<std::shared_ptr<Cell<T>>, bool> acquire(std::uint64_t key, int cap,
+                                                      std::uint64_t seq, int* evicted) {
       auto& slot = cells[key];
       const bool existed = static_cast<bool>(slot);
       if (!existed) {
         slot = std::make_shared<Cell<T>>();
         order.push_back(key);
         while (static_cast<int>(cells.size()) > cap && order.front() != key) {
-          cells.erase(order.front());
-          order.pop_front();
+          erase(order.front());
+          ++*evicted;
         }
       }
+      last_used[key] = seq;
       return {slot, existed};
+    }
+
+    void erase(std::uint64_t key) {
+      cells.erase(key);
+      last_used.erase(key);
+      for (auto it = order.begin(); it != order.end(); ++it) {
+        if (*it == key) {
+          order.erase(it);
+          break;
+        }
+      }
+    }
+
+    /// Least-recently-used key whose stamp is strictly older than `before`.
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> lru_before(std::uint64_t before) const {
+      std::optional<std::pair<std::uint64_t, std::uint64_t>> best;  // (key, seq)
+      for (const auto& [key, seq] : last_used) {
+        if (seq < before && (!best || seq < best->second)) best = {{key, seq}};
+      }
+      return best;
     }
   };
 
+  struct ComputeSlot {
+    std::shared_ptr<estimators::ComputeProfileCache> cache;
+    bool from_disk = false;
+  };
+
+  /// Evicts globally least-recent entries until the total fits max_entries.
+  /// Entries touched at or after `protect_seq` (this lookup's own artifacts)
+  /// are never evicted. Caller must hold mu_.
+  void enforce_total_cap_locked(std::uint64_t protect_seq, int* evicted);
+  void erase_compute_locked(std::uint64_t key);
+
   ClusterCacheOptions opt_;
-  mutable std::mutex mu_;  // guards the maps and stats_
+  mutable std::mutex mu_;  // guards the maps, stats_, and seq_
   CellMap<cluster::ProfileResult> profiles_;
   CellMap<estimators::MlpMemoryEstimator> estimators_;
   /// Shape caches are cheap to mint (they start empty and fill lazily), so
   /// they live in a plain bounded FIFO map created under mu_ — no per-cell
   /// compute mutex needed.
-  std::unordered_map<std::uint64_t, std::shared_ptr<estimators::ComputeProfileCache>> compute_;
+  std::unordered_map<std::uint64_t, ComputeSlot> compute_;
   std::deque<std::uint64_t> compute_order_;
+  std::unordered_map<std::uint64_t, std::uint64_t> compute_last_used_;
+  std::uint64_t seq_ = 0;  ///< monotonic recency clock (ticks per lookup)
   ClusterCacheStats stats_;
+  /// Write-behind snapshot writer; null while snapshot_dir is empty.
+  std::unique_ptr<persist::Persister> persister_;
   // Registry mirrors of stats_ (inert without ClusterCacheOptions::metrics).
   obs::Counter m_lookups_, m_hits_, m_profiles_run_, m_trainings_run_, m_compute_created_;
+  obs::Counter m_evictions_, m_records_loaded_, m_records_skipped_;
 };
 
 }  // namespace pipette::engine

@@ -54,6 +54,13 @@ ConfigService::ConfigService(ConfigServiceOptions opt)
     // fingerprint — now sees the schedule.
     opt_.pipette.profile.faults = faults_.get();
   }
+  if (!opt_.cache.snapshot_dir.empty()) {
+    // Warm start before the service accepts work: whatever survives
+    // verification fills the cache, whatever doesn't lands in the report —
+    // a fully corrupt directory just means a cold start, never a failed
+    // construction.
+    load_report_ = cache_.load();
+  }
 }
 
 std::future<core::ConfiguratorResult> ConfigService::submit(cluster::Topology topo,
@@ -242,6 +249,9 @@ core::ConfiguratorResult ConfigService::configure_one(const cluster::Topology& t
   res.profile_cache_hit = entry.profile_was_cached;
   res.memory_cache_hit = entry.memory_was_cached;
   res.compute_cache_hit = entry.compute_was_cached;
+  res.profile_from_disk = entry.profile_from_disk;
+  res.memory_from_disk = entry.memory_from_disk;
+  res.compute_from_disk = entry.compute_from_disk;
   res.health.profile_retries = retries;
   if (deadlined) {
     // Service-level accounting supersedes the configurator's: the promise

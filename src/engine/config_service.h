@@ -146,6 +146,19 @@ class ConfigService {
   ClusterCacheStats cache_stats() const { return cache_.stats(); }
   ThreadPool& pool() { return pool_; }
 
+  /// What the warm start found on disk (empty/attempted=false unless
+  /// ClusterCacheOptions::snapshot_dir was set at construction — the cache is
+  /// loaded once, before the service accepts work).
+  const persist::LoadReport& load_report() const { return load_report_; }
+  /// Blocks until every computed artifact (plus a snapshot of the live
+  /// compute-shape caches) is on disk. Call before a planned restart; crashes
+  /// are covered anyway by the write-behind persister + atomic records.
+  void flush_snapshots() { cache_.flush(); }
+  /// Records persisted / dropped-after-retries so far (0 without a
+  /// snapshot_dir).
+  long persisted_records() const { return cache_.persisted_records(); }
+  long persist_failures() const { return cache_.persist_failures(); }
+
   /// Admitted-and-unfinished requests on the robust surface (the quantity
   /// max_pending bounds).
   int pending() const { return pending_.load(std::memory_order_relaxed); }
@@ -184,6 +197,8 @@ class ConfigService {
   std::unique_ptr<FaultInjector> faults_;
   std::atomic<int> pending_{0};
   ClusterCache cache_;
+  /// Outcome of the construction-time warm start (see load_report()).
+  persist::LoadReport load_report_;
   // Last member: destroyed first, so the pool drains queued configure tasks
   // (which touch cache_ and opt_) while both are still alive.
   ThreadPool pool_;

@@ -114,6 +114,12 @@ void ComputeProfileCache::insert(const ComputeShapeKey& key,
   map_.try_emplace(key, std::move(profile));
 }
 
+std::vector<std::pair<ComputeShapeKey, std::shared_ptr<const ComputeProfile>>>
+ComputeProfileCache::snapshot() const {
+  std::lock_guard lk(mu_);
+  return {map_.begin(), map_.end()};
+}
+
 int ComputeProfileCache::size() const {
   std::lock_guard lk(mu_);
   return static_cast<int>(map_.size());

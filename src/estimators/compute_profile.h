@@ -108,6 +108,12 @@ class ComputeProfileCache {
   long hits() const;
   long misses() const;
 
+  /// Consistent copy of the memoized shapes in canonical key order — the
+  /// persist tier serializes from this, so a snapshot taken while requests
+  /// are still inserting is simply a valid cache of whatever had been
+  /// profiled by then.
+  std::vector<std::pair<ComputeShapeKey, std::shared_ptr<const ComputeProfile>>> snapshot() const;
+
  private:
   std::uint64_t context_ = 0;
   mutable std::mutex mu_;

@@ -64,6 +64,20 @@ class MlpMemoryEstimator {
   /// The digest this instance was trained under (0 for pre-digest artifacts).
   std::uint64_t training_digest() const { return training_digest_; }
 
+  /// Reinstates a trained estimator from its serialized parts (the
+  /// persist-tier load path). The caller is responsible for having verified
+  /// the snapshot's integrity; this only checks structural consistency (via
+  /// mlp::Regressor::restore's validation) and carries the stored digest —
+  /// which ClusterCache keys on, so a stale artifact can never be handed to a
+  /// request whose options would train a different one.
+  static MlpMemoryEstimator restore(mlp::Regressor reg, double soft_margin, int dataset_size,
+                                    double train_mape, std::uint64_t digest) {
+    return MlpMemoryEstimator(std::move(reg), soft_margin, dataset_size, train_mape, digest);
+  }
+
+  /// The trained regressor (the persist-tier save path).
+  const mlp::Regressor& regressor() const { return reg_; }
+
   /// Predicted peak bytes per GPU.
   double estimate_bytes(const model::TrainingJob& job, const parallel::TrainPlan& plan) const;
 

@@ -123,6 +123,12 @@ void Network::adam_step(const AdamOptions& opt) {
   }
 }
 
+std::size_t Network::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.w.data().size() + layer.b.size();
+  return n;
+}
+
 std::vector<double> Network::parameters() const {
   std::vector<double> flat;
   for (const auto& layer : layers_) {

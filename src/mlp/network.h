@@ -27,6 +27,12 @@ class Network {
 
   int input_dim() const { return sizes_.front(); }
   int output_dim() const { return sizes_.back(); }
+  /// Full {input, hidden..., output} architecture — what a serialized network
+  /// must be reconstructed with before set_parameters() restores the weights.
+  const std::vector<int>& layer_sizes() const { return sizes_; }
+  /// Total parameter count (weights + biases), the exact length parameters()
+  /// returns and set_parameters() expects.
+  std::size_t num_parameters() const;
 
   /// Batched forward: X is (n x input_dim), returns (n x output_dim).
   Matrix forward(const Matrix& x) const;

@@ -51,6 +51,44 @@ std::vector<double> Standardizer::transform_row(std::span<const double> x) const
   return out;
 }
 
+void Standardizer::restore(std::vector<double> mean, std::vector<double> std) {
+  if (mean.size() != std.size()) {
+    throw std::invalid_argument("Standardizer::restore: mean/std length mismatch");
+  }
+  for (const double s : std) {
+    if (!(s > 0.0)) throw std::invalid_argument("Standardizer::restore: non-positive std");
+  }
+  mean_ = std::move(mean);
+  std_ = std::move(std);
+}
+
+Regressor Regressor::restore(const std::vector<int>& layer_sizes,
+                             const std::vector<double>& parameters,
+                             std::vector<double> feat_mean, std::vector<double> feat_std,
+                             double y_mean, double y_std) {
+  if (layer_sizes.size() < 2 || layer_sizes.back() != 1) {
+    throw std::invalid_argument("Regressor::restore: bad architecture");
+  }
+  for (const int s : layer_sizes) {
+    if (s < 1 || s > 1 << 20) throw std::invalid_argument("Regressor::restore: bad layer size");
+  }
+  if (static_cast<std::size_t>(layer_sizes.front()) != feat_mean.size()) {
+    throw std::invalid_argument("Regressor::restore: standardizer dim != input dim");
+  }
+  if (!(y_std > 0.0)) throw std::invalid_argument("Regressor::restore: non-positive y_std");
+  const std::vector<int> hidden(layer_sizes.begin() + 1, layer_sizes.end() - 1);
+  Regressor reg(layer_sizes.front(), hidden, /*seed=*/0);
+  if (reg.net_.num_parameters() != parameters.size()) {
+    throw std::invalid_argument("Regressor::restore: parameter count mismatch");
+  }
+  reg.net_.set_parameters(parameters);
+  reg.feat_std_.restore(std::move(feat_mean), std::move(feat_std));
+  reg.y_mean_ = y_mean;
+  reg.y_std_ = y_std;
+  reg.fitted_ = true;
+  return reg;
+}
+
 Regressor::Regressor(int input_dim, std::vector<int> hidden, std::uint64_t seed)
     : net_([&] {
         std::vector<int> sizes;

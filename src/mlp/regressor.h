@@ -32,6 +32,9 @@ struct TrainReport {
 class Standardizer {
  public:
   void fit(const Matrix& x);
+  /// Reinstates a previously fitted state (snapshot restore). `mean` and
+  /// `std` must be equal-length; entries of `std` must be positive.
+  void restore(std::vector<double> mean, std::vector<double> std);
   Matrix transform(const Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> x) const;
   int dim() const { return static_cast<int>(mean_.size()); }
@@ -53,6 +56,21 @@ class Regressor {
 
   /// Predicts the (de-standardized) target for one feature row.
   double predict(std::span<const double> x) const;
+
+  // Snapshot surface (persist/codecs.{h,cpp}): everything a trained regressor
+  // is, and a factory that reinstates it bit-exactly. restore() validates the
+  // parameter count against the architecture and throws std::invalid_argument
+  // on any mismatch — a corrupted snapshot must never produce a half-wired
+  // network that predicts garbage.
+  const Network& network() const { return net_; }
+  const Standardizer& standardizer() const { return feat_std_; }
+  double y_mean() const { return y_mean_; }
+  double y_std() const { return y_std_; }
+  bool fitted() const { return fitted_; }
+  static Regressor restore(const std::vector<int>& layer_sizes,
+                           const std::vector<double>& parameters,
+                           std::vector<double> feat_mean, std::vector<double> feat_std,
+                           double y_mean, double y_std);
 
  private:
   Network net_;

@@ -1,0 +1,117 @@
+#include "persist/faults.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/hashing.h"
+#include "common/rng.h"
+#include "persist/format.h"
+
+namespace pipette::persist {
+
+namespace fs = std::filesystem;
+
+const char* to_string(SnapshotFaultKind k) {
+  switch (k) {
+    case SnapshotFaultKind::kNone: return "none";
+    case SnapshotFaultKind::kTornWrite: return "torn_write";
+    case SnapshotFaultKind::kBitFlip: return "bit_flip";
+    case SnapshotFaultKind::kTruncate: return "truncate";
+    case SnapshotFaultKind::kStaleVersion: return "stale_version";
+    case SnapshotFaultKind::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+common::Rng record_rng(std::uint64_t seed, std::string_view record_name) {
+  return common::Rng(common::hash_string(common::hash_mix(seed), record_name));
+}
+
+}  // namespace
+
+SnapshotFaultKind SnapshotFaultInjector::kind_for(std::string_view record_name) const {
+  if (pinned_ != SnapshotFaultKind::kNone) return pinned_;
+  auto rng = record_rng(seed_, record_name);
+  const int n = static_cast<int>(SnapshotFaultKind::kCount) - 1;  // skip kNone
+  return static_cast<SnapshotFaultKind>(1 + rng.uniform_int(0, n - 1));
+}
+
+std::vector<unsigned char> SnapshotFaultInjector::corrupt(std::string_view record_name,
+                                                          std::vector<unsigned char> bytes) const {
+  const SnapshotFaultKind kind = kind_for(record_name);
+  // Independent stream for the damage parameters so kind_for's draw (taken
+  // from the same (seed, record) stream) does not shift them.
+  auto rng = record_rng(seed_, record_name).fork(0x70657273u);
+  switch (kind) {
+    case SnapshotFaultKind::kTornWrite: {
+      // A torn write keeps a strict prefix — at least one byte short, and
+      // biased into the payload so the CRC (not just the header check) is
+      // what has to catch it.
+      if (bytes.size() > 1) {
+        const auto keep = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<int>(bytes.size()) - 1));
+        bytes.resize(keep);
+      }
+      break;
+    }
+    case SnapshotFaultKind::kBitFlip: {
+      if (!bytes.empty()) {
+        const int flips = rng.uniform_int(1, 4);
+        for (int i = 0; i < flips; ++i) {
+          const auto pos =
+              static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(bytes.size()) - 1));
+          bytes[pos] ^= static_cast<unsigned char>(1u << rng.uniform_int(0, 7));
+        }
+      }
+      break;
+    }
+    case SnapshotFaultKind::kTruncate: {
+      // Harsher than a torn write: may cut into (or erase) the header.
+      const auto keep =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(bytes.size())) / 2);
+      bytes.resize(keep);
+      break;
+    }
+    case SnapshotFaultKind::kStaleVersion: {
+      // The version field lives at offset 8 (see persist/format.h). Stamp a
+      // version this reader does not speak — rolled-back writer, upgraded
+      // reader.
+      if (bytes.size() >= 12) {
+        const std::uint32_t stale = kFormatVersion + static_cast<std::uint32_t>(
+                                                         rng.uniform_int(1, 7));
+        std::memcpy(bytes.data() + 8, &stale, sizeof stale);
+      }
+      break;
+    }
+    case SnapshotFaultKind::kNone:
+    case SnapshotFaultKind::kCount:
+      break;
+  }
+  return bytes;
+}
+
+int SnapshotFaultInjector::corrupt_directory(const std::string& dir) const {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  int mutated = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".snap")) continue;
+    auto bytes = read_file(entry.path().string());
+    auto damaged = corrupt(name, bytes);
+    if (damaged == bytes) continue;
+    // Plain overwrite, deliberately not atomic: the injector *is* the broken
+    // writer being simulated.
+    std::FILE* f = std::fopen(entry.path().string().c_str(), "wb");
+    if (f == nullptr) continue;
+    if (!damaged.empty()) std::fwrite(damaged.data(), 1, damaged.size(), f);
+    std::fclose(f);
+    ++mutated;
+  }
+  return mutated;
+}
+
+}  // namespace pipette::persist

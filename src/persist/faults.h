@@ -1,0 +1,59 @@
+// Deterministic storage chaos — PR 9's fault-injection philosophy extended
+// to the persistence tier. A SnapshotFaultInjector mutates snapshot bytes the
+// way real storage failures do: a write torn at an offset, flipped bits (bit
+// rot, bad RAM on the writer), truncation to a prefix, and a stale format
+// version stamp (a rollback to an older binary writing over a newer file).
+// Which corruption hits a record, and where, is a pure function of
+// (seed, record name) — the same seed reproduces the same damage on every
+// machine, so the storage chaos suite is a regression suite, not a flake
+// generator. The load path's contract under this injector: every corruption
+// yields a typed LoadReport skip and a service that still configures (cold),
+// never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipette::persist {
+
+enum class SnapshotFaultKind {
+  kNone = 0,
+  kTornWrite,     ///< the file ends at a seed-derived offset mid-record
+  kBitFlip,       ///< 1-4 seed-derived bits flipped anywhere in the file
+  kTruncate,      ///< the file is cut to a seed-derived fraction (may be 0)
+  kStaleVersion,  ///< the header's format version is stamped with another value
+  kCount,
+};
+
+const char* to_string(SnapshotFaultKind k);
+
+class SnapshotFaultInjector {
+ public:
+  /// `kind` == kNone derives the kind per record from the seed (different
+  /// records of one directory can suffer different corruptions); any other
+  /// value pins every record to that kind.
+  explicit SnapshotFaultInjector(std::uint64_t seed,
+                                 SnapshotFaultKind kind = SnapshotFaultKind::kNone)
+      : seed_(seed), pinned_(kind) {}
+
+  /// The corruption this record would suffer.
+  SnapshotFaultKind kind_for(std::string_view record_name) const;
+
+  /// Returns the corrupted image of `bytes` for this record — a pure function
+  /// of (seed, record_name, bytes). Never lengthens the file: real failure
+  /// modes lose or damage data, they do not invent it.
+  std::vector<unsigned char> corrupt(std::string_view record_name,
+                                     std::vector<unsigned char> bytes) const;
+
+  /// Applies corrupt() in place to every `.snap` file in `dir`; returns how
+  /// many files were mutated. Deterministic given the directory contents.
+  int corrupt_directory(const std::string& dir) const;
+
+ private:
+  std::uint64_t seed_;
+  SnapshotFaultKind pinned_;
+};
+
+}  // namespace pipette::persist
